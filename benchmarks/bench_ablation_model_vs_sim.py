@@ -1,0 +1,87 @@
+"""Ablation: reuse-distance miss prediction vs ground-truth simulation.
+
+The paper validates its predictions against hardware counters; we validate
+against the explicit set-associative LRU simulator, per level and per
+miss model (FA threshold vs probabilistic SA), across several workloads.
+"""
+
+import pytest
+
+from repro.apps.gtc import GTCParams, build_gtc
+from repro.apps.kernels import fig1_interchange, stream_triad
+from repro.apps.sweep3d import SweepParams, build_original
+from repro.core import ReuseAnalyzer
+from repro.lang import run_program
+from repro.model import MachineConfig, predict
+from repro.sim import HierarchySim
+from conftest import run_once
+
+CFG = MachineConfig.scaled_itanium2()
+
+#: (name, builder, pathological).  The 64x64 fig1 variant walks rows with a
+#: 512-byte (8-line) stride: lines land in 1/8 of the sets and conflict-miss
+#: far beyond what any LRU-stack model predicts.  The paper's probabilistic
+#: model shares this blind spot; the row is reported but not asserted.
+WORKLOADS = [
+    ("fig1", lambda: fig1_interchange(63, 63), False),
+    ("fig1_pow2", lambda: fig1_interchange(64, 64), True),
+    ("triad", lambda: stream_triad(4096, 2), False),
+    ("sweep3d",
+     lambda: build_original(SweepParams(n=6, mm=4, nm=2, noct=1)), False),
+    ("gtc", lambda: build_gtc(None, GTCParams(micell=3, timesteps=1)), False),
+]
+
+
+def _experiment():
+    rows = []
+    for name, build, pathological in WORKLOADS:
+        analyzer = ReuseAnalyzer(CFG.granularities())
+        run_program(build(), analyzer)
+        sim = HierarchySim(CFG)
+        run_program(build(), sim)
+        fa = predict(analyzer, CFG, build(), model="fa").totals()
+        sa = predict(analyzer, CFG, build(), model="sa").totals()
+        rows.append((name, sim.totals(), fa, sa, pathological))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_model_vs_simulator(benchmark, record):
+    rows = run_once(benchmark, _experiment)
+    lines = [
+        "Ablation: predicted vs simulated misses",
+        f"{'workload':<10}{'level':<6}{'simulated':>10}{'FA model':>10}"
+        f"{'SA model':>10}{'FA err':>8}{'SA err':>8}",
+        "-" * 64,
+    ]
+    worst_fa = 0.0
+    for name, sim, fa, sa, pathological in rows:
+        for level in ("L2", "L3", "TLB"):
+            denom = max(sim[level], 1)
+            fa_err = (fa[level] - sim[level]) / denom
+            sa_err = (sa[level] - sim[level]) / denom
+            if not pathological:
+                worst_fa = max(worst_fa, abs(fa_err))
+            flag = " *" if pathological else ""
+            lines.append(
+                f"{name:<10}{level:<6}{sim[level]:>10}{fa[level]:>10.0f}"
+                f"{sa[level]:>10.0f}{100 * fa_err:>7.1f}%"
+                f"{100 * sa_err:>7.1f}%{flag}"
+            )
+    lines.append("")
+    lines.append(f"worst FA relative error (non-pathological): "
+                 f"{100 * worst_fa:.1f}%")
+    lines.append("* power-of-two stride: set conflicts exceed any "
+                 "LRU-stack model (known limitation)")
+    record("\n".join(lines))
+
+    for name, sim, fa, sa, pathological in rows:
+        if pathological:
+            continue
+        for level in ("L2", "L3", "TLB"):
+            denom = max(sim[level], 1)
+            # FA tracks the LRU simulator closely except where set
+            # conflicts dominate; SA stays within a small factor.
+            assert abs(fa[level] - sim[level]) / denom < 0.5
+            assert sa[level] < 2.5 * denom
+            assert sa[level] > 0.4 * sim[level] - 8

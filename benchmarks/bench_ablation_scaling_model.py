@@ -1,0 +1,87 @@
+"""Ablation: cross-input scaling-model accuracy.
+
+Section II: the per-pattern histograms "can still be modeled using the
+algorithm presented in [14] to predict the distribution of reuse distances
+for other program inputs", and "since ... data is collected and modeled at
+a finer granularity, the resulting models are more accurate for regular
+applications".
+
+This bench trains the scaling model on small inputs of three workloads and
+scores its L2/L3 miss predictions at a 2-4x larger input against a direct
+run — quantifying the regular-vs-irregular accuracy gap the paper notes.
+"""
+
+import pytest
+
+from repro.apps.kernels import fig1_interchange, stream_triad
+from repro.apps.sweep3d import SweepParams, build_original
+from repro.core import ReuseAnalyzer
+from repro.lang import run_program
+from repro.model import MachineConfig, ScalingModel, predict
+from conftest import run_once
+
+CFG = MachineConfig.scaled_itanium2()
+
+
+def _db(prog):
+    analyzer = ReuseAnalyzer(CFG.granularities())
+    run_program(prog, analyzer)
+    return analyzer
+
+
+CASES = [
+    # (name, regular?, builder(size), train sizes, target size)
+    ("triad", True, lambda n: stream_triad(n=n, timesteps=2),
+     [256, 512, 1024, 2048], 8192),
+    ("fig1", True, lambda n: fig1_interchange(n, n),
+     [16, 24, 32, 48], 96),
+    ("sweep3d", False,
+     lambda n: build_original(SweepParams(n=n, mm=4, nm=2, noct=1)),
+     [4, 6, 8], 12),
+]
+
+
+def _experiment():
+    rows = []
+    for name, regular, build, train, target in CASES:
+        dbs = [_db(build(n)).db("line") for n in train]
+        model = ScalingModel.fit(train, dbs)
+        analyzer = _db(build(target))
+        for level_name in ("L2", "L3"):
+            level = CFG.level(level_name)
+            predicted = model.predict_misses(target, level)
+            measured = predict(analyzer, CFG,
+                               build(target)).levels[level_name].total
+            error = (predicted - measured) / max(measured, 1.0)
+            rows.append((name, regular, level_name, predicted, measured,
+                         error))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_scaling_model(benchmark, record):
+    rows = run_once(benchmark, _experiment)
+    lines = [
+        "Ablation: scaling-model extrapolation accuracy (train small, "
+        "predict 2-4x larger)",
+        f"{'workload':<10}{'regular':<9}{'level':<7}{'predicted':>11}"
+        f"{'measured':>11}{'error':>9}",
+        "-" * 58,
+    ]
+    for name, regular, level, predicted, measured, error in rows:
+        lines.append(
+            f"{name:<10}{'yes' if regular else 'no':<9}{level:<7}"
+            f"{predicted:>11.0f}{measured:>11.0f}{100 * error:>8.1f}%"
+        )
+    lines.append("")
+    lines.append("paper: 'the resulting models are more accurate for "
+                 "regular applications'")
+    record("\n".join(lines))
+
+    worst_regular = max(abs(e) for n, r, _l, _p, _m, e in rows if r)
+    worst_irregular = max(abs(e) for n, r, _l, _p, _m, e in rows if not r)
+    assert worst_regular < 0.25
+    # the data-driven wavefront is harder, as the paper says — but the
+    # prediction must still land in the right ballpark
+    assert worst_irregular < 0.8
+    assert worst_regular < worst_irregular

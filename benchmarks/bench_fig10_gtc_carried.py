@@ -1,0 +1,47 @@
+"""Fig 10: GTC scopes carrying the most L3 (a) and TLB (b) misses.
+
+Paper claims: the time-step loop carries ~11% of L3 misses and together
+with the Runge-Kutta loop ~40% (irremovable); pushi carries ~20%; the
+Poisson solver's iterative loop and chargei (~11%) follow.  For the TLB,
+one loop nest in smooth carries ~64% of all misses.
+"""
+
+import pytest
+
+from repro.apps.gtc import GTCParams, build_gtc
+from repro.tools import AnalysisSession
+from conftest import run_once
+
+PARAMS = GTCParams(micell=8, timesteps=2)
+
+
+def _experiment():
+    session = AnalysisSession(build_gtc(None, PARAMS))
+    session.run()
+    return session
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_gtc_carried_misses(benchmark, record):
+    session = run_once(benchmark, _experiment)
+    prog = session.program
+    carried = session.carried
+    text = session.render_carried(["L3", "TLB"], n=8)
+    record(
+        f"Fig 10 reproduction (micell={PARAMS.micell})\n" + text +
+        "\npaper (a): main ~11% + RK loop => ~40% together; pushi ~20%; "
+        "poisson iter loop; chargei ~11%"
+        "\npaper (b): smooth loop nest carries ~64% of TLB misses"
+    )
+
+    frac = lambda level, name: carried.fraction(
+        level, prog.scope_named(name).sid)
+    # (a) L3 carriers
+    assert frac("L3", "pushi") > 0.15
+    assert frac("L3", "main_rk") + frac("L3", "main_time") > 0.25
+    assert frac("L3", "poisson_iter") > 0.02
+    assert frac("L3", "chargei") > 0.02
+    # (b) TLB: the smooth nest is the top carrier
+    top_sid, _ = carried.top_scopes("TLB", 1)[0]
+    assert prog.scope(top_sid).routine == "smooth"
+    assert frac("TLB", "smooth_iz") > 0.25

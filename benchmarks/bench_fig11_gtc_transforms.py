@@ -1,0 +1,97 @@
+"""Fig 11: GTC misses and time per particle vs particles-per-cell, after
+each cumulative code transformation.
+
+Paper series: gtc_original, +zion transpose, +chargei fusion, +spcpft u&j,
++poisson transforms, +smooth LI, +pushi tiling/fusion.  Shape targets:
+every step monotone non-increasing in its target metric; the zion transpose
+is the single largest improvement; grid-side fixes (spcpft/poisson/smooth)
+matter most at small micell; pushi tiling cuts L2/L3 misses but not
+execution time (I-cache overflow); overall: misses halve, ~1.5x speedup.
+"""
+
+import pytest
+
+from repro.apps.gtc import GTCParams, VARIANTS, build_gtc
+from repro.apps.harness import measure
+from conftest import run_once
+
+MICELLS = (2, 4, 6, 8, 10)
+
+
+def _experiment():
+    table = {}
+    for variant in VARIANTS:
+        series = []
+        for micell in MICELLS:
+            params = GTCParams(micell=micell, timesteps=2)
+            fused = ("pushi", "gcmotion") if variant.pushi_tiled else ()
+            result = measure(build_gtc(variant, params), name=variant.name,
+                             fused_routines=fused)
+            unit = micell * params.timesteps
+            series.append({
+                "micell": micell,
+                "L2": result.misses["L2"] / unit,
+                "L3": result.misses["L3"] / unit,
+                "TLB": result.misses["TLB"] / unit,
+                "cycles": result.total_cycles / unit,
+            })
+        table[variant.name] = series
+    return table
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_gtc_transformations(benchmark, record):
+    table = run_once(benchmark, _experiment)
+    lines = ["Fig 11 reproduction: per-micell per-timestep metrics vs "
+             "particles/cell"]
+    for metric, title in (("L2", "(a) L2 misses"), ("L3", "(b) L3 misses"),
+                          ("TLB", "(c) TLB misses"),
+                          ("cycles", "(d) time [cycles]")):
+        lines.append("")
+        lines.append(f"--- {title} / micell / timestep ---")
+        header = f"{'variant':<24}" + "".join(
+            f"mic={m:>2}   " for m in MICELLS)
+        lines.append(header)
+        for variant in VARIANTS:
+            row = "".join(f"{pt[metric]:>9.0f}" for pt in table[variant.name])
+            lines.append(f"{variant.name:<24}{row}")
+    names = [v.name for v in VARIANTS]
+    orig = table[names[0]]
+    final = table[names[-1]]
+    lines.append("")
+    lines.append(
+        f"miss reduction at micell={MICELLS[-1]}: "
+        f"L2 {orig[-1]['L2'] / final[-1]['L2']:.2f}x, "
+        f"L3 {orig[-1]['L3'] / final[-1]['L3']:.2f}x, "
+        f"TLB {orig[-1]['TLB'] / final[-1]['TLB']:.2f}x  "
+        f"(paper: factor of two or more)")
+    lines.append(
+        f"speedup at micell={MICELLS[-1]}: "
+        f"{orig[-1]['cycles'] / final[-1]['cycles']:.2f}x  (paper: 1.5x)")
+    record("\n".join(lines))
+
+    at = MICELLS.index(MICELLS[-1])
+    # monotone non-increasing miss chain at the largest micell
+    for level in ("L2", "L3", "TLB"):
+        seq = [table[n][at][level] for n in names]
+        for a, b in zip(seq, seq[1:]):
+            assert b <= a * 1.02, f"{level}: {seq}"
+    # zion transpose is the biggest single L3 step
+    drops = [table[names[i]][at]["L3"] - table[names[i + 1]][at]["L3"]
+             for i in range(len(names) - 1)]
+    assert drops[0] == max(drops)
+    # grid-side fixes matter more at small micell (relative time effect)
+    small, large = 0, at
+    smooth_gain_small = (table["+poisson transforms"][small]["cycles"]
+                         - table["+smooth LI"][small]["cycles"]) \
+        / table["+poisson transforms"][small]["cycles"]
+    smooth_gain_large = (table["+poisson transforms"][large]["cycles"]
+                         - table["+smooth LI"][large]["cycles"]) \
+        / table["+poisson transforms"][large]["cycles"]
+    assert smooth_gain_small > smooth_gain_large
+    # pushi tiling: misses drop, time does not improve
+    assert final[at]["L3"] < table["+smooth LI"][at]["L3"]
+    assert final[at]["cycles"] > 0.95 * table["+smooth LI"][at]["cycles"]
+    # headline: misses halve, >=1.3x speedup
+    assert orig[at]["L2"] > 2 * final[at]["L2"]
+    assert orig[at]["cycles"] / final[at]["cycles"] > 1.3

@@ -1,0 +1,53 @@
+"""Fig 5: number of carried misses in Sweep3D.
+
+Paper numbers (mesh 50^3, Itanium2): the idiag loop carries ~75% of L2 and
+~68% of L3 misses; iq carries 10.5% / 22%; the jkm loop carries 79% of TLB
+misses and idiag 20%.  Reproduction target: idiag is the dominant L2/L3
+carrier by a wide margin, iq second among sweep loops for L3, and jkm
+dominates the TLB.
+"""
+
+import pytest
+
+from repro.apps.sweep3d import SweepParams, build_original
+from repro.tools import AnalysisSession
+from conftest import run_once
+
+PARAMS = SweepParams(n=10, mm=6, nm=3, noct=4)
+
+
+def _experiment():
+    session = AnalysisSession(build_original(PARAMS))
+    session.run()
+    return session
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_sweep3d_carried_misses(benchmark, record):
+    session = run_once(benchmark, _experiment)
+    prog = session.program
+    carried = session.carried
+    scopes = ["idiag", "jkm", "iq", "kk", "timestep"]
+    lines = [
+        f"Fig 5 reproduction: % of misses carried per scope "
+        f"(mesh {PARAMS.n}^3, {PARAMS.noct} octants, scaled-Itanium2)",
+        f"{'carrying scope':<16}{'L2':>8}{'L3':>8}{'TLB':>8}",
+        "-" * 40,
+    ]
+    fractions = {}
+    for name in scopes:
+        sid = prog.scope_named(name).sid
+        row = [100 * carried.fraction(level, sid)
+               for level in ("L2", "L3", "TLB")]
+        fractions[name] = dict(zip(("L2", "L3", "TLB"), row))
+        lines.append(f"{name:<16}{row[0]:>7.1f}%{row[1]:>7.1f}%{row[2]:>7.1f}%")
+    lines.append("")
+    lines.append("paper: idiag 75%/68% of L2/L3; iq 10.5%/22%; "
+                 "jkm 79% of TLB, idiag 20%")
+    record("\n".join(lines))
+
+    assert fractions["idiag"]["L2"] > 40
+    assert fractions["idiag"]["L3"] > 40
+    assert fractions["idiag"]["L2"] > 2 * fractions["iq"]["L2"]
+    assert fractions["jkm"]["TLB"] > 50
+    assert fractions["jkm"]["TLB"] > fractions["idiag"]["TLB"]

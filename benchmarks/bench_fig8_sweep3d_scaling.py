@@ -1,0 +1,73 @@
+"""Fig 8: Sweep3D misses and time vs mesh size for every blocking variant.
+
+Paper series (Itanium2, mesh 20..200): (a) L2, (b) L3, (c) TLB misses per
+cell per time step, (d) cycles per cell per time step, for the original
+code, mi blocking factors 1/2/3/6, and blk6 + dimension interchange.
+Shape targets: block1 == original; monotone decrease with blocking factor;
+blk6+dimIC best everywhere; ~2.5x overall speedup; transformed code's
+per-cell metrics roughly flat in mesh size.
+"""
+
+import pytest
+
+from repro.apps.harness import measure
+from repro.apps.sweep3d import SweepParams, VARIANTS, build_variant
+from conftest import run_once
+
+MESHES = (6, 8, 10, 12)
+
+
+def _experiment():
+    table = {}
+    for name in VARIANTS:
+        series = []
+        for n in MESHES:
+            params = SweepParams(n=n, mm=6, nm=3, noct=2)
+            result = measure(build_variant(name, params), name=name)
+            unit = params.cells * params.timesteps
+            series.append({
+                "n": n,
+                "L2": result.misses["L2"] / unit,
+                "L3": result.misses["L3"] / unit,
+                "TLB": result.misses["TLB"] / unit,
+                "cycles": result.total_cycles / unit,
+                "non_stall": result.cycles.non_stall / unit,
+            })
+        table[name] = series
+    return table
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_sweep3d_scaling(benchmark, record):
+    table = run_once(benchmark, _experiment)
+    lines = ["Fig 8 reproduction: per-cell per-timestep metrics vs mesh size"]
+    for metric, title in (("L2", "(a) L2 misses"), ("L3", "(b) L3 misses"),
+                          ("TLB", "(c) TLB misses"),
+                          ("cycles", "(d) cycles")):
+        lines.append("")
+        lines.append(f"--- {title} / cell / timestep ---")
+        header = f"{'variant':<16}" + "".join(f"n={n:>3}    " for n in MESHES)
+        lines.append(header)
+        for name in VARIANTS:
+            row = "".join(f"{pt[metric]:>8.1f} " for pt in table[name])
+            lines.append(f"{name:<16}{row}")
+    orig = table["original"][-1]
+    best = table["block6+dimic"][-1]
+    lines.append("")
+    lines.append(f"non-stall floor (blk6+dimIC, n={MESHES[-1]}): "
+                 f"{best['non_stall']:.1f} cycles/cell")
+    lines.append(f"speedup at n={MESHES[-1]}: "
+                 f"{orig['cycles'] / best['cycles']:.2f}x  (paper: 2.5x)")
+    record("\n".join(lines))
+
+    # Shape assertions at the largest mesh.
+    for level in ("L2", "L3", "TLB"):
+        assert table["block1"][-1][level] == pytest.approx(
+            table["original"][-1][level], rel=0.35)
+        seq = [table[f"block{b}"][-1][level] for b in (1, 2, 6)]
+        assert seq[0] > seq[1] > seq[2]
+        assert table["block6+dimic"][-1][level] <= seq[2] * 1.02
+    assert orig["cycles"] / best["cycles"] > 2.0
+    # transformed code ~flat per-cell across a 8x working-set growth
+    best_series = [pt["cycles"] for pt in table["block6+dimic"]]
+    assert max(best_series) < 2.0 * min(best_series)

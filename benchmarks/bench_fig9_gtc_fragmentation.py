@@ -1,0 +1,53 @@
+"""Fig 9: GTC data arrays with the most fragmentation L3 misses.
+
+Paper claim: the zion / zion0 arrays plus the C alias particle_array
+account for ~95% of all L3 fragmentation misses (~48% of all misses on the
+zion arrays, ~13.7% of all L3 misses in the program).
+"""
+
+import pytest
+
+from repro.apps.gtc import GTCParams, build_gtc
+from repro.tools import AnalysisSession
+from repro.tools.report import fragmentation_misses
+from conftest import run_once
+
+PARAMS = GTCParams(micell=8, timesteps=2)
+
+
+def _experiment():
+    session = AnalysisSession(build_gtc(None, PARAMS))
+    session.run()
+    return session
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_gtc_fragmentation(benchmark, record):
+    session = run_once(benchmark, _experiment)
+    text = session.render_fragmentation("L3", n=8)
+    per_array = fragmentation_misses(session.prediction,
+                                     session.fragmentation, "L3")
+    total_frag = sum(per_array.values())
+    zion_family = sum(v for k, v in per_array.items()
+                      if k.startswith("zion") or k == "particle_array")
+    zion_share = 100 * zion_family / total_frag
+    l3_total = session.prediction.levels["L3"].total
+    zion_all = sum(v for k, v in
+                   session.prediction.levels["L3"].by_array().items()
+                   if k.startswith("zion") or k == "particle_array")
+    lines = [
+        f"Fig 9 reproduction (micell={PARAMS.micell}, scaled-Itanium2)",
+        text,
+        "",
+        f"zion family share of fragmentation L3 misses: {zion_share:.1f}%  "
+        f"(paper: 95%)",
+        f"fragmentation share of zion-family L3 misses: "
+        f"{100 * zion_family / zion_all:.1f}%  (paper: ~48%)",
+        f"zion-family fragmentation share of ALL L3 misses: "
+        f"{100 * zion_family / l3_total:.1f}%  (paper: ~13.7%)",
+    ]
+    record("\n".join(lines))
+
+    assert zion_share > 75
+    assert 0.2 < zion_family / zion_all < 0.8
+    assert zion_family / l3_total > 0.05

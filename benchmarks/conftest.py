@@ -1,0 +1,42 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure from the paper: it runs the
+workload once inside pytest-benchmark (rounds=1 — these are experiments,
+not micro-benchmarks), prints the reproduced rows/series, and archives them
+under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir, request):
+    """Print a reproduced table and archive it by benchmark name."""
+
+    def _record(text: str) -> None:
+        name = request.node.name
+        print(f"\n{text}\n")
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Data reordering on a sparse CG solver (Table I, row 2).
+
+A CSR matrix from a 5-point grid whose nodes were numbered badly makes the
+SpMV gather ``x(colidx(nz))`` jump all over memory.  The tool classifies
+the dominant reuse patterns as *irregular* and recommends data or
+computation reordering; renumbering the unknowns in first-touch order
+recovers much of the lost locality.
+
+Run:  python examples/cg_reordering.py
+"""
+
+from repro.apps.harness import measure
+from repro.apps.spcg import build_cg
+from repro.tools import AnalysisSession, IRREGULAR
+from repro.tools.report import irregular_total
+
+GRID = 32
+
+
+def analyze() -> None:
+    print("== analyze the badly-ordered solver ==")
+    session = AnalysisSession(build_cg(grid=GRID, ordering="shuffled"))
+    session.run()
+    total = session.prediction.levels["L2"].total
+    irregular = irregular_total(session.prediction, session.static, "L2")
+    print(f"L2 misses: {total:.0f}; from irregular reuse patterns: "
+          f"{irregular:.0f} ({100 * irregular / total:.0f}%)")
+    for rec in session.recommendations("L2", top_n=6):
+        if rec.scenario == IRREGULAR:
+            print(f"tool says: {rec}")
+            break
+    print()
+
+
+def compare_orderings() -> None:
+    print("== apply the reordering and measure ==")
+    print(f"{'ordering':<14}{'L2 misses':>11}{'L3 misses':>11}{'cycles':>11}")
+    print("-" * 47)
+    for ordering in ("shuffled", "first-touch", "natural"):
+        result = measure(build_cg(grid=GRID, ordering=ordering))
+        print(f"{ordering:<14}{result.misses['L2']:>11}"
+              f"{result.misses['L3']:>11}{result.total_cycles:>11.0f}")
+    print()
+    print("first-touch renumbering recovers much of the gap to the")
+    print("well-ordered matrix — the 'data reordering' fix of Table I.")
+
+
+if __name__ == "__main__":
+    analyze()
+    compare_orderings()

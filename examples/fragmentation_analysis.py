@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Static fragmentation analysis walkthrough (paper Section III).
+
+Reproduces the paper's Fig 2 worked example step by step, showing the
+machinery the tool built: lowering to a register IR, recovering symbolic
+first-location and stride formulas by use-def tracing, grouping related
+references, splitting reuse groups, and computing hot footprints.
+
+Run:  python examples/fragmentation_analysis.py
+"""
+
+from repro.apps.kernels import fig2_fragmentation
+from repro.lang import run_program
+from repro.static import (
+    FragmentationAnalysis, StaticAnalysis, address_slice_of_ref,
+)
+
+
+def main() -> None:
+    prog = fig2_fragmentation(n=100, m=40)
+    stats = run_program(prog)
+    static = StaticAnalysis(prog)
+
+    print("Fig 2 kernel:")
+    print("  DO J = 1, M")
+    print("    DO I = 1, N, 4")
+    print("      A(I+2,J) = A(I,J-1) + B(I+1,J) - B(I+3,J)")
+    print("      A(I+3,J) = A(I+1,J-1) + B(I,J) - B(I+2,J)")
+    print()
+
+    print("-- symbolic formulas recovered from the lowered IR --")
+    for ref in prog.refs[:4]:
+        formula = static.formula(ref.rid)
+        strides = {
+            prog.scope(sid).name: info
+            for sid, info in static.strides(ref.rid).items()
+        }
+        print(f"  {ref.access!r:<16} addr = {formula}")
+        print(f"  {'':<16} strides: {strides}")
+    slice_len = len(address_slice_of_ref(
+        static.ir["main"], prog.refs[0].rid))
+    print(f"  (use-def backward slice of the first reference: "
+          f"{slice_len} IR instructions)")
+    print()
+
+    print("-- related references --")
+    for group in static.related_groups():
+        members = ", ".join(repr(prog.ref(r).access) for r in group.rids)
+        print(f"  {group.object_name}: {members}")
+    print()
+
+    print("-- three-step fragmentation algorithm --")
+    frag = FragmentationAnalysis(static, stats)
+    for info in frag.infos:
+        loop_name = prog.scope(info.loop_sid).name
+        print(f"  array {info.group.object_name}:")
+        print(f"    step 1: loop L = {loop_name}, stride s = {info.stride} B")
+        groups = [[repr(prog.ref(r).access) for r in g]
+                  for g in info.reuse_groups]
+        print(f"    step 2: reuse groups = {groups}")
+        print(f"    step 3: hot footprint c = {info.coverage} B "
+              f"-> f = 1 - c/s = {info.factor:.2f}")
+    print()
+    print("paper: f(A) = 0.5 — split A into two arrays; f(B) = 0 — leave B.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: analyze a loop nest and get transformation advice.
+
+Builds the paper's Fig 1(a) kernel (inner loop running over rows of
+column-major arrays), runs the full analysis pipeline, and prints:
+
+* which scopes carry the cache misses (the tool's central metric),
+* the top reuse patterns, and
+* the recommended transformation (loop interchange, as in the paper).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnalysisSession
+from repro.lang import MemoryLayout, Var, load, loop, program, routine, stmt, store
+
+
+def build_fig1a(n: int = 96, m: int = 96):
+    """DO I / DO J:  A(I,J) = A(I,J) + B(I,J)  — the wrong loop order."""
+    lay = MemoryLayout()
+    a = lay.array("A", n, m)          # column-major doubles, like Fortran
+    b = lay.array("B", n, m)
+    i, j = Var("i"), Var("j")
+    nest = loop(
+        "i", 1, n,
+        loop("j", 1, m,
+             stmt(load(a, i, j), load(b, i, j), store(a, i, j),
+                  ops=1, loc="fig1.f:3"),
+             name="J"),
+        name="I",
+    )
+    return program("fig1a", lay, [routine("main", nest)])
+
+
+def main() -> None:
+    session = AnalysisSession(build_fig1a())
+    session.run()
+
+    print(session.config)
+    print()
+    print(f"predicted misses: "
+          f"{ {k: round(v) for k, v in session.totals().items()} }")
+    print()
+    print(session.render_carried(["L2"], n=4))
+    print(session.render_top_patterns("L2", n=4))
+    print()
+    print(session.render_recommendations("L2", top_n=3))
+    print()
+    print("The tool points at the outer I loop carrying the spatial reuse —")
+    print("interchanging the loops (Fig 1b) moves that reuse inward.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` requires wheel; on fully offline
+machines `python setup.py develop` or the .pth approach in README works.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Application models: the paper's case studies and small demo kernels."""
+
+from repro.apps import gtc, kernels, spcg, sweep3d
+
+__all__ = ["gtc", "kernels", "spcg", "sweep3d"]

@@ -1,0 +1,12 @@
+"""GTC: gyrokinetic particle-in-cell kernel (paper Section V-B)."""
+
+from repro.apps.gtc.common import (
+    GTCArrays, GTCParams, GTCVariant, NPT, VARIANTS, ZION_FIELDS,
+    variant_by_name,
+)
+from repro.apps.gtc.kernel import PUSHI_STRIPE, build_gtc
+
+__all__ = [
+    "GTCArrays", "GTCParams", "GTCVariant", "NPT", "PUSHI_STRIPE",
+    "VARIANTS", "ZION_FIELDS", "build_gtc", "variant_by_name",
+]

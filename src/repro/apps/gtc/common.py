@@ -1,0 +1,203 @@
+"""Shared GTC machinery: parameters, variants, arrays, index tables.
+
+GTC is a particle-in-cell code: per Runge-Kutta half-step it deposits
+particle charge on the grid (``chargei``), solves for the potential
+(``poisson`` + ``spcpft``), smooths it (``smooth``), derives the electric
+field (``field``), and pushes particles (``pushi`` + the C routine
+``gcmotion``).
+
+The particle arrays ``zion``/``zion0`` are 2D Fortran arrays "organized as
+arrays of records with seven data fields for each particle" — the paper's
+main fragmentation finding.  ``particle_array`` is the C-side alias of
+``zion`` used inside ``gcmotion`` (Fig 9 lists it separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import MemoryLayout
+from repro.lang.memory import DataObject
+
+#: The seven per-particle record fields of zion (names from GTC).
+ZION_FIELDS = ("psi", "theta", "zeta", "rho_par", "weight", "utheta", "upsi")
+
+#: Gather/scatter points per particle (real GTC uses a 4-point stencil;
+#: 2 keeps trace sizes tractable and preserves the access pattern).
+NPT = 2
+
+
+@dataclass(frozen=True)
+class GTCParams:
+    """Scaled problem configuration (paper: 64 radial points, 15 p/cell)."""
+
+    mpsi: int = 16        # radial grid surfaces
+    mtheta: int = 24      # poloidal points per surface
+    micell: int = 8       # particles per cell (the Fig 11 x-axis)
+    mzeta: int = 8        # slices of the 3D smoothing array
+    nring: int = 8        # max gather-ring points per grid node (poisson)
+    niter: int = 3        # poisson solver iterations
+    nsmooth: int = 6      # smoothing passes per call
+    timesteps: int = 2
+    seed: int = 20080415
+
+    @property
+    def mgrid(self) -> int:
+        return self.mpsi * self.mtheta
+
+    @property
+    def mi(self) -> int:
+        """Total particles in the local domain."""
+        return self.mgrid * self.micell
+
+    def with_micell(self, micell: int) -> "GTCParams":
+        return replace(self, micell=micell)
+
+
+@dataclass(frozen=True)
+class GTCVariant:
+    """Which cumulative transformations are applied (Fig 11's legend)."""
+
+    name: str
+    zion_soa: bool = False          # +zion transpose (AoS -> SoA)
+    fuse_chargei: bool = False      # +chargei fusion
+    spcpft_unroll: bool = False     # +spcpft unroll & jam
+    poisson_linear: bool = False    # +poisson array linearization
+    smooth_interchange: bool = False  # +smooth loop interchange
+    pushi_tiled: bool = False       # +pushi strip-mine + fusion w/ gcmotion
+
+
+#: The Fig 11 series, cumulative in paper order.
+VARIANTS: Tuple[GTCVariant, ...] = (
+    GTCVariant("gtc_original"),
+    GTCVariant("+zion transpose", zion_soa=True),
+    GTCVariant("+chargei fusion", zion_soa=True, fuse_chargei=True),
+    GTCVariant("+spcpft u&j", zion_soa=True, fuse_chargei=True,
+               spcpft_unroll=True),
+    GTCVariant("+poisson transforms", zion_soa=True, fuse_chargei=True,
+               spcpft_unroll=True, poisson_linear=True),
+    GTCVariant("+smooth LI", zion_soa=True, fuse_chargei=True,
+               spcpft_unroll=True, poisson_linear=True,
+               smooth_interchange=True),
+    GTCVariant("+pushi tiling/fusion", zion_soa=True, fuse_chargei=True,
+               spcpft_unroll=True, poisson_linear=True,
+               smooth_interchange=True, pushi_tiled=True),
+)
+
+
+def variant_by_name(name: str) -> GTCVariant:
+    for variant in VARIANTS:
+        if variant.name == name:
+            return variant
+    raise KeyError(f"unknown GTC variant {name!r}; "
+                   f"expected one of {[v.name for v in VARIANTS]}")
+
+
+class GTCArrays:
+    """All GTC data objects for one parameter/variant combination."""
+
+    def __init__(self, p: GTCParams, variant: GTCVariant) -> None:
+        lay = MemoryLayout()
+        self.layout = lay
+        self.p = p
+        self.variant = variant
+        mi, mgrid = p.mi, p.mgrid
+
+        if variant.zion_soa:
+            # Structure of arrays: one vector per record field.
+            self.zion = {
+                f: lay.array(f"zion_{f}", mi) for f in ZION_FIELDS
+            }
+            self.zion0 = {
+                f: lay.array(f"zion0_{f}", mi) for f in ZION_FIELDS
+            }
+            self.particle_array = None
+        else:
+            # Array of records (the original layout under scrutiny).
+            self.zion = lay.array("zion", mi, fields=ZION_FIELDS)
+            self.zion0 = lay.array("zion0", mi, fields=ZION_FIELDS)
+            # C-side alias: same storage, separate symbol (Fig 9 row 3).
+            alias = DataObject("particle_array", (mi,), fields=ZION_FIELDS)
+            alias.base = self.zion.base
+            self.particle_array = alias
+
+        self.jtion = lay.index_array("jtion", NPT, mi)
+        self.wtion = lay.array("wtion", NPT, mi)
+        self.wpi = lay.array("wpi", 3, mi)
+        self.rho = lay.array("rho", mgrid)
+        self.phi = lay.array("phi", mgrid)
+        self.phitmp = lay.array("phitmp", mgrid)
+        self.evector = lay.array("evector", 3, mgrid)
+        self.phism = lay.array("phism", p.mzeta, p.mpsi, p.mtheta)
+        self.workfft = lay.array("workfft", mgrid)
+        self.nringv = lay.index_array("nringv", mgrid)
+        if variant.poisson_linear:
+            self._fill_ring_values()
+            nnz = int(self.nringv.values.sum())
+            self.istart = lay.index_array("istart", mgrid + 1)
+            self.ring_lin = lay.array("ring_lin", nnz)
+            self.indexp_lin = lay.index_array("indexp_lin", nnz)
+            self._fill_linear_tables()
+            self.ring = None
+            self.indexp = None
+        else:
+            self.ring = lay.array("ring", p.nring, mgrid)
+            self.indexp = lay.index_array("indexp", p.nring, mgrid)
+            self._fill_ring_values()
+            self._fill_indexp()
+        self._fill_jtion()
+
+    # -- index-table precomputation (deterministic) -----------------------
+
+    def _lcg(self, x: int) -> int:
+        return (x * 1103515245 + self.p.seed) & 0x7FFFFFFF
+
+    def _fill_jtion(self) -> None:
+        """Particle -> grid interpolation points: home cell + neighbor.
+
+        Particles start sorted by cell with a small deterministic drift,
+        matching a PIC code a few steps after initialization: gathers are
+        mostly local but not unit-stride (the irregular pattern chargei's
+        scatter exhibits in the paper).
+        """
+        p = self.p
+        values = self.jtion.values
+        for m in range(p.mi):
+            home = m // p.micell
+            drift = self._lcg(m) % 5 - 2     # -2 .. +2 cells
+            cell = (home + drift) % p.mgrid
+            values[NPT * m + 0] = cell + 1
+            values[NPT * m + 1] = (cell + p.mtheta) % p.mgrid + 1
+
+    def _fill_ring_values(self) -> None:
+        p = self.p
+        for ig in range(p.mgrid):
+            self.nringv.values[ig] = 4 + self._lcg(ig) % (p.nring - 3)
+
+    def _ring_offsets(self) -> Tuple[int, ...]:
+        return (1, -1, self.p.mtheta, -self.p.mtheta)
+
+    def _fill_indexp(self) -> None:
+        p = self.p
+        offsets = self._ring_offsets()
+        values = self.indexp.values
+        for ig in range(p.mgrid):
+            for r in range(p.nring):
+                neighbor = (ig + offsets[r % len(offsets)]
+                            * (1 + r // len(offsets)))
+                values[r + ig * p.nring] = neighbor % p.mgrid + 1
+
+    def _fill_linear_tables(self) -> None:
+        p = self.p
+        offsets = self._ring_offsets()
+        cursor = 0
+        for ig in range(p.mgrid):
+            self.istart.values[ig] = cursor + 1
+            count = int(self.nringv.values[ig])
+            for r in range(count):
+                neighbor = (ig + offsets[r % len(offsets)]
+                            * (1 + r // len(offsets)))
+                self.indexp_lin.values[cursor] = neighbor % p.mgrid + 1
+                cursor += 1
+        self.istart.values[p.mgrid] = cursor + 1

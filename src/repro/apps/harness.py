@@ -1,0 +1,114 @@
+"""Measurement harness: run a kernel variant, collect misses and cycles.
+
+This layer plays the role of the paper's *hardware counters* runs (Figs 8
+and 11 are measured, not predicted): the variant executes against the
+ground-truth :class:`~repro.sim.HierarchySim` and the analytic timing model
+charges cycles, including the instruction-cache overflow term that
+reproduces GTC's pushi anomaly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.lang.ast import Call, Loop, Program, ScalarAssign, Stmt
+from repro.lang.executor import Executor, RunStats
+from repro.model.config import MachineConfig
+from repro.sim.hierarchy import HierarchySim
+from repro.sim.timing import TimingBreakdown, TimingInputs, TimingModel
+
+#: Static-code expansion factor: scheduled/unrolled IA-64 object code is
+#: several times larger than the statement count suggests.
+CODE_EXPANSION = 8
+
+
+@dataclass
+class RunResult:
+    """Everything one measured run produces."""
+
+    name: str
+    stats: RunStats
+    misses: Dict[str, int]
+    cycles: TimingBreakdown
+    config: MachineConfig
+
+    @property
+    def total_cycles(self) -> float:
+        return self.cycles.total
+
+    def misses_per(self, unit: float) -> Dict[str, float]:
+        return {k: v / unit for k, v in self.misses.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.misses.items())
+        return f"RunResult({self.name!r}, {inner}, cycles={self.total_cycles:.0f})"
+
+
+def static_instructions(program: Program,
+                        routines: Iterable[str]) -> int:
+    """Static instruction count of the given routines' bodies.
+
+    Used to estimate the fused-loop instruction footprint for the I-cache
+    overflow model.
+    """
+    total = 0
+
+    def walk(body) -> int:
+        count = 0
+        for node in body:
+            if isinstance(node, Stmt):
+                count += len(node.plan) + node.ops
+            elif isinstance(node, ScalarAssign):
+                count += len(node.plan) + 1
+            elif isinstance(node, Loop):
+                count += 2 + walk(node.body)   # bound checks + body
+            elif isinstance(node, Call):
+                count += 1
+        return count
+
+    for name in routines:
+        total += walk(program.routines[name].body)
+    return total
+
+
+def dynamic_instructions(stats: RunStats, program: Program,
+                         routines: Iterable[str]) -> int:
+    """Dynamic instructions executed inside the given routines."""
+    wanted = set(routines)
+    total = 0
+    for sid, insts in stats.scope_insts.items():
+        if program.scope(sid).routine in wanted:
+            total += insts
+    return total
+
+
+def measure(program: Program, config: Optional[MachineConfig] = None,
+            name: Optional[str] = None,
+            schedule_factor: float = 1.0,
+            fused_routines: Tuple[str, ...] = (),
+            **params: int) -> RunResult:
+    """Execute ``program`` under simulation and charge cycles.
+
+    ``fused_routines`` marks routines whose bodies were fused into one big
+    loop (GTC's tiled pushi + gcmotion): their static footprint feeds the
+    I-cache overflow term and their dynamic instructions pay it.
+    """
+    config = config or MachineConfig.scaled_itanium2()
+    sim = HierarchySim(config)
+    executor = Executor(program, sim)
+    stats = executor.run(**params)
+    inputs = TimingInputs(
+        instructions=stats.instructions,
+        misses=sim.totals(),
+        schedule_factor=schedule_factor,
+    )
+    if fused_routines:
+        inputs.loop_body_instructions = (
+            static_instructions(program, fused_routines) * CODE_EXPANSION
+        )
+        inputs.insts_in_big_loop = dynamic_instructions(
+            stats, program, fused_routines)
+    cycles = TimingModel(config).cycles(inputs)
+    return RunResult(name or program.name, stats, sim.totals(), cycles,
+                     config)

@@ -1,0 +1,171 @@
+"""Small illustrative kernels: the paper's Figs 1 and 2, plus classics.
+
+These serve three purposes: unit-test fixtures with hand-checkable answers,
+quickstart examples, and micro-benchmarks for the ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import (
+    MemoryLayout, Program, Var, idx, load, loop, program, routine, stmt,
+    store,
+)
+
+
+def fig1_interchange(n: int = 64, m: int = 64,
+                     interchanged: bool = False) -> Program:
+    """The paper's Fig 1: ``A(I,J) = A(I,J) + B(I,J)``.
+
+    ``interchanged=False`` is Fig 1(a): the inner loop runs over rows of the
+    column-major arrays, so spatial reuse is carried by the *outer* loop.
+    ``interchanged=True`` is Fig 1(b) with the loops swapped.
+    """
+    lay = MemoryLayout()
+    a = lay.array("A", n, m)
+    b = lay.array("B", n, m)
+    i, j = Var("i"), Var("j")
+    body = stmt(load(a, i, j), load(b, i, j), store(a, i, j),
+                ops=1, loc="fig1.f:3")
+    if interchanged:
+        nest = loop("j", 1, m, loop("i", 1, n, body, name="I"), name="J")
+    else:
+        nest = loop("i", 1, n, loop("j", 1, m, body, name="J"), name="I")
+    name = "fig1b" if interchanged else "fig1a"
+    return program(name, lay, [routine("main", nest)])
+
+
+def fig2_fragmentation(n: int = 100, m: int = 40) -> Program:
+    """The paper's Fig 2: stride-4 references with fragmentation 0.5 on A.
+
+    ::
+
+        DO J = 1, M
+          DO I = 1, N, 4
+            A(I+2,J) = A(I,J-1) + B(I+1,J) - B(I+3,J)
+            A(I+3,J) = A(I+1,J-1) + B(I,J) - B(I+2,J)
+    """
+    lay = MemoryLayout()
+    # Extents padded so I+3 and J-1 stay in bounds at the loop limits.
+    a = lay.array("A", n + 4, m + 1)
+    b = lay.array("B", n + 4, m + 1)
+    i, j = Var("i"), Var("j")
+    nest = loop(
+        "j", 1, m,
+        loop(
+            "i", 1, n,
+            stmt(load(a, i, j - 1), load(b, i + 1, j), load(b, i + 3, j),
+                 store(a, i + 2, j), ops=3, loc="fig2.f:3"),
+            stmt(load(a, i + 1, j - 1), load(b, i, j), load(b, i + 2, j),
+                 store(a, i + 3, j), ops=3, loc="fig2.f:4"),
+            step=4, name="I",
+        ),
+        name="J",
+    )
+    return program("fig2", lay, [routine("main", nest)])
+
+
+def stream_triad(n: int = 4096, timesteps: int = 2) -> Program:
+    """STREAM triad ``A = B + s*C`` repeated over time steps.
+
+    All reuse is carried by the time loop at distance ~ 3n/8 lines — the
+    classic "hard or impossible" pattern of Table I's last row.
+    """
+    lay = MemoryLayout()
+    a = lay.array("A", n)
+    b = lay.array("B", n)
+    c = lay.array("C", n)
+    i = Var("i")
+    nest = loop(
+        "t", 1, timesteps,
+        loop("i", 1, n,
+             stmt(load(b, i), load(c, i), store(a, i), ops=2,
+                  loc="triad.f:2"),
+             name="I"),
+        name="TIME", time_loop=True,
+    )
+    return program("triad", lay, [routine("main", nest)])
+
+
+def stencil5(n: int = 96, timesteps: int = 2) -> Program:
+    """Jacobi 5-point stencil with separate in/out grids."""
+    lay = MemoryLayout()
+    u = lay.array("U", n, n)
+    v = lay.array("V", n, n)
+    i, j = Var("i"), Var("j")
+    i2, j2 = Var("i2"), Var("j2")
+    update = stmt(
+        load(u, i, j), load(u, i - 1, j), load(u, i + 1, j),
+        load(u, i, j - 1), load(u, i, j + 1), store(v, i, j),
+        ops=5, loc="stencil.f:4",
+    )
+    # The copy loop reuses data the update loop produced — a fusion
+    # candidate the recommendation engine should spot.
+    copy = stmt(load(v, i2, j2), store(u, i2, j2), ops=0, loc="stencil.f:8")
+    nest = loop(
+        "t", 1, timesteps,
+        loop("j", 2, n - 1, loop("i", 2, n - 1, update, name="I"), name="J"),
+        loop("j2", 2, n - 1, loop("i2", 2, n - 1, copy, name="I2"),
+             name="J2"),
+        name="TIME", time_loop=True,
+    )
+    return program("stencil5", lay, [routine("main", nest)])
+
+
+def irregular_gather(n_data: int = 4096, n_index: int = 8192,
+                     seed: int = 12345) -> Program:
+    """Indirect gather ``s += X(perm(i))``: Table I's reordering row.
+
+    The permutation is a deterministic LCG shuffle, so runs reproduce.
+    """
+    lay = MemoryLayout()
+    perm = lay.index_array("perm", n_index)
+    x = lay.array("X", n_data)
+    acc = lay.array("S", 1)
+    state = seed
+    for k in range(n_index):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        perm.values[k] = 1 + state % n_data
+    i = Var("i")
+    nest = loop(
+        "r", 1, 2,
+        loop("i", 1, n_index,
+             stmt(load(x, idx(perm, i)), store(acc, 1), ops=1,
+                  loc="gather.f:2"),
+             name="I"),
+        name="REPEAT",
+    )
+    return program("gather", lay, [routine("main", nest)])
+
+
+def blocked_matmul(n: int = 48, block: Optional[int] = None) -> Program:
+    """Matrix multiply, optionally blocked: the classic blocking payoff."""
+    lay = MemoryLayout()
+    a = lay.array("A", n, n)
+    b = lay.array("B", n, n)
+    c = lay.array("C", n, n)
+    i, j, k = Var("i"), Var("j"), Var("k")
+    body = stmt(load(a, i, k), load(b, k, j), load(c, i, j), store(c, i, j),
+                ops=2, loc="mm.f:5")
+    if block is None:
+        nest = loop("j", 1, n,
+                    loop("k", 1, n,
+                         loop("i", 1, n, body, name="I"), name="K"),
+                    name="J")
+        return program("matmul", lay, [routine("main", nest)])
+    from repro.lang import Min
+    jj, kk = Var("jj"), Var("kk")
+    nest = loop(
+        "jj", 1, n,
+        loop(
+            "kk", 1, n,
+            loop("j", jj, Min(jj + block - 1, n),
+                 loop("k", kk, Min(kk + block - 1, n),
+                      loop("i", 1, n, body, name="I"), name="K"),
+                 name="J"),
+            step=block, name="KK",
+        ),
+        step=block, name="JJ",
+    )
+    return program("matmul_blocked", lay, [routine("main", nest)])

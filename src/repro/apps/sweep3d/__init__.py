@@ -1,0 +1,16 @@
+"""Sweep3D: wavefront neutron-transport kernel (paper Section V-A)."""
+
+from repro.apps.sweep3d.common import (
+    OCTANT_DIRS, SweepArrays, SweepParams, build_diag2_tables,
+    build_diag3_tables, build_diag3_tile_tables,
+)
+from repro.apps.sweep3d.kernel import (
+    VARIANTS, build_blocked, build_dingzhong, build_original, build_variant,
+)
+
+__all__ = [
+    "OCTANT_DIRS", "SweepArrays", "SweepParams", "VARIANTS",
+    "build_blocked", "build_diag2_tables", "build_diag3_tables",
+    "build_diag3_tile_tables", "build_dingzhong", "build_original",
+    "build_variant",
+]

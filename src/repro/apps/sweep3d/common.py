@@ -1,0 +1,227 @@
+"""Shared Sweep3D machinery: parameters, arrays, diagonal index tables.
+
+Sweep3D performs wavefront sweeps over a 3D Cartesian mesh.  On one node,
+the ``idiag`` loop walks diagonal planes of the local mesh and the ``jkm``
+loop processes the cells of one plane; each cell is an i-line identified by
+``(j, k, mi)`` where ``mi`` is the *angle*, not a mesh coordinate (Fig 4).
+References to ``src``/``flux``/``face`` are not indexed by ``mi`` — which is
+exactly the reuse the paper's transformation exploits.
+
+The diagonal traversal is data-driven in the real code; we reproduce that
+with integer index tables (``diag_j/k/mi`` + per-diagonal start offsets), so
+the ``jkm`` loop's subscripts are *indirect* — matching the irregular access
+the paper reports for the jkm scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.lang import MemoryLayout
+
+#: (j direction, k direction) per octant; mirrors repeat the full sweep
+#: from the opposite corners like the paper's 8-octant iq loop.
+OCTANT_DIRS: Tuple[Tuple[int, int], ...] = (
+    (1, 1), (-1, -1), (-1, 1), (1, -1),
+    (1, 1), (-1, -1), (-1, 1), (1, -1),
+)
+
+
+@dataclass(frozen=True)
+class SweepParams:
+    """Scaled problem configuration (paper: 50^3 mesh, 6 angles, 6 steps)."""
+
+    n: int = 12          # cubic mesh extent (it = jt = kt = n)
+    mm: int = 6          # discrete angles per octant (mi dimension)
+    nm: int = 3          # flux moments
+    noct: int = 2        # octants swept per time step (paper: 8)
+    kb: int = 1          # k-plane pipelining blocks (Fig 3's kk loop)
+    timesteps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.noct > len(OCTANT_DIRS):
+            raise ValueError(f"at most {len(OCTANT_DIRS)} octants supported")
+        if self.n % self.kb:
+            raise ValueError(f"kb={self.kb} must divide the mesh extent "
+                             f"{self.n}")
+
+    @property
+    def cells(self) -> int:
+        """Mesh cells, the Fig 8 normalization unit."""
+        return self.n ** 3
+
+    @property
+    def nk(self) -> int:
+        """k-planes per pipelining block."""
+        return self.n // self.kb
+
+    @property
+    def ndiag3(self) -> int:
+        """3D (j,k,mi) diagonal planes per (octant, k-block):
+        jt + nk - 1 + mmi - 1, as in Fig 3's idiag bound."""
+        return self.n + self.nk + self.mm - 2
+
+    @property
+    def ndiag2(self) -> int:
+        """Number of 2D (j,k) diagonals per octant (blocked variant)."""
+        return 2 * self.n - 1
+
+
+class SweepArrays:
+    """All Sweep3D data objects, placed in one layout.
+
+    ``dim_ic=True`` applies the paper's dimension interchange: the moment
+    dimension of ``src``/``flux`` moves from last to second position.
+    """
+
+    def __init__(self, p: SweepParams, dim_ic: bool = False) -> None:
+        lay = MemoryLayout()
+        self.layout = lay
+        self.dim_ic = dim_ic
+        n, mm, nm = p.n, p.mm, p.nm
+        if dim_ic:
+            self.src = lay.array("src", n, nm, n, n)
+            self.flux = lay.array("flux", n, nm, n, n)
+        else:
+            self.src = lay.array("src", n, n, n, nm)
+            self.flux = lay.array("flux", n, n, n, nm)
+        self.sigt = lay.array("sigt", n, n, n)
+        self.face = lay.array("face", n + 1, n, n, 2)
+        self.phi = lay.array("phi", n)
+        self.phijb = lay.array("phijb", n, n, mm)
+        self.phikb = lay.array("phikb", n, n, mm)
+        self.pn = lay.array("pn", mm, nm, len(OCTANT_DIRS))
+        self.w = lay.array("w", mm)
+        # Diagonal index tables (built by the variant constructors).
+        self.diag_j = None
+        self.diag_k = None
+        self.diag_mi = None
+        self.dstart = None
+
+
+def octant_coords(p: SweepParams, iq: int, j_sweep: int,
+                  k_sweep: int) -> Tuple[int, int]:
+    """Map sweep-order coordinates to mesh coordinates for octant ``iq``."""
+    jdir, kdir = OCTANT_DIRS[iq - 1]
+    j = j_sweep if jdir > 0 else p.n + 1 - j_sweep
+    k = k_sweep if kdir > 0 else p.n + 1 - k_sweep
+    return j, k
+
+
+def build_diag3_tables(arrays: SweepArrays, p: SweepParams) -> None:
+    """Index tables for the original 3D (j,k,mi) diagonal sweep.
+
+    ``diag_j/k/mi`` are flat lists of cells in sweep order, per
+    (octant, k-block); ``dstart(d, kk, iq)`` is the 1-based index of
+    diagonal ``d``'s first cell within k-block ``kk`` of octant ``iq``.
+    With ``kb > 1`` the sweep is pipelined over k-plane blocks exactly as
+    in Fig 3 (recv / idiag / send per block).
+    """
+    lay = arrays.layout
+    ncells = p.n * p.n * p.mm
+    diag_j = lay.index_array("diag_j", ncells * p.noct)
+    diag_k = lay.index_array("diag_k", ncells * p.noct)
+    diag_mi = lay.index_array("diag_mi", ncells * p.noct)
+    dstart = lay.index_array("dstart", p.ndiag3 + 1, p.kb, p.noct)
+    cursor = 0
+    stride_kk = p.ndiag3 + 1
+    stride_iq = (p.ndiag3 + 1) * p.kb
+    for iq in range(1, p.noct + 1):
+        for kk in range(1, p.kb + 1):
+            k_base = (kk - 1) * p.nk
+            base = (kk - 1) * stride_kk + (iq - 1) * stride_iq
+            for d in range(1, p.ndiag3 + 1):
+                dstart.values[(d - 1) + base] = cursor + 1
+                for mi in range(1, p.mm + 1):
+                    for k_local in range(1, p.nk + 1):
+                        j_sweep = d - (k_local - 1) - (mi - 1)
+                        if not 1 <= j_sweep <= p.n:
+                            continue
+                        j, k = octant_coords(p, iq, j_sweep,
+                                             k_base + k_local)
+                        diag_j.values[cursor] = j
+                        diag_k.values[cursor] = k
+                        diag_mi.values[cursor] = mi
+                        cursor += 1
+            dstart.values[p.ndiag3 + base] = cursor + 1
+    arrays.diag_j, arrays.diag_k = diag_j, diag_k
+    arrays.diag_mi, arrays.dstart = diag_mi, dstart
+
+
+def build_diag3_tile_tables(arrays: SweepArrays, p: SweepParams,
+                            tiles_per_dim: int = 2) -> int:
+    """Index tables for the Ding & Zhong-style octant-interleaved sweep.
+
+    The (j,k) plane is split into ``tiles_per_dim``² fixed tiles; within a
+    tile, all octants sweep their 3D diagonals before moving on.  This
+    shortens the iq-carried reuse distance to one tile's sweep footprint —
+    the paper's Section VI reading of Ding & Zhong's transformation, which
+    buys large speedups while the tile footprint fits in cache and tails
+    off beyond (at the price of the wavefront's parallelism).
+
+    Returns the number of tiles.  ``dstart`` is indexed
+    ``(diagonal, octant, tile)``.
+    """
+    if p.n % tiles_per_dim:
+        raise ValueError(f"mesh {p.n} not divisible into {tiles_per_dim} tiles")
+    lay = arrays.layout
+    tile_n = p.n // tiles_per_dim
+    ntiles = tiles_per_dim * tiles_per_dim
+    ndiag = 2 * tile_n + p.mm - 2
+    ncells_total = p.n * p.n * p.mm * p.noct
+    diag_j = lay.index_array("diag_j", ncells_total)
+    diag_k = lay.index_array("diag_k", ncells_total)
+    diag_mi = lay.index_array("diag_mi", ncells_total)
+    dstart = lay.index_array("dstart", ndiag + 1, p.noct, ntiles)
+    cursor = 0
+    stride_iq = ndiag + 1
+    stride_tile = (ndiag + 1) * p.noct
+    for tile in range(ntiles):
+        tj = (tile % tiles_per_dim) * tile_n
+        tk = (tile // tiles_per_dim) * tile_n
+        for iq in range(1, p.noct + 1):
+            base = (iq - 1) * stride_iq + tile * stride_tile
+            for d in range(1, ndiag + 1):
+                dstart.values[(d - 1) + base] = cursor + 1
+                for mi in range(1, p.mm + 1):
+                    for k_sweep in range(1, tile_n + 1):
+                        j_sweep = d - (k_sweep - 1) - (mi - 1)
+                        if not 1 <= j_sweep <= tile_n:
+                            continue
+                        jdir, kdir = OCTANT_DIRS[iq - 1]
+                        j_local = (j_sweep if jdir > 0
+                                   else tile_n + 1 - j_sweep)
+                        k_local = (k_sweep if kdir > 0
+                                   else tile_n + 1 - k_sweep)
+                        diag_j.values[cursor] = tj + j_local
+                        diag_k.values[cursor] = tk + k_local
+                        diag_mi.values[cursor] = mi
+                        cursor += 1
+            dstart.values[ndiag + base] = cursor + 1
+    arrays.diag_j, arrays.diag_k = diag_j, diag_k
+    arrays.diag_mi, arrays.dstart = diag_mi, dstart
+    return ntiles
+
+
+def build_diag2_tables(arrays: SweepArrays, p: SweepParams) -> None:
+    """Index tables for the mi-blocked 2D (j,k) diagonal sweep (Fig 7)."""
+    lay = arrays.layout
+    ncells = p.n * p.n
+    diag_j = lay.index_array("diag_j", ncells * p.noct)
+    diag_k = lay.index_array("diag_k", ncells * p.noct)
+    dstart = lay.index_array("dstart", p.ndiag2 + 1, p.noct)
+    cursor = 0
+    for iq in range(1, p.noct + 1):
+        for d in range(1, p.ndiag2 + 1):
+            dstart.values[(d - 1) + (iq - 1) * (p.ndiag2 + 1)] = cursor + 1
+            for k_sweep in range(1, p.n + 1):
+                j_sweep = d - (k_sweep - 1)
+                if not 1 <= j_sweep <= p.n:
+                    continue
+                j, k = octant_coords(p, iq, j_sweep, k_sweep)
+                diag_j.values[cursor] = j
+                diag_k.values[cursor] = k
+                cursor += 1
+        dstart.values[p.ndiag2 + (iq - 1) * (p.ndiag2 + 1)] = cursor + 1
+    arrays.diag_j, arrays.diag_k, arrays.dstart = diag_j, diag_k, dstart

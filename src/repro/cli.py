@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``analyze <workload>``
+    Run the full toolkit on a named workload and print the paper-style
+    reports (carried misses, Table II breakdown, fragmentation,
+    recommendations).  Optionally export XML with ``--xml PATH``.
+``measure <app>``
+    Measure every variant of an application under the simulator + timing
+    model (the Fig 8 / Fig 11 harness).
+``list``
+    Show the available workloads and variants.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro analyze sweep3d --mesh 8
+    python -m repro analyze gtc --micell 4 --xml gtc.xml
+    python -m repro analyze fig1
+    python -m repro measure sweep3d --mesh 8
+    python -m repro measure gtc --micell 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.apps.gtc import GTCParams, VARIANTS as GTC_VARIANTS, build_gtc
+from repro.apps.harness import measure
+from repro.apps.kernels import (
+    fig1_interchange, fig2_fragmentation, irregular_gather, stream_triad,
+)
+from repro.apps.sweep3d import (
+    SweepParams, VARIANTS as SWEEP_VARIANTS, build_original, build_variant,
+)
+from repro.tools import AnalysisSession
+
+WORKLOADS: Dict[str, str] = {
+    "fig1": "the paper's Fig 1(a) interchange example",
+    "fig2": "the paper's Fig 2 fragmentation example",
+    "triad": "STREAM triad over time steps",
+    "gather": "irregular indirect gather",
+    "cg": "sparse CG solver on a badly-ordered CSR matrix",
+    "sweep3d": "Sweep3D wavefront kernel (original)",
+    "gtc": "GTC particle-in-cell kernel (original)",
+}
+
+
+def _build(name: str, args) -> "Program":
+    if name == "fig1":
+        return fig1_interchange(96, 96)
+    if name == "fig2":
+        return fig2_fragmentation(128, 64)
+    if name == "triad":
+        return stream_triad(4096, 2)
+    if name == "gather":
+        return irregular_gather(2048, 8192)
+    if name == "cg":
+        from repro.apps.spcg import build_cg
+        return build_cg(grid=24, ordering="shuffled")
+    if name == "sweep3d":
+        return build_original(SweepParams(n=args.mesh))
+    if name == "gtc":
+        return build_gtc(None, GTCParams(micell=args.micell))
+    raise SystemExit(f"unknown workload {name!r}; see `python -m repro list`")
+
+
+def cmd_list(_args) -> int:
+    print("workloads (analyze):")
+    for name, desc in WORKLOADS.items():
+        print(f"  {name:<10} {desc}")
+    print()
+    print("apps (measure) and their variants:")
+    print(f"  sweep3d    {', '.join(SWEEP_VARIANTS)}")
+    print(f"  gtc        {', '.join(v.name for v in GTC_VARIANTS)}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    program = _build(args.workload, args)
+    session = AnalysisSession(program)
+    print(f"running {program.name} under instrumentation ...",
+          file=sys.stderr)
+    session.run()
+    print(session.config)
+    print()
+    totals = {k: round(v) for k, v in session.totals().items()}
+    print(f"predicted misses: {totals}")
+    print()
+    print(session.render_carried(n=6))
+    print(session.render_table2(args.level, top_scopes=5))
+    print()
+    print(session.render_fragmentation(args.level, n=6))
+    print()
+    print(session.viewer.render_arrays(n=8))
+    print()
+    print(session.render_recommendations(args.level, top_n=6))
+    if args.xml:
+        session.export_xml(args.xml)
+        print(f"\nXML database written to {args.xml}")
+    if args.html:
+        session.export_html(args.html)
+        print(f"HTML report written to {args.html}")
+    return 0
+
+
+def cmd_measure(args) -> int:
+    rows = []
+    if args.app == "sweep3d":
+        params = SweepParams(n=args.mesh)
+        unit = params.cells * params.timesteps
+        unit_name = "cell"
+        for name in SWEEP_VARIANTS:
+            rows.append((name, measure(build_variant(name, params),
+                                       name=name)))
+    elif args.app == "gtc":
+        params = GTCParams(micell=args.micell)
+        unit = params.micell * params.timesteps
+        unit_name = "micell"
+        for variant in GTC_VARIANTS:
+            fused = ("pushi", "gcmotion") if variant.pushi_tiled else ()
+            rows.append((variant.name,
+                         measure(build_gtc(variant, params),
+                                 name=variant.name, fused_routines=fused)))
+    else:
+        raise SystemExit(f"unknown app {args.app!r}; use sweep3d or gtc")
+    print(f"{'variant':<24}{'L2/' + unit_name:>10}{'L3/' + unit_name:>10}"
+          f"{'TLB/' + unit_name:>11}{'cycles/' + unit_name:>14}")
+    print("-" * 69)
+    for name, result in rows:
+        print(f"{name:<24}"
+              f"{result.misses['L2'] / unit:>10.1f}"
+              f"{result.misses['L3'] / unit:>10.1f}"
+              f"{result.misses['TLB'] / unit:>11.1f}"
+              f"{result.total_cycles / unit:>14.1f}")
+    first, last = rows[0][1], rows[-1][1]
+    print("-" * 69)
+    print(f"speedup {rows[0][0]} -> {rows[-1][0]}: "
+          f"{first.total_cycles / last.total_cycles:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reuse-distance locality analysis toolkit "
+                    "(Marin & Mellor-Crummey, ISPASS 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and variants")
+
+    analyze = sub.add_parser("analyze", help="run the analysis toolkit")
+    analyze.add_argument("workload", choices=sorted(WORKLOADS))
+    analyze.add_argument("--mesh", type=int, default=8,
+                         help="Sweep3D cubic mesh extent")
+    analyze.add_argument("--micell", type=int, default=6,
+                         help="GTC particles per cell")
+    analyze.add_argument("--level", default="L2",
+                         choices=("L2", "L3", "TLB"),
+                         help="level for the detailed reports")
+    analyze.add_argument("--xml", metavar="PATH",
+                         help="also export the XML database")
+    analyze.add_argument("--html", metavar="PATH",
+                         help="also write a self-contained HTML report")
+
+    meas = sub.add_parser("measure", help="measure app variants (Fig 8/11)")
+    meas.add_argument("app", choices=("sweep3d", "gtc"))
+    meas.add_argument("--mesh", type=int, default=8)
+    meas.add_argument("--micell", type=int, default=6)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers: Dict[str, Callable] = {
+        "list": cmd_list, "analyze": cmd_analyze, "measure": cmd_measure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

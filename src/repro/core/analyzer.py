@@ -1,0 +1,246 @@
+"""The online reuse-pattern analyzer: the paper's primary contribution.
+
+:class:`ReuseAnalyzer` is an event handler (see :mod:`repro.lang.events`)
+that, per memory access and per block granularity:
+
+1. advances the logical access clock;
+2. looks the block up in the block table to find its previous access
+   (time, reference, scope);
+3. queries the distance engine for the number of distinct blocks touched
+   since then (the reuse distance);
+4. finds the carrying scope by searching the dynamic scope stack for the
+   most recent scope entered before the previous access;
+5. increments the histogram of the reuse pattern
+   ``(destination reference, source scope, carrying scope)``.
+
+Multiple granularities run simultaneously off the same clock and scope
+stack: cache levels share the line granularity, the TLB uses the page
+granularity (reuse distance in distinct pages).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.blocktable import FlatBlockTable, HierarchicalBlockTable
+from repro.core.fenwick import FenwickEngine
+from repro.core.patterns import PatternDB
+from repro.core.scopestack import ScopeStack
+from repro.core.treap import TreapEngine
+
+#: Exact-bin limit, mirrored from repro.core.histogram for the inlined
+#: binning in the hot loop.
+_EXACT_LIMIT = 256
+_EXACT_BITS = 8
+_SUBBINS = 4
+
+
+class GranularityState:
+    """Per-block-size analysis state."""
+
+    __slots__ = ("name", "block_bits", "table", "engine", "db")
+
+    def __init__(self, name: str, block_bits: int, table, engine) -> None:
+        self.name = name
+        self.block_bits = block_bits
+        self.table = table
+        self.engine = engine
+        self.db = PatternDB()
+
+    @property
+    def block_size(self) -> int:
+        return 1 << self.block_bits
+
+
+class ReuseAnalyzer:
+    """Online reuse-distance analysis at one or more block granularities.
+
+    Parameters
+    ----------
+    granularities:
+        Mapping of granularity name to block size in bytes (must be powers
+        of two), e.g. ``{"line": 64, "page": 512}``.
+    engine:
+        ``"fenwick"`` (default, fast) or ``"treap"`` (the paper's balanced
+        tree).  Both produce identical distances.
+    table:
+        ``"flat"`` (default, dict) or ``"hierarchical"`` (the paper's
+        three-level block table).  Both produce identical results.
+    """
+
+    def __init__(
+        self,
+        granularities: Optional[Dict[str, int]] = None,
+        engine: str = "fenwick",
+        table: str = "flat",
+    ) -> None:
+        if granularities is None:
+            granularities = {"line": 64, "page": 512}
+        self.stack = ScopeStack()
+        self.clock = 0
+        self.grans: List[GranularityState] = []
+        for name, size in granularities.items():
+            if size & (size - 1):
+                raise ValueError(f"block size must be a power of two: {size}")
+            tbl = FlatBlockTable() if table == "flat" else HierarchicalBlockTable()
+            eng = FenwickEngine() if engine == "fenwick" else TreapEngine()
+            if engine not in ("fenwick", "treap"):
+                raise ValueError(f"unknown engine {engine!r}")
+            if table not in ("flat", "hierarchical"):
+                raise ValueError(f"unknown table {table!r}")
+            self.grans.append(
+                GranularityState(name, size.bit_length() - 1, tbl, eng)
+            )
+        # Hot-loop bindings: one tuple per granularity.
+        self._hot: List[Tuple] = []
+        for g in self.grans:
+            if isinstance(g.table, FlatBlockTable):
+                tget, tset = g.table.raw.get, g.table.raw.__setitem__
+            else:
+                tget, tset = g.table.get, g.table.set
+            self._hot.append(
+                (g.block_bits, tget, tset, g.engine.first, g.engine.reuse,
+                 g.db.raw, g.db.cold)
+            )
+        # Specialized closure hot path (fenwick + flat only): inlines the
+        # Fenwick traversals and histogram binning, ~2x faster in CPython.
+        if (engine == "fenwick" and table == "flat"
+                and len(self.grans) in (1, 2)):
+            self.access = _specialized_access(self)
+
+    # -- event handler protocol -------------------------------------------
+
+    def enter_scope(self, sid: int) -> None:
+        stack = self.stack
+        stack._sids.append(sid)
+        stack._clocks.append(self.clock)
+
+    def exit_scope(self, sid: int) -> None:
+        stack = self.stack
+        stack._sids.pop()
+        stack._clocks.pop()
+
+    def access(self, rid: int, addr: int, is_store: bool) -> None:
+        clock = self.clock + 1
+        self.clock = clock
+        stack_sids = self.stack._sids
+        stack_clocks = self.stack._clocks
+        cur_sid = stack_sids[-1] if stack_sids else -1
+        for (shift, tget, tset, efirst, ereuse, raw, cold) in self._hot:
+            block = addr >> shift
+            prev = tget(block)
+            if prev is None:
+                efirst(clock)
+                cold[rid] = cold.get(rid, 0) + 1
+            else:
+                t_prev = prev[0]
+                d = ereuse(t_prev, clock)
+                pos = bisect_left(stack_clocks, t_prev)
+                carry = stack_sids[pos - 1] if pos else (
+                    stack_sids[0] if stack_sids else -1)
+                key = (rid, prev[2], carry)
+                bins = raw.get(key)
+                if bins is None:
+                    bins = {}
+                    raw[key] = bins
+                if d < _EXACT_LIMIT:
+                    b = d
+                else:
+                    hb = d.bit_length() - 1
+                    b = _EXACT_LIMIT + (hb - _EXACT_BITS) * _SUBBINS + (
+                        (d >> (hb - 2)) & 3)
+                bins[b] = bins.get(b, 0) + 1
+            tset(block, (clock, rid, cur_sid))
+
+    # -- results -------------------------------------------------------------
+
+    def granularity(self, name: str) -> GranularityState:
+        for g in self.grans:
+            if g.name == name:
+                return g
+        raise KeyError(name)
+
+    def db(self, name: str) -> PatternDB:
+        return self.granularity(name).db
+
+    def distinct_blocks(self, name: str) -> int:
+        """Footprint: number of distinct blocks touched at granularity."""
+        return len(self.granularity(name).table)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{g.name}:{g.block_size}B×{len(g.table)}" for g in self.grans
+        )
+        return f"ReuseAnalyzer(clock={self.clock}, {parts})"
+
+
+def _specialized_access(analyzer: "ReuseAnalyzer"):
+    """Build a closure-based access handler with the Fenwick ops inlined.
+
+    Semantically identical to :meth:`ReuseAnalyzer.access` (the test suite
+    cross-checks them); exists purely because attribute lookups and function
+    calls dominate the generic path's cost in CPython.
+    """
+    stack_sids = analyzer.stack._sids
+    stack_clocks = analyzer.stack._clocks
+    grans = []
+    for g in analyzer.grans:
+        eng = g.engine
+        grans.append((
+            g.block_bits, g.table.raw, eng, eng._tree, g.db.raw, g.db.cold,
+        ))
+    state = analyzer  # clock lives on the analyzer (shared with scope events)
+
+    def access(rid: int, addr: int, is_store: bool,
+               _grans=tuple(grans), _bisect=bisect_left) -> None:
+        clock = state.clock + 1
+        state.clock = clock
+        cur_sid = stack_sids[-1] if stack_sids else -1
+        for shift, table, eng, tree, raw, cold in _grans:
+            if clock > eng._cap:
+                eng._grow(clock)
+            block = addr >> shift
+            prev = table.get(block)
+            if prev is None:
+                cap = eng._cap
+                i = clock
+                while i <= cap:
+                    tree[i] += 1
+                    i += i & (-i)
+                eng._active += 1
+                cold[rid] = cold.get(rid, 0) + 1
+            else:
+                t_prev = prev[0]
+                cap = eng._cap
+                i = t_prev
+                while i <= cap:
+                    tree[i] -= 1
+                    i += i & (-i)
+                prefix = 0
+                i = t_prev
+                while i > 0:
+                    prefix += tree[i]
+                    i -= i & (-i)
+                d = (eng._active - 1) - prefix
+                i = clock
+                while i <= cap:
+                    tree[i] += 1
+                    i += i & (-i)
+                pos = _bisect(stack_clocks, t_prev)
+                carry = stack_sids[pos - 1] if pos else (
+                    stack_sids[0] if stack_sids else -1)
+                key = (rid, prev[2], carry)
+                bins = raw.get(key)
+                if bins is None:
+                    bins = {}
+                    raw[key] = bins
+                if d < 256:
+                    b = d
+                else:
+                    hb = d.bit_length() - 1
+                    b = 256 + (hb - 8) * 4 + ((d >> (hb - 2)) & 3)
+                bins[b] = bins.get(b, 0) + 1
+            table[block] = (clock, rid, cur_sid)
+
+    return access

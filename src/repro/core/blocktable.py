@@ -1,0 +1,97 @@
+"""Block tables: last-access metadata for every memory block touched.
+
+The paper uses "a three level hierarchical block table ... to associate the
+logical time of last access with every memory block referenced by the
+program", extended to also record "the identity of the most recent access"
+(which reference, and which scope was innermost).
+
+:class:`HierarchicalBlockTable` is the paper-faithful structure: the block
+number is split into three digit groups; the first two index nested
+directory arrays, the last indexes a leaf array of entries.  Sparse address
+spaces therefore cost memory proportional to the pages actually touched.
+
+:class:`FlatBlockTable` is a plain-dict equivalent used as the analyzer's
+fast path; the test suite checks the two agree on every operation.
+
+An entry is the tuple ``(last_time, last_rid, last_sid)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+Entry = Tuple[int, int, int]
+
+#: Bits per level for the hierarchical table (leaf, middle).
+_L3_BITS = 10
+_L2_BITS = 10
+_L3_MASK = (1 << _L3_BITS) - 1
+_L2_MASK = (1 << _L2_BITS) - 1
+
+
+class HierarchicalBlockTable:
+    """Three-level block table, as described in Section II of the paper."""
+
+    def __init__(self) -> None:
+        self._root: Dict[int, List[Optional[List[Optional[Entry]]]]] = {}
+        self._count = 0
+
+    def get(self, block: int) -> Optional[Entry]:
+        mid = self._root.get(block >> (_L2_BITS + _L3_BITS))
+        if mid is None:
+            return None
+        leaf = mid[(block >> _L3_BITS) & _L2_MASK]
+        if leaf is None:
+            return None
+        return leaf[block & _L3_MASK]
+
+    def set(self, block: int, entry: Entry) -> None:
+        top = block >> (_L2_BITS + _L3_BITS)
+        mid = self._root.get(top)
+        if mid is None:
+            mid = [None] * (1 << _L2_BITS)
+            self._root[top] = mid
+        mid_idx = (block >> _L3_BITS) & _L2_MASK
+        leaf = mid[mid_idx]
+        if leaf is None:
+            leaf = [None] * (1 << _L3_BITS)
+            mid[mid_idx] = leaf
+        if leaf[block & _L3_MASK] is None:
+            self._count += 1
+        leaf[block & _L3_MASK] = entry
+
+    def __len__(self) -> int:
+        return self._count
+
+    def blocks(self) -> Iterator[Tuple[int, Entry]]:
+        """Iterate (block, entry) pairs; order is by block number."""
+        for top in sorted(self._root):
+            mid = self._root[top]
+            for mid_idx, leaf in enumerate(mid):
+                if leaf is None:
+                    continue
+                for low, entry in enumerate(leaf):
+                    if entry is not None:
+                        yield ((top << (_L2_BITS + _L3_BITS))
+                               | (mid_idx << _L3_BITS) | low, entry)
+
+
+class FlatBlockTable:
+    """Dict-backed block table with the same interface (fast path)."""
+
+    def __init__(self) -> None:
+        self._table: Dict[int, Entry] = {}
+        # expose the raw dict so the analyzer's hot loop can bind methods
+        self.raw = self._table
+
+    def get(self, block: int) -> Optional[Entry]:
+        return self._table.get(block)
+
+    def set(self, block: int, entry: Entry) -> None:
+        self._table[block] = entry
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def blocks(self) -> Iterator[Tuple[int, Entry]]:
+        yield from sorted(self._table.items())

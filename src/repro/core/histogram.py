@@ -1,0 +1,143 @@
+"""Reuse-distance histograms.
+
+Distances below :data:`EXACT_LIMIT` are binned exactly; above it, bins are
+logarithmic with :data:`SUBBINS` linear sub-bins per octave.  This matches
+the paper's design point: with histograms collected *per reuse pattern*, the
+distance values within one histogram cluster tightly, so "more but smaller
+histograms" suffice (Section II).
+
+The analyzer's hot loop works on raw ``{bin: count}`` dicts; this module
+provides the binning functions and the :class:`Histogram` wrapper used by
+the models and reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+#: Distances below this are stored exactly.
+EXACT_LIMIT = 256
+#: Linear sub-bins per power-of-two octave above EXACT_LIMIT.
+SUBBINS = 4
+
+_EXACT_BITS = EXACT_LIMIT.bit_length() - 1  # 8
+
+
+def bin_of(distance: int) -> int:
+    """Map a reuse distance to its bin index."""
+    if distance < EXACT_LIMIT:
+        return distance
+    b = distance.bit_length() - 1
+    sub = (distance >> (b - 2)) & 3
+    return EXACT_LIMIT + (b - _EXACT_BITS) * SUBBINS + sub
+
+
+def bin_range(index: int) -> Tuple[int, int]:
+    """Inclusive distance range ``(lo, hi)`` covered by bin ``index``."""
+    if index < EXACT_LIMIT:
+        return index, index
+    rel = index - EXACT_LIMIT
+    b = _EXACT_BITS + rel // SUBBINS
+    sub = rel % SUBBINS
+    width = 1 << (b - 2)
+    lo = (1 << b) + sub * width
+    return lo, lo + width - 1
+
+
+def bin_mid(index: int) -> float:
+    """Representative distance for bin ``index`` (midpoint)."""
+    lo, hi = bin_range(index)
+    return (lo + hi) / 2.0
+
+
+class Histogram:
+    """A reuse-distance histogram over the bins above.
+
+    Also counts *cold* accesses (first touches, infinite distance) so one
+    histogram fully describes a reuse pattern's distance distribution.
+    """
+
+    __slots__ = ("bins", "cold")
+
+    def __init__(self, bins: Dict[int, int] | None = None, cold: int = 0) -> None:
+        self.bins: Dict[int, int] = dict(bins) if bins else {}
+        self.cold = cold
+
+    def add(self, distance: int, count: int = 1) -> None:
+        b = bin_of(distance)
+        self.bins[b] = self.bins.get(b, 0) + count
+
+    def add_cold(self, count: int = 1) -> None:
+        self.cold += count
+
+    @property
+    def total(self) -> int:
+        """All accesses recorded, including cold ones."""
+        return sum(self.bins.values()) + self.cold
+
+    @property
+    def reuses(self) -> int:
+        return sum(self.bins.values())
+
+    def items(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(lo, hi, count)`` per non-empty bin, ascending distance."""
+        for index in sorted(self.bins):
+            lo, hi = bin_range(index)
+            yield lo, hi, self.bins[index]
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        out = Histogram(self.bins, self.cold)
+        for index, count in other.bins.items():
+            out.bins[index] = out.bins.get(index, 0) + count
+        out.cold += other.cold
+        return out
+
+    def count_at_least(self, threshold: int) -> float:
+        """Accesses with distance >= threshold (cold counts as infinite).
+
+        Bins straddling the threshold contribute fractionally, assuming a
+        uniform distance distribution within the bin.
+        """
+        total = float(self.cold)
+        for index, count in self.bins.items():
+            lo, hi = bin_range(index)
+            if lo >= threshold:
+                total += count
+            elif hi >= threshold:
+                total += count * (hi - threshold + 1) / (hi - lo + 1)
+        return total
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile of the (finite) reuse distances."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        reuses = self.reuses
+        if reuses == 0:
+            return 0.0
+        target = q * reuses
+        seen = 0.0
+        for lo, hi, count in self.items():
+            if seen + count >= target:
+                frac = (target - seen) / count if count else 0.0
+                return lo + frac * (hi - lo)
+            seen += count
+        lo, hi = bin_range(max(self.bins))
+        return float(hi)
+
+    def mean(self) -> float:
+        """Mean finite reuse distance."""
+        reuses = self.reuses
+        if reuses == 0:
+            return 0.0
+        return sum(bin_mid(ix) * c for ix, c in self.bins.items()) / reuses
+
+    def __repr__(self) -> str:
+        return f"Histogram(reuses={self.reuses}, cold={self.cold})"
+
+
+def from_raw(raw: Dict[int, int], cold: int = 0) -> Histogram:
+    """Wrap a raw ``{bin: count}`` dict produced by the analyzer hot loop."""
+    hist = Histogram()
+    hist.bins = dict(raw)
+    hist.cold = cold
+    return hist

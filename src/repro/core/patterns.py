@@ -1,0 +1,116 @@
+"""Reuse patterns: the unit of attribution for all locality metrics.
+
+A *reuse pattern* is the triple
+
+    (destination reference, source scope, carrying scope)
+
+where the destination reference is the sink of the reuse arc, the source
+scope is where the block was last touched, and the carrying scope is the
+dynamic scope driving the reuse (Section II).  For every pattern the
+analyzer keeps one reuse-distance histogram; cold (first-touch) accesses
+are kept per reference with ``src_sid == COLD``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.histogram import Histogram, from_raw
+
+#: Sentinel "source scope" for cold (compulsory) accesses.
+COLD = -1
+
+PatternKey = Tuple[int, int, int]  # (dest rid, source sid, carrying sid)
+
+
+class ReusePattern:
+    """One reuse pattern with its measured distance histogram."""
+
+    __slots__ = ("rid", "src_sid", "carry_sid", "histogram")
+
+    def __init__(self, rid: int, src_sid: int, carry_sid: int,
+                 histogram: Histogram) -> None:
+        self.rid = rid
+        self.src_sid = src_sid
+        self.carry_sid = carry_sid
+        self.histogram = histogram
+
+    @property
+    def key(self) -> PatternKey:
+        return (self.rid, self.src_sid, self.carry_sid)
+
+    @property
+    def is_cold(self) -> bool:
+        return self.src_sid == COLD
+
+    @property
+    def accesses(self) -> int:
+        return self.histogram.total
+
+    def __repr__(self) -> str:
+        return (f"ReusePattern(rid={self.rid}, src={self.src_sid}, "
+                f"carry={self.carry_sid}, n={self.accesses})")
+
+
+class PatternDB:
+    """All reuse patterns observed at one block granularity.
+
+    The analyzer's hot loop owns the underlying ``raw`` dict directly
+    (``{(rid, src_sid, carry_sid): {bin: count}}``); this class is the
+    query/report interface over it.
+    """
+
+    def __init__(self) -> None:
+        self.raw: Dict[PatternKey, Dict[int, int]] = {}
+        self.cold: Dict[int, int] = {}  # rid -> first-touch count
+
+    # -- building (slow path; the analyzer writes raw/cold directly) ------
+
+    def add(self, rid: int, src_sid: int, carry_sid: int,
+            distance: int) -> None:
+        from repro.core.histogram import bin_of
+        key = (rid, src_sid, carry_sid)
+        bins = self.raw.get(key)
+        if bins is None:
+            bins = {}
+            self.raw[key] = bins
+        b = bin_of(distance)
+        bins[b] = bins.get(b, 0) + 1
+
+    def add_cold(self, rid: int) -> None:
+        self.cold[rid] = self.cold.get(rid, 0) + 1
+
+    # -- queries ------------------------------------------------------------
+
+    def patterns(self) -> Iterator[ReusePattern]:
+        """All patterns, cold patterns included (src_sid == COLD)."""
+        for (rid, src_sid, carry_sid), bins in self.raw.items():
+            yield ReusePattern(rid, src_sid, carry_sid, from_raw(bins))
+        for rid, count in self.cold.items():
+            yield ReusePattern(rid, COLD, COLD, from_raw({}, cold=count))
+
+    def pattern(self, key: PatternKey) -> Optional[ReusePattern]:
+        bins = self.raw.get(key)
+        if bins is None:
+            return None
+        return ReusePattern(key[0], key[1], key[2], from_raw(bins))
+
+    def for_ref(self, rid: int) -> List[ReusePattern]:
+        return [p for p in self.patterns() if p.rid == rid]
+
+    def merged_histogram(self, rid: Optional[int] = None) -> Histogram:
+        """Union histogram over all patterns (optionally one reference)."""
+        out = Histogram()
+        for pattern in self.patterns():
+            if rid is not None and pattern.rid != rid:
+                continue
+            out = out.merge(pattern.histogram)
+        return out
+
+    @property
+    def total_accesses(self) -> int:
+        return (sum(sum(b.values()) for b in self.raw.values())
+                + sum(self.cold.values()))
+
+    def __len__(self) -> int:
+        return len(self.raw) + len(self.cold)

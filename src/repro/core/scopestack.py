@@ -1,0 +1,70 @@
+"""Dynamic scope stack and carrying-scope search.
+
+Section II: "When a scope is entered, we push a record containing the scope
+id and the value of the access clock onto the stack. ... on a memory access
+we traverse the dynamic stack of scopes ... looking for S — the most recent
+active scope that was entered before our previous access to the current
+memory block.  S is the driving scope, which we also call the carrying scope
+of the reuse."
+
+Entry clocks grow monotonically with stack depth, so the linear traversal
+the paper describes is equivalent to a binary search on the entry-clock
+column — which is how :meth:`ScopeStack.carrying` answers in O(log depth).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Tuple
+
+
+class ScopeStack:
+    """The dynamic stack of (scope id, entry clock) records."""
+
+    def __init__(self) -> None:
+        self._sids: List[int] = []
+        self._clocks: List[int] = []
+
+    # -- events -----------------------------------------------------------
+
+    def enter(self, sid: int, clock: int) -> None:
+        self._sids.append(sid)
+        self._clocks.append(clock)
+
+    def exit(self, sid: int) -> int:
+        if not self._sids:
+            raise IndexError("scope stack underflow")
+        top = self._sids.pop()
+        self._clocks.pop()
+        if top != sid:
+            raise ValueError(
+                f"scope exit mismatch: popped {top}, expected {sid}"
+            )
+        return top
+
+    # -- queries -----------------------------------------------------------
+
+    def carrying(self, t_prev: int) -> int:
+        """Scope id of the carrying scope for a reuse whose previous access
+        happened at clock ``t_prev``.
+
+        Returns the deepest active scope entered strictly before ``t_prev``
+        — i.e. the most recently entered scope that was already active at
+        the time of the previous access.
+        """
+        pos = bisect_left(self._clocks, t_prev)
+        if pos == 0:
+            # Previous access predates every active scope (can only happen
+            # if accesses occur outside any routine); credit the outermost.
+            return self._sids[0] if self._sids else -1
+        return self._sids[pos - 1]
+
+    def current(self) -> int:
+        """Scope id of the innermost active scope."""
+        return self._sids[-1] if self._sids else -1
+
+    def depth(self) -> int:
+        return len(self._sids)
+
+    def frames(self) -> List[Tuple[int, int]]:
+        return list(zip(self._sids, self._clocks))

@@ -1,0 +1,147 @@
+"""Order-statistic treap: the paper-faithful balanced tree engine.
+
+Section II: "we use a balanced binary tree with a node for each memory block
+referenced by the program.  The sorting key for each node in the tree is the
+logical time of the last access ... On each memory access we can compute how
+many distinct memory blocks have an access time greater than the time-stamp
+of the current block in log(M) time."
+
+A treap with subtree sizes gives the same O(log M) bound with a simple
+implementation.  Priorities are deterministic (a hash mix of the key) so
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def _priority(key: int) -> int:
+    """Deterministic pseudo-random priority (splitmix64 finalizer)."""
+    z = (key * 0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+class _Node:
+    __slots__ = ("key", "prio", "left", "right", "size")
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.prio = _priority(key)
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.size = 1
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.size = 1 + _size(node.left) + _size(node.right)
+
+
+def _merge(left: Optional[_Node], right: Optional[_Node]) -> Optional[_Node]:
+    """Merge two treaps where every key in ``left`` < every key in ``right``."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left.prio > right.prio:
+        left.right = _merge(left.right, right)
+        _update(left)
+        return left
+    right.left = _merge(left, right.left)
+    _update(right)
+    return right
+
+
+def _split(node: Optional[_Node], key: int):
+    """Split into (keys <= key, keys > key)."""
+    if node is None:
+        return None, None
+    if node.key <= key:
+        less, greater = _split(node.right, key)
+        node.right = less
+        _update(node)
+        return node, greater
+    less, greater = _split(node.left, key)
+    node.left = greater
+    _update(node)
+    return less, node
+
+
+class TreapEngine:
+    """Reuse-distance engine over an order-statistic treap.
+
+    Same protocol as :class:`repro.core.fenwick.FenwickEngine`; keys are
+    last-access times, which are unique (one access per clock tick).
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+
+    # -- protocol --------------------------------------------------------
+
+    def first(self, t_now: int) -> None:
+        self._insert(t_now)
+
+    def reuse(self, t_prev: int, t_now: int) -> int:
+        self._delete(t_prev)
+        distance = self._count_greater(t_prev)
+        self._insert(t_now)
+        return distance
+
+    @property
+    def active_blocks(self) -> int:
+        return _size(self._root)
+
+    # -- operations --------------------------------------------------------
+
+    def _insert(self, key: int) -> None:
+        node = _Node(key)
+        less, greater = _split(self._root, key)
+        self._root = _merge(_merge(less, node), greater)
+
+    def _delete(self, key: int) -> None:
+        self._root = self._delete_rec(self._root, key)
+
+    def _delete_rec(self, node: Optional[_Node], key: int) -> Optional[_Node]:
+        if node is None:
+            raise KeyError(f"time {key} not present in treap")
+        if node.key == key:
+            return _merge(node.left, node.right)
+        if key < node.key:
+            node.left = self._delete_rec(node.left, key)
+        else:
+            node.right = self._delete_rec(node.right, key)
+        _update(node)
+        return node
+
+    def _count_greater(self, key: int) -> int:
+        """Number of keys strictly greater than ``key``."""
+        count = 0
+        node = self._root
+        while node is not None:
+            if node.key > key:
+                count += 1 + _size(node.right)
+                node = node.left
+            else:
+                node = node.right
+        return count
+
+    def keys(self):
+        """In-order keys (for tests)."""
+        out = []
+
+        def walk(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            walk(node.left)
+            out.append(node.key)
+            walk(node.right)
+
+        walk(self._root)
+        return out

@@ -1,0 +1,70 @@
+"""Fluent helpers for writing kernels.
+
+The application models (Sweep3D, GTC, the Fig 1 / Fig 2 examples) are built
+with these helpers so they read close to the Fortran they reproduce::
+
+    i, j = Var("i"), Var("j")
+    nest = loop("j", 1, "M",
+               loop("i", 1, "N",
+                   stmt(load(B, i, j), load(A, i, j), store(A, i, j),
+                        ops=1, loc="fig1.f:3")))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.lang.ast import (
+    Access, Call, Expr, ExprLike, Load, Loop, Node, Program, Routine,
+    ScalarAssign, Stmt, Var, as_expr,
+)
+from repro.lang.memory import DataObject, MemoryLayout
+
+
+def load(array: DataObject, *indices: ExprLike,
+         field: Optional[str] = None) -> Access:
+    """A load reference ``array(indices)`` (optionally of a record field)."""
+    return Access(array, indices, is_store=False, field=field)
+
+
+def store(array: DataObject, *indices: ExprLike,
+          field: Optional[str] = None) -> Access:
+    """A store reference ``array(indices) = ...``."""
+    return Access(array, indices, is_store=True, field=field)
+
+
+def idx(array: DataObject, *indices: ExprLike) -> Load:
+    """An indirect subscript: the *value* loaded from an index array."""
+    return Load(load(array, *indices))
+
+
+def stmt(*accesses: Access, ops: int = 1, loc: str = "") -> Stmt:
+    """A statement executing ``accesses`` in order with ``ops`` arithmetic."""
+    return Stmt(accesses, ops=ops, loc=loc)
+
+
+def assign(var: str, expr: ExprLike, loc: str = "") -> ScalarAssign:
+    """Assign an expression (possibly containing loads) to a scalar."""
+    return ScalarAssign(var, expr, loc=loc)
+
+
+def loop(var: str, lo: ExprLike, hi: ExprLike, *body: Node,
+         step: int = 1, name: str = "", loc: str = "",
+         time_loop: bool = False) -> Loop:
+    """A counted loop with inclusive bounds, Fortran style."""
+    return Loop(var, lo, hi, body, step=step,
+                name=name or f"{var}_loop", loc=loc, is_time_loop=time_loop)
+
+
+def routine(name: str, *body: Node, loc: str = "",
+            language: str = "fortran") -> Routine:
+    return Routine(name, body, loc=loc, language=language)
+
+
+def call(callee: str, loc: str = "") -> Call:
+    return Call(callee, loc=loc)
+
+
+def program(name: str, layout: MemoryLayout, routines: Sequence[Routine],
+            entry: str = "main", params: Optional[dict] = None) -> Program:
+    return Program(name, layout, routines, entry=entry, params=params)

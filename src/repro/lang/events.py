@@ -1,0 +1,77 @@
+"""Instrumentation event protocol.
+
+The paper's tool rewrites a binary so that every memory instruction calls an
+event handler, and every routine/loop entry and exit is monitored.  Our
+executor produces the identical event stream.  A handler implements:
+
+* ``enter_scope(sid)`` / ``exit_scope(sid)`` — dynamic scope events;
+* ``access(rid, addr, is_store)`` — one memory reference execution.
+
+Handlers are deliberately plain (no inheritance required): the executor only
+looks up these three attributes, and binds them once for speed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class EventHandler:
+    """No-op base handler; subclass or duck-type."""
+
+    def enter_scope(self, sid: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def exit_scope(self, sid: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def access(self, rid: int, addr: int, is_store: bool) -> None:  # pragma: no cover
+        pass
+
+
+class Tee(EventHandler):
+    """Fan one event stream out to several handlers."""
+
+    def __init__(self, *handlers) -> None:
+        self.handlers = list(handlers)
+        self._enter = [h.enter_scope for h in handlers]
+        self._exit = [h.exit_scope for h in handlers]
+        self._access = [h.access for h in handlers]
+
+    def enter_scope(self, sid: int) -> None:
+        for fn in self._enter:
+            fn(sid)
+
+    def exit_scope(self, sid: int) -> None:
+        for fn in self._exit:
+            fn(sid)
+
+    def access(self, rid: int, addr: int, is_store: bool) -> None:
+        for fn in self._access:
+            fn(rid, addr, is_store)
+
+
+class TraceRecorder(EventHandler):
+    """Record the full event stream; used in tests and small examples.
+
+    Events are tuples: ``("enter", sid)``, ``("exit", sid)``,
+    ``("access", rid, addr, is_store)``.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[tuple] = []
+
+    def enter_scope(self, sid: int) -> None:
+        self.events.append(("enter", sid))
+
+    def exit_scope(self, sid: int) -> None:
+        self.events.append(("exit", sid))
+
+    def access(self, rid: int, addr: int, is_store: bool) -> None:
+        self.events.append(("access", rid, addr, is_store))
+
+    def accesses(self) -> List[tuple]:
+        return [e for e in self.events if e[0] == "access"]
+
+    def addresses(self) -> List[int]:
+        return [e[2] for e in self.events if e[0] == "access"]

@@ -1,0 +1,149 @@
+"""Tree-walking executor: runs a kernel and emits instrumentation events.
+
+This is the stand-in for the paper's binary instrumentation (Pin-style): the
+analysis never sees the AST, only the event stream — scope entry/exit and
+per-reference memory accesses — exactly what instrumented object code would
+produce.
+
+Besides driving handlers, the executor collects the *dynamic feedback* the
+paper's static analysis consumes: per-loop average trip counts (used in
+fragmentation Step 2) and instruction/operation counts (used by the timing
+model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.lang.ast import Call, Loop, Program, Routine, ScalarAssign, Stmt
+from repro.lang.events import EventHandler, Tee
+
+
+class RunStats:
+    """Aggregate execution statistics for one run."""
+
+    def __init__(self, nscopes: int) -> None:
+        self.accesses = 0
+        self.loads = 0
+        self.stores = 0
+        self.ops = 0
+        #: per-scope (entries, total iterations) for loops
+        self.loop_entries: Dict[int, int] = {}
+        self.loop_iters: Dict[int, int] = {}
+        #: per-scope executed statement count (instruction footprint proxy)
+        self.scope_insts: Dict[int, int] = {}
+
+    def avg_trip(self, sid: int) -> float:
+        """Average iterations per entry of loop ``sid`` (0 if never run)."""
+        entries = self.loop_entries.get(sid, 0)
+        if entries == 0:
+            return 0.0
+        return self.loop_iters.get(sid, 0) / entries
+
+    @property
+    def instructions(self) -> int:
+        """Total dynamic 'instructions': memory ops + arithmetic ops."""
+        return self.accesses + self.ops
+
+    def __repr__(self) -> str:
+        return (f"RunStats(accesses={self.accesses}, loads={self.loads}, "
+                f"stores={self.stores}, ops={self.ops})")
+
+
+class Executor:
+    """Execute a :class:`~repro.lang.ast.Program` against event handlers."""
+
+    def __init__(self, program: Program, handler: Optional[EventHandler] = None,
+                 *extra_handlers: EventHandler) -> None:
+        self.program = program
+        if handler is None:
+            handler = EventHandler()
+        if extra_handlers:
+            handler = Tee(handler, *extra_handlers)
+        self.handler = handler
+        # Bind hot methods once.
+        self._enter = handler.enter_scope
+        self._exit = handler.exit_scope
+        self._access = handler.access
+        self.stats = RunStats(len(program.scopes))
+
+    def run(self, **param_overrides: int) -> RunStats:
+        """Run the program's entry routine and return statistics."""
+        env = dict(self.program.params)
+        env.update(param_overrides)
+        self._run_routine(self.program.routines[self.program.entry], env)
+        return self.stats
+
+    # -- node dispatch ---------------------------------------------------
+
+    def _run_routine(self, routine: Routine, env: Dict[str, int]) -> None:
+        self._enter(routine.sid)
+        self._run_body(routine.body, env, routine.sid)
+        self._exit(routine.sid)
+
+    def _run_body(self, body, env: Dict[str, int], scope_sid: int) -> None:
+        stats = self.stats
+        access = self._access
+        for node in body:
+            cls = node.__class__
+            if cls is Stmt:
+                for rid, addr_fn, is_store in node.plan:
+                    access(rid, addr_fn(env), is_store)
+                    if is_store:
+                        stats.stores += 1
+                    else:
+                        stats.loads += 1
+                n = len(node.plan)
+                stats.accesses += n
+                stats.ops += node.ops
+                stats.scope_insts[scope_sid] = (
+                    stats.scope_insts.get(scope_sid, 0) + n + node.ops
+                )
+            elif cls is Loop:
+                self._run_loop(node, env)
+            elif cls is ScalarAssign:
+                for rid, addr_fn, is_store in node.plan:
+                    access(rid, addr_fn(env), is_store)
+                    stats.loads += 1
+                n = len(node.plan)
+                stats.accesses += n
+                stats.ops += 1
+                stats.scope_insts[scope_sid] = (
+                    stats.scope_insts.get(scope_sid, 0) + n + 1
+                )
+                env[node.var] = node._run(env)
+            elif cls is Call:
+                self._run_routine(self.program.routines[node.callee], env)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected node {node!r}")
+
+    def _run_loop(self, loop: Loop, env: Dict[str, int]) -> None:
+        stats = self.stats
+        sid = loop.sid
+        lo = loop._lo_fn(env)
+        hi = loop._hi_fn(env)
+        self._enter(sid)
+        stats.loop_entries[sid] = stats.loop_entries.get(sid, 0) + 1
+        var = loop.var
+        body = loop.body
+        iters = 0
+        if loop.step > 0:
+            rng = range(lo, hi + 1, loop.step)
+        else:
+            rng = range(lo, hi - 1, loop.step)
+        for value in rng:
+            env[var] = value
+            self._run_body(body, env, sid)
+            iters += 1
+        stats.loop_iters[sid] = stats.loop_iters.get(sid, 0) + iters
+        self._exit(sid)
+
+
+def run_program(program: Program, *handlers: EventHandler,
+                **param_overrides: int) -> RunStats:
+    """Convenience wrapper: execute ``program`` against ``handlers``."""
+    if handlers:
+        executor = Executor(program, handlers[0], *handlers[1:])
+    else:
+        executor = Executor(program)
+    return executor.run(**param_overrides)

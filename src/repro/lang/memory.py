@@ -1,0 +1,265 @@
+"""Data layout substrate: arrays, arrays-of-records, and the symbol table.
+
+The paper's tool analyzes *binaries*, where a memory reference is just an
+address computation.  To recover variable names it combines symbolic formulas
+with the executable's symbol table.  This module plays the role of the
+linker/loader: it assigns base addresses to data objects and provides the
+reverse mapping from an address back to the object (and record field) that
+owns it.
+
+Arrays follow Fortran column-major layout by default, because both case-study
+codes (Sweep3D, GTC) are Fortran codes and the paper's examples (Figs 1, 2)
+rely on column-major order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Default element size in bytes (double precision, as in the paper's codes).
+DOUBLE = 8
+#: Element size for integer index arrays.
+INT = 8
+
+_ALIGNMENT = 4096
+
+
+def column_major_strides(shape: Sequence[int]) -> Tuple[int, ...]:
+    """Return element strides for a column-major (Fortran) array.
+
+    The first dimension is contiguous: ``strides[0] == 1`` and
+    ``strides[k] == prod(shape[:k])``.
+    """
+    strides: List[int] = []
+    acc = 1
+    for extent in shape:
+        strides.append(acc)
+        acc *= extent
+    return tuple(strides)
+
+
+def row_major_strides(shape: Sequence[int]) -> Tuple[int, ...]:
+    """Return element strides for a row-major (C) array."""
+    strides = [0] * len(shape)
+    acc = 1
+    for k in range(len(shape) - 1, -1, -1):
+        strides[k] = acc
+        acc *= shape[k]
+    return tuple(strides)
+
+
+class DataObject:
+    """A named, contiguous region of memory: one program variable.
+
+    Parameters
+    ----------
+    name:
+        Source-level variable name (what the symbol table records).
+    shape:
+        Array extents.  Indexing is 1-based (Fortran convention) unless
+        ``origin`` says otherwise.
+    elem_size:
+        Bytes per element.
+    order:
+        ``"F"`` for column-major (default) or ``"C"`` for row-major.
+    fields:
+        If given, the object is an *array of records*: each logical element
+        is a record with the named fields, laid out consecutively.  This is
+        how GTC's ``zion(7, mi)`` particle array is modeled.
+    origin:
+        The index value of the first element along every dimension
+        (1 for Fortran arrays, 0 for C arrays).
+    values:
+        Optional integer backing store.  Only *index arrays* (arrays whose
+        loaded values feed other references' subscripts) need real values;
+        floating-point data arrays are address-only.
+    """
+
+    __slots__ = (
+        "name", "shape", "elem_size", "order", "fields", "origin",
+        "strides", "size", "base", "values",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        shape: Sequence[int],
+        elem_size: int = DOUBLE,
+        order: str = "F",
+        fields: Optional[Sequence[str]] = None,
+        origin: int = 1,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
+        if not shape:
+            shape = (1,)
+        if any(extent <= 0 for extent in shape):
+            raise ValueError(f"array {name!r} has non-positive extent: {shape}")
+        if order not in ("F", "C"):
+            raise ValueError(f"order must be 'F' or 'C', got {order!r}")
+        self.name = name
+        self.shape = tuple(int(extent) for extent in shape)
+        self.elem_size = int(elem_size)
+        self.order = order
+        self.fields = tuple(fields) if fields else None
+        self.origin = int(origin)
+        if order == "F":
+            elem_strides = column_major_strides(self.shape)
+        else:
+            elem_strides = row_major_strides(self.shape)
+        record_size = len(self.fields) if self.fields else 1
+        # Byte strides per dimension; for arrays of records every logical
+        # element occupies ``record_size`` scalar slots.
+        self.strides = tuple(
+            s * record_size * self.elem_size for s in elem_strides
+        )
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        self.size = count * record_size * self.elem_size
+        self.base = 0  # assigned by MemoryLayout.place
+        self.values = values
+
+    # -- addressing ----------------------------------------------------
+
+    def nelems(self) -> int:
+        """Number of logical elements (records count as one element)."""
+        count = 1
+        for extent in self.shape:
+            count *= extent
+        return count
+
+    def field_offset(self, field: str) -> int:
+        """Byte offset of ``field`` within a record."""
+        if not self.fields:
+            raise ValueError(f"{self.name!r} is not an array of records")
+        return self.fields.index(field) * self.elem_size
+
+    def address(self, indices: Sequence[int], field: Optional[str] = None) -> int:
+        """Byte address of the element at ``indices`` (origin-based)."""
+        addr = self.base
+        for idx, stride in zip(indices, self.strides):
+            addr += (idx - self.origin) * stride
+        if field is not None:
+            addr += self.field_offset(field)
+        return addr
+
+    def flat_index(self, indices: Sequence[int]) -> int:
+        """Flat (0-based) element index used for the value backing store."""
+        flat = 0
+        if self.order == "F":
+            elem_strides = column_major_strides(self.shape)
+        else:
+            elem_strides = row_major_strides(self.shape)
+        for idx, stride in zip(indices, elem_strides):
+            flat += (idx - self.origin) * stride
+        return flat
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = f" fields={self.fields}" if self.fields else ""
+        return f"DataObject({self.name!r}, shape={self.shape}{kind}, base={self.base:#x})"
+
+
+class SymbolTable:
+    """Reverse map from addresses to data objects.
+
+    This mirrors the role of the executable's symbol table in the paper:
+    given an address produced by a symbolic formula, recover the name of the
+    data object (and, for arrays of records, the field).
+    """
+
+    def __init__(self) -> None:
+        self._bases: List[int] = []
+        self._objects: List[DataObject] = []
+
+    def add(self, obj: DataObject) -> None:
+        pos = bisect.bisect_left(self._bases, obj.base)
+        self._bases.insert(pos, obj.base)
+        self._objects.insert(pos, obj)
+
+    def find(self, addr: int) -> Optional[DataObject]:
+        """Return the object containing ``addr``, or None."""
+        pos = bisect.bisect_right(self._bases, addr) - 1
+        if pos < 0:
+            return None
+        obj = self._objects[pos]
+        if obj.base <= addr < obj.base + obj.size:
+            return obj
+        return None
+
+    def field_of(self, addr: int) -> Optional[str]:
+        """Return the record field name owning ``addr``, if any."""
+        obj = self.find(addr)
+        if obj is None or not obj.fields:
+            return None
+        offset = (addr - obj.base) % (len(obj.fields) * obj.elem_size)
+        return obj.fields[offset // obj.elem_size]
+
+    def objects(self) -> List[DataObject]:
+        return list(self._objects)
+
+
+class MemoryLayout:
+    """Assigns base addresses to data objects (the loader's job).
+
+    Objects are placed consecutively with page alignment so that distinct
+    arrays never share a cache line — fragmentation within a line is then
+    attributable to the array's own layout, as the paper's analysis assumes.
+    """
+
+    def __init__(self, start: int = 0x10000) -> None:
+        self._next = start
+        self.symtab = SymbolTable()
+        self._by_name: Dict[str, DataObject] = {}
+
+    def place(self, obj: DataObject) -> DataObject:
+        if obj.name in self._by_name:
+            raise ValueError(f"duplicate data object name: {obj.name!r}")
+        obj.base = self._next
+        self._next = _align_up(self._next + obj.size, _ALIGNMENT)
+        self.symtab.add(obj)
+        self._by_name[obj.name] = obj
+        return obj
+
+    def array(
+        self,
+        name: str,
+        *shape: int,
+        elem_size: int = DOUBLE,
+        order: str = "F",
+        fields: Optional[Sequence[str]] = None,
+        origin: int = 1,
+        values: Optional[np.ndarray] = None,
+    ) -> DataObject:
+        """Declare and place an array in one call."""
+        return self.place(
+            DataObject(
+                name, shape, elem_size=elem_size, order=order,
+                fields=fields, origin=origin, values=values,
+            )
+        )
+
+    def index_array(self, name: str, *shape: int, origin: int = 1) -> DataObject:
+        """Declare an integer index array with a zero-filled backing store."""
+        count = 1
+        for extent in shape:
+            count *= extent
+        values = np.zeros(count, dtype=np.int64)
+        return self.array(
+            name, *shape, elem_size=INT, origin=origin, values=values
+        )
+
+    def get(self, name: str) -> DataObject:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def total_bytes(self) -> int:
+        return sum(obj.size for obj in self.symtab.objects())
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment

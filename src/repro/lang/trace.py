@@ -1,0 +1,101 @@
+"""Trace persistence: save an instrumentation event stream, replay it later.
+
+The paper's tool analyzes online, but a persisted trace decouples the
+(expensive) workload execution from (repeatable) analysis: record once,
+replay into as many analyzers/simulators/configurations as needed — the
+same role Pin trace files play for offline tools.
+
+Format: NumPy ``.npz`` with four parallel arrays — event kind
+(0=enter, 1=exit, 2=access), scope-or-reference id, address, store flag —
+plus the program name for sanity checking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.lang.events import EventHandler
+
+_ENTER, _EXIT, _ACCESS = 0, 1, 2
+
+
+class TraceWriter(EventHandler):
+    """Event handler that buffers the stream for saving."""
+
+    def __init__(self, program_name: str = "") -> None:
+        self.program_name = program_name
+        self._kinds: List[int] = []
+        self._ids: List[int] = []
+        self._addrs: List[int] = []
+        self._stores: List[bool] = []
+
+    def enter_scope(self, sid: int) -> None:
+        self._kinds.append(_ENTER)
+        self._ids.append(sid)
+        self._addrs.append(0)
+        self._stores.append(False)
+
+    def exit_scope(self, sid: int) -> None:
+        self._kinds.append(_EXIT)
+        self._ids.append(sid)
+        self._addrs.append(0)
+        self._stores.append(False)
+
+    def access(self, rid: int, addr: int, is_store: bool) -> None:
+        self._kinds.append(_ACCESS)
+        self._ids.append(rid)
+        self._addrs.append(addr)
+        self._stores.append(is_store)
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def save(self, path: str) -> None:
+        np.savez_compressed(
+            path,
+            kinds=np.asarray(self._kinds, dtype=np.uint8),
+            ids=np.asarray(self._ids, dtype=np.int64),
+            addrs=np.asarray(self._addrs, dtype=np.int64),
+            stores=np.asarray(self._stores, dtype=np.bool_),
+            program=np.asarray([self.program_name]),
+        )
+
+
+def replay(path: str, *handlers: EventHandler,
+           expect_program: Optional[str] = None) -> int:
+    """Drive handlers from a saved trace; returns the event count."""
+    with np.load(path, allow_pickle=False) as data:
+        kinds = data["kinds"]
+        ids = data["ids"].tolist()
+        addrs = data["addrs"].tolist()
+        stores = data["stores"].tolist()
+        stored_name = str(data["program"][0])
+    if expect_program is not None and stored_name != expect_program:
+        raise ValueError(
+            f"trace was recorded from {stored_name!r}, "
+            f"expected {expect_program!r}")
+    enters = [h.enter_scope for h in handlers]
+    exits = [h.exit_scope for h in handlers]
+    accesses = [h.access for h in handlers]
+    for pos, kind in enumerate(kinds):
+        if kind == _ACCESS:
+            for fn in accesses:
+                fn(ids[pos], addrs[pos], stores[pos])
+        elif kind == _ENTER:
+            for fn in enters:
+                fn(ids[pos])
+        else:
+            for fn in exits:
+                fn(ids[pos])
+    return len(kinds)
+
+
+def record(program, path: str, **params: int) -> int:
+    """Execute ``program`` once, saving its trace; returns the event count."""
+    from repro.lang.executor import run_program
+    writer = TraceWriter(program.name)
+    run_program(program, writer, **params)
+    writer.save(path)
+    return len(writer)

@@ -1,0 +1,21 @@
+"""Cache-miss prediction models over reuse-distance histograms."""
+
+from repro.model.config import MachineConfig, MemoryLevel
+from repro.model.missmodel import (
+    expected_misses, fa_misses, miss_probability_at, sa_miss_probability,
+    sa_misses,
+)
+from repro.model.predictor import (
+    LevelPrediction, Prediction, predict, predict_from_db,
+)
+from repro.model.scaling import (
+    BASIS, QUANTILES, PatternScaling, ScalingModel, SeriesModel, fit_series,
+)
+
+__all__ = [
+    "BASIS", "LevelPrediction", "MachineConfig", "MemoryLevel",
+    "PatternScaling", "Prediction", "QUANTILES", "ScalingModel",
+    "SeriesModel", "expected_misses", "fa_misses", "fit_series",
+    "miss_probability_at", "predict", "predict_from_db",
+    "sa_miss_probability", "sa_misses",
+]

@@ -1,0 +1,130 @@
+"""Machine configurations: the memory hierarchies misses are predicted for.
+
+The paper predicts L2, L3 and TLB misses for an Itanium2 (256KB 8-way L2,
+1.5MB 6-way L3, 128-entry fully-associative TLB with 16KB pages).  Running
+full traces of that scale is not feasible in pure Python, so the default
+configuration is a *scaled* Itanium2: every capacity divided by ~16 with
+problem sizes scaled to match (see DESIGN.md §2/§6).  The true configuration
+is retained for documentation and for the scaling-model experiments.
+
+A level predicts misses from reuse distances measured at its *granularity*:
+cache levels share the ``line`` granularity, the TLB uses ``page``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the memory hierarchy."""
+
+    name: str
+    capacity: int          # bytes
+    block_size: int        # bytes per line (cache) or page (TLB)
+    associativity: int     # ways; == num_blocks for fully associative
+    granularity: str       # which measured granularity feeds this level
+    miss_latency: int      # cycles charged per miss by the timing model
+
+    def __post_init__(self) -> None:
+        if self.capacity % self.block_size:
+            raise ValueError(f"{self.name}: capacity not a multiple of block size")
+        if self.num_blocks % self.associativity:
+            raise ValueError(f"{self.name}: blocks not a multiple of associativity")
+
+    @property
+    def num_blocks(self) -> int:
+        """Capacity in blocks — the FA-LRU miss threshold on reuse distance."""
+        return self.capacity // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.associativity
+
+    @property
+    def fully_associative(self) -> bool:
+        return self.num_sets == 1
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.capacity // 1024}KB, "
+                f"{self.block_size}B blocks, {self.associativity}-way")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A machine: memory levels + the parameters of the timing model."""
+
+    name: str
+    levels: Tuple[MemoryLevel, ...]
+    issue_width: int = 4
+    base_cpi: float = 1.0
+    icache_capacity: int = 16 * 1024   # Itanium2's small dedicated I-cache
+    icache_overflow_penalty: float = 0.7  # extra CPI when a loop body overflows
+
+    def level(self, name: str) -> MemoryLevel:
+        for lvl in self.levels:
+            if lvl.name == name:
+                return lvl
+        raise KeyError(name)
+
+    def granularities(self) -> Dict[str, int]:
+        """Granularity name -> block size, for configuring the analyzer."""
+        out: Dict[str, int] = {}
+        for lvl in self.levels:
+            existing = out.get(lvl.granularity)
+            if existing is not None and existing != lvl.block_size:
+                raise ValueError(
+                    f"granularity {lvl.granularity!r} has conflicting block "
+                    f"sizes {existing} and {lvl.block_size}"
+                )
+            out[lvl.granularity] = lvl.block_size
+        return out
+
+    def cache_levels(self) -> List[MemoryLevel]:
+        return [lvl for lvl in self.levels if lvl.granularity == "line"]
+
+    def tlb_levels(self) -> List[MemoryLevel]:
+        return [lvl for lvl in self.levels if lvl.granularity == "page"]
+
+    # -- presets -------------------------------------------------------------
+
+    @staticmethod
+    def scaled_itanium2() -> "MachineConfig":
+        """The default: an Itanium2 hierarchy scaled down ~64x.
+
+        Shapes (who wins, crossovers) are preserved because the workloads
+        are scaled by the same factor; see DESIGN.md §6.
+        """
+        return MachineConfig(
+            name="scaled-itanium2",
+            levels=(
+                MemoryLevel("L2", 4 * 1024, 64, 8, "line", 6),
+                MemoryLevel("L3", 32 * 1024, 64, 8, "line", 50),
+                MemoryLevel("TLB", 16 * 512, 512, 16, "page", 15),
+            ),
+            issue_width=4,
+            base_cpi=1.5,
+            icache_capacity=1024,
+        )
+
+    @staticmethod
+    def itanium2() -> "MachineConfig":
+        """The paper's actual target (used by the scaling-model examples)."""
+        return MachineConfig(
+            name="itanium2",
+            levels=(
+                MemoryLevel("L2", 256 * 1024, 128, 8, "line", 9),
+                MemoryLevel("L3", 1536 * 1024, 128, 6, "line", 200),
+                MemoryLevel("TLB", 128 * 16384, 16384, 128, "page", 25),
+            ),
+            issue_width=6,
+            base_cpi=1.0,
+            icache_capacity=16 * 1024,
+        )
+
+    def __str__(self) -> str:
+        lines = [f"MachineConfig {self.name}:"]
+        lines += [f"  {lvl}" for lvl in self.levels]
+        return "\n".join(lines)

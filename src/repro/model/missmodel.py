@@ -1,0 +1,90 @@
+"""Cache-miss models over reuse-distance histograms.
+
+Two models, per Section I of the paper:
+
+* **Fully-associative LRU**: an access with reuse distance ``d`` (in blocks)
+  misses iff ``d >= capacity_in_blocks``.  Cold accesses always miss.
+* **Set-associative (probabilistic)**: following the paper's reference [14]
+  (Marin & Mellor-Crummey), the ``d`` intervening blocks are assumed to be
+  spread uniformly over the ``S`` sets; the access misses iff at least ``A``
+  (the associativity) of them land in its own set:
+  ``P(miss | d) = P(Binomial(d, 1/S) >= A)``.
+
+Probabilities are memoized per (bin, level) — histogram bins are the only
+distances ever queried.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.core.histogram import Histogram, bin_mid, bin_range
+from repro.model.config import MemoryLevel
+
+
+@lru_cache(maxsize=100_000)
+def sa_miss_probability(distance: int, num_sets: int, associativity: int) -> float:
+    """P(miss) for a reuse at ``distance`` in an S-set, A-way LRU cache."""
+    if num_sets == 1:
+        return 1.0 if distance >= associativity else 0.0
+    if distance < associativity:
+        return 0.0
+    n, p = distance, 1.0 / num_sets
+    mean = n * p
+    # Exact binomial survival for small n; normal approximation beyond.
+    if n <= 4096:
+        q = 1.0 - p
+        pmf = q ** n
+        cdf = pmf
+        for k in range(1, associativity):
+            pmf *= (n - k + 1) / k * (p / q)
+            cdf += pmf
+        return max(0.0, min(1.0, 1.0 - cdf))
+    sigma = math.sqrt(n * p * (1.0 - p))
+    if sigma == 0.0:
+        return 1.0 if mean >= associativity else 0.0
+    z = (associativity - 0.5 - mean) / sigma
+    return max(0.0, min(1.0, 0.5 * math.erfc(z / math.sqrt(2.0))))
+
+
+def fa_misses(histogram: Histogram, level: MemoryLevel) -> float:
+    """Expected misses under the fully-associative LRU threshold rule."""
+    return histogram.count_at_least(level.num_blocks)
+
+
+def sa_misses(histogram: Histogram, level: MemoryLevel) -> float:
+    """Expected misses under the probabilistic set-associative model."""
+    if level.fully_associative:
+        return fa_misses(histogram, level)
+    total = float(histogram.cold)
+    num_sets, assoc = level.num_sets, level.associativity
+    for index, count in histogram.bins.items():
+        lo, hi = bin_range(index)
+        if hi < assoc:
+            continue
+        mid = (lo + hi) // 2
+        total += count * sa_miss_probability(mid, num_sets, assoc)
+    return total
+
+
+def expected_misses(histogram: Histogram, level: MemoryLevel,
+                    model: str = "sa") -> float:
+    """Expected miss count of one pattern at one level.
+
+    ``model`` is ``"sa"`` (default, the paper's probabilistic model) or
+    ``"fa"`` (the pure LRU-stack threshold).
+    """
+    if model == "fa":
+        return fa_misses(histogram, level)
+    if model == "sa":
+        return sa_misses(histogram, level)
+    raise ValueError(f"unknown miss model {model!r}")
+
+
+def miss_probability_at(distance: int, level: MemoryLevel,
+                        model: str = "sa") -> float:
+    """P(miss) for a single reuse distance (used by tests and examples)."""
+    if model == "fa" or level.fully_associative:
+        return 1.0 if distance >= level.num_blocks else 0.0
+    return sa_miss_probability(distance, level.num_sets, level.associativity)

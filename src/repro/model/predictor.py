@@ -1,0 +1,159 @@
+"""Per-pattern cache-miss prediction and its aggregations.
+
+The paper's key step: because reuse-distance histograms are kept *per
+pattern*, miss predictions can be broken down by destination scope, by
+source scope, by carrying scope, and by data array — which is what pinpoints
+the transformation opportunities (Figs 5, 9, 10; Tables I, II).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analyzer import ReuseAnalyzer
+from repro.core.patterns import COLD, PatternDB, PatternKey
+from repro.lang.ast import Program
+from repro.model.config import MachineConfig, MemoryLevel
+from repro.model.missmodel import expected_misses
+
+
+class LevelPrediction:
+    """Predicted misses at one memory level, broken down by pattern."""
+
+    def __init__(self, level: MemoryLevel, program: Program) -> None:
+        self.level = level
+        self.program = program
+        #: (rid, src_sid, carry_sid) -> expected misses (cold patterns have
+        #: src_sid == carry_sid == COLD).
+        self.pattern_misses: Dict[PatternKey, float] = {}
+
+    # -- totals ---------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        return sum(self.pattern_misses.values())
+
+    @property
+    def cold(self) -> float:
+        return sum(m for key, m in self.pattern_misses.items()
+                   if key[1] == COLD)
+
+    def miss_rate(self, accesses: int) -> float:
+        """Misses per access (the classic counter-style metric)."""
+        return self.total / accesses if accesses else 0.0
+
+    @property
+    def traffic_bytes(self) -> float:
+        """Data moved past this level: misses x block size.
+
+        The quantity the paper's array-splitting argument targets: "this
+        transformation will reduce the number of misses, which will reduce
+        both the data bandwidth and memory delays for the loop".
+        """
+        return self.total * self.level.block_size
+
+    def traffic_by_array(self) -> Dict[str, float]:
+        return {name: misses * self.level.block_size
+                for name, misses in self.by_array().items()}
+
+    # -- breakdowns --------------------------------------------------------
+
+    def by_dest_scope(self) -> Dict[int, float]:
+        """Misses attributed to the scope containing the missing reference."""
+        out: Dict[int, float] = {}
+        for (rid, _src, _carry), misses in self.pattern_misses.items():
+            sid = self.program.ref(rid).scope
+            out[sid] = out.get(sid, 0.0) + misses
+        return out
+
+    def by_source_scope(self) -> Dict[int, float]:
+        """Misses broken down by where the data was last accessed."""
+        out: Dict[int, float] = {}
+        for (_rid, src, _carry), misses in self.pattern_misses.items():
+            out[src] = out.get(src, 0.0) + misses
+        return out
+
+    def carried_by_scope(self, include_cold: bool = False) -> Dict[int, float]:
+        """Misses carried by each scope (the paper's central metric).
+
+        A scope S carries the misses produced by reuse patterns whose
+        carrying scope is S.  Cold misses have no carrying scope and are
+        excluded unless ``include_cold`` (then under scope COLD).
+        """
+        out: Dict[int, float] = {}
+        for (_rid, src, carry), misses in self.pattern_misses.items():
+            if src == COLD and not include_cold:
+                continue
+            out[carry] = out.get(carry, 0.0) + misses
+        return out
+
+    def by_array(self) -> Dict[str, float]:
+        """Misses attributed to the data array being accessed."""
+        out: Dict[str, float] = {}
+        for (rid, _src, _carry), misses in self.pattern_misses.items():
+            name = self.program.ref(rid).array
+            out[name] = out.get(name, 0.0) + misses
+        return out
+
+    def by_ref(self) -> Dict[int, float]:
+        out: Dict[int, float] = {}
+        for (rid, _src, _carry), misses in self.pattern_misses.items():
+            out[rid] = out.get(rid, 0.0) + misses
+        return out
+
+    def for_scope_by_carry(self, dest_sid: int) -> Dict[int, float]:
+        """Carrying-scope breakdown of the misses inside one dest scope.
+
+        This is the Table II view: for a given loop, which scopes carry the
+        reuses whose misses the loop suffers.
+        """
+        out: Dict[int, float] = {}
+        for (rid, _src, carry), misses in self.pattern_misses.items():
+            if self.program.ref(rid).scope == dest_sid:
+                out[carry] = out.get(carry, 0.0) + misses
+        return out
+
+    def __repr__(self) -> str:
+        return (f"LevelPrediction({self.level.name}, total={self.total:.0f}, "
+                f"cold={self.cold:.0f})")
+
+
+class Prediction:
+    """Miss predictions for every level of a machine configuration."""
+
+    def __init__(self, config: MachineConfig, program: Program) -> None:
+        self.config = config
+        self.program = program
+        self.levels: Dict[str, LevelPrediction] = {}
+
+    def level(self, name: str) -> LevelPrediction:
+        return self.levels[name]
+
+    def totals(self) -> Dict[str, float]:
+        return {name: lvl.total for name, lvl in self.levels.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={l.total:.0f}" for n, l in self.levels.items())
+        return f"Prediction({inner})"
+
+
+def predict_from_db(db: PatternDB, level: MemoryLevel, program: Program,
+                    model: str = "sa") -> LevelPrediction:
+    """Predict one level's misses from one granularity's pattern database."""
+    pred = LevelPrediction(level, program)
+    for pattern in db.patterns():
+        misses = expected_misses(pattern.histogram, level, model=model)
+        if misses > 0.0:
+            pred.pattern_misses[pattern.key] = misses
+    return pred
+
+
+def predict(analyzer: ReuseAnalyzer, config: MachineConfig, program: Program,
+            model: str = "sa") -> Prediction:
+    """Predict misses at every level of ``config`` from measured patterns."""
+    result = Prediction(config, program)
+    for level in config.levels:
+        db = analyzer.db(level.granularity)
+        result.levels[level.name] = predict_from_db(
+            db, level, program, model=model)
+    return result

@@ -1,0 +1,10 @@
+"""Ground-truth memory-hierarchy simulation and the analytic timing model."""
+
+from repro.sim.cache import SetAssocCache
+from repro.sim.hierarchy import HierarchySim
+from repro.sim.timing import TimingBreakdown, TimingInputs, TimingModel
+
+__all__ = [
+    "HierarchySim", "SetAssocCache", "TimingBreakdown", "TimingInputs",
+    "TimingModel",
+]

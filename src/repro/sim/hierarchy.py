@@ -1,0 +1,115 @@
+"""Multi-level memory-hierarchy simulation driven by the event stream.
+
+:class:`HierarchySim` is an event handler (like the analyzer): it feeds
+every access through the configured cache levels and the TLB.
+
+Two modes:
+
+* ``standalone`` (default): every access updates every level, so each level
+  behaves as an independent cache of its capacity.  This is the quantity
+  reuse-distance models predict (a distance compared against each level's
+  capacity), so predictor validation uses this mode.
+* ``filtered``: a hit at an upper level stops the lookup, approximating the
+  hardware counters the paper used (L3 sees only L2 misses).  For LRU
+  inclusive hierarchies the totals differ only through LRU-update effects.
+
+Optional per-reference counters support fine-grain validation against the
+predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.config import MachineConfig, MemoryLevel
+from repro.sim.cache import SetAssocCache
+
+
+class HierarchySim:
+    """Simulate all levels of a :class:`MachineConfig` at once."""
+
+    def __init__(self, config: MachineConfig, track_refs: bool = False,
+                 mode: str = "standalone") -> None:
+        if mode not in ("standalone", "filtered"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.config = config
+        self.caches: List[SetAssocCache] = [
+            SetAssocCache(lvl.capacity, lvl.block_size, lvl.associativity,
+                          name=lvl.name)
+            for lvl in config.cache_levels()
+        ]
+        self.tlbs: List[SetAssocCache] = [
+            SetAssocCache(lvl.capacity, lvl.block_size, lvl.associativity,
+                          name=lvl.name)
+            for lvl in config.tlb_levels()
+        ]
+        self.track_refs = track_refs
+        #: per (level name, rid) miss counts, when track_refs is set
+        self.ref_misses: Dict[Tuple[str, int], int] = {}
+
+    # -- event handler protocol -------------------------------------------
+
+    def enter_scope(self, sid: int) -> None:
+        pass
+
+    def exit_scope(self, sid: int) -> None:
+        pass
+
+    def access(self, rid: int, addr: int, is_store: bool) -> None:
+        filtered = self.mode == "filtered"
+        for cache in self.caches:
+            block = addr >> cache.block_bits
+            line = cache._sets[block % cache.num_sets]
+            if block in line:
+                if line[-1] != block:
+                    line.remove(block)
+                    line.append(block)
+                cache.hits += 1
+                if filtered:
+                    break  # hit: lower levels are not consulted
+                continue
+            cache.misses += 1
+            if self.track_refs:
+                key = (cache.name, rid)
+                self.ref_misses[key] = self.ref_misses.get(key, 0) + 1
+            if len(line) >= cache.associativity:
+                line.pop(0)
+            line.append(block)
+        for tlb in self.tlbs:
+            block = addr >> tlb.block_bits
+            line = tlb._sets[block % tlb.num_sets]
+            if block in line:
+                if line[-1] != block:
+                    line.remove(block)
+                    line.append(block)
+                tlb.hits += 1
+            else:
+                tlb.misses += 1
+                if self.track_refs:
+                    key = (tlb.name, rid)
+                    self.ref_misses[key] = self.ref_misses.get(key, 0) + 1
+                if len(line) >= tlb.associativity:
+                    line.pop(0)
+                line.append(block)
+
+    # -- results -------------------------------------------------------------
+
+    def misses(self, level_name: str) -> int:
+        for cache in self.caches + self.tlbs:
+            if cache.name == level_name:
+                return cache.misses
+        raise KeyError(level_name)
+
+    def totals(self) -> Dict[str, int]:
+        return {c.name: c.misses for c in self.caches + self.tlbs}
+
+    def misses_by_ref(self, level_name: str) -> Dict[int, int]:
+        if not self.track_refs:
+            raise RuntimeError("HierarchySim was created with track_refs=False")
+        return {rid: n for (name, rid), n in self.ref_misses.items()
+                if name == level_name}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.name}={c.misses}" for c in self.caches + self.tlbs)
+        return f"HierarchySim({inner})"

@@ -1,0 +1,77 @@
+"""Analytic execution-time model.
+
+The paper's Fig 8(d) and Fig 11(d) report measured cycles; our substitute
+charges
+
+    cycles = base_cpi * instructions / issue_width        (non-stall time)
+           + sum over levels of  misses(level) * miss_latency(level)
+           + icache_penalty                                (see below)
+
+The instruction-cache term reproduces the paper's pushi anomaly: the
+strip-mine+fusion in GTC's ``pushi`` reduced L2/L3 misses but not execution
+time, because the fused loop overflowed Itanium's small 16KB I-cache.  A
+kernel variant declares its largest loop-body instruction footprint; when it
+exceeds the configured I-cache capacity, an extra per-instruction stall is
+charged for the instructions executed inside that loop.
+
+``schedule_factor`` models instruction-schedule quality: unroll&jam and
+better schedules reduce effective CPI (the paper's spcpft/poisson unroll&jam
+and the Sweep3D schedule compaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.model.config import MachineConfig
+
+
+@dataclass
+class TimingInputs:
+    """Everything the timing model charges for one run."""
+
+    instructions: int
+    misses: Mapping[str, float]          # level name -> miss count
+    schedule_factor: float = 1.0         # <1 after unroll&jam etc.
+    loop_body_instructions: int = 0      # footprint of the largest hot loop
+    insts_in_big_loop: int = 0           # dynamic instructions run inside it
+
+
+@dataclass
+class TimingBreakdown:
+    """Cycle totals, split the way Fig 8(d) plots them."""
+
+    non_stall: float
+    memory_stall: float
+    icache_stall: float
+
+    @property
+    def total(self) -> float:
+        return self.non_stall + self.memory_stall + self.icache_stall
+
+
+class TimingModel:
+    """Charge cycles for a run on a given machine configuration."""
+
+    #: Bytes of instruction footprint per modeled instruction (IA-64 bundles
+    #: are 16 bytes / 3 instructions; ~5.3 rounded up).
+    BYTES_PER_INSTRUCTION = 6
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+
+    def cycles(self, inputs: TimingInputs) -> TimingBreakdown:
+        config = self.config
+        non_stall = (inputs.instructions * config.base_cpi
+                     * inputs.schedule_factor / config.issue_width)
+        memory = 0.0
+        for level in config.levels:
+            memory += inputs.misses.get(level.name, 0.0) * level.miss_latency
+        icache = 0.0
+        footprint = inputs.loop_body_instructions * self.BYTES_PER_INSTRUCTION
+        if footprint > config.icache_capacity and inputs.insts_in_big_loop:
+            overflow = 1.0 - config.icache_capacity / footprint
+            icache = (inputs.insts_in_big_loop * overflow
+                      * config.icache_overflow_penalty)
+        return TimingBreakdown(non_stall, memory, icache)

@@ -1,0 +1,24 @@
+"""Static analysis of access patterns: formulas, related refs, fragmentation."""
+
+from repro.static.formulas import (
+    StrideInfo, SymFormula, address_formula, first_location, formula_of_reg,
+    stride_of,
+)
+from repro.static.fragmentation import (
+    FragmentationAnalysis, FragmentationInfo, analyze_group,
+)
+from repro.static.lower import lower_program, lower_routine
+from repro.static.related import RelatedGroup, StaticAnalysis
+from repro.static.usedef import (
+    address_slice_of_ref, backward_slice, feeding_loads, loop_vars_reaching,
+    params_reaching,
+)
+
+__all__ = [
+    "FragmentationAnalysis", "FragmentationInfo", "RelatedGroup",
+    "StaticAnalysis", "StrideInfo", "SymFormula", "address_formula",
+    "address_slice_of_ref", "analyze_group", "backward_slice",
+    "feeding_loads", "first_location", "formula_of_reg",
+    "loop_vars_reaching", "lower_program", "lower_routine",
+    "params_reaching", "stride_of",
+]

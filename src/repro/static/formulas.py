@@ -1,0 +1,266 @@
+"""Symbolic first-location and stride formulas, recovered from the IR.
+
+Section III: "First, we compute symbolic formulas that describe the memory
+locations accessed by each reference ... by tracing back along use-def
+chains ... For references inside loops, we also compute symbolic stride
+formulas, which describe how the accessed location changes from one
+iteration to the next.  Stride formulas have two additional flags.  One flag
+indicates whether a reference's stride is irregular ... The second flag
+indicates whether the reference is indirect with respect to that loop."
+
+A formula is affine:  ``const + sum coeff_p * param_p + sum coeff_v * var_v``
+with two taint sets:
+
+* ``irregular_vars`` — loop variables that reach the address through a
+  non-affine operation (div/mod/min/max, or a product of two non-constant
+  subexpressions);
+* ``indirect_vars`` — loop variables that reach the address through a value
+  loaded from memory (``ldval``), i.e. indirect indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.static import ir
+from repro.static.ir import Instr, RoutineIR
+
+
+class SymFormula:
+    """An affine symbolic formula with irregularity taint.
+
+    ``symbol`` records the relocated base address the formula was built
+    around (from a GLOBAL instruction) — the anchor the symbol-table
+    lookup resolves, exactly like a relocation entry in real object code.
+    """
+
+    __slots__ = ("const", "params", "lvars", "irregular_vars",
+                 "indirect_vars", "symbol")
+
+    def __init__(self, const: int = 0,
+                 params: Optional[Dict[str, int]] = None,
+                 lvars: Optional[Dict[str, int]] = None,
+                 irregular_vars: Optional[Set[str]] = None,
+                 indirect_vars: Optional[Set[str]] = None,
+                 symbol: Optional[int] = None) -> None:
+        self.const = const
+        self.params: Dict[str, int] = dict(params or {})
+        self.lvars: Dict[str, int] = dict(lvars or {})
+        self.irregular_vars: Set[str] = set(irregular_vars or ())
+        self.indirect_vars: Set[str] = set(indirect_vars or ())
+        self.symbol = symbol
+
+    # -- algebra -----------------------------------------------------------
+
+    def _combine(self, other: "SymFormula", sign: int) -> "SymFormula":
+        out = SymFormula(self.const + sign * other.const, self.params,
+                         self.lvars, self.irregular_vars, self.indirect_vars,
+                         symbol=self.symbol if self.symbol is not None
+                         else (other.symbol if sign > 0 else None))
+        for name, coeff in other.params.items():
+            out.params[name] = out.params.get(name, 0) + sign * coeff
+            if out.params[name] == 0:
+                del out.params[name]
+        for name, coeff in other.lvars.items():
+            out.lvars[name] = out.lvars.get(name, 0) + sign * coeff
+            if out.lvars[name] == 0:
+                del out.lvars[name]
+        out.irregular_vars |= other.irregular_vars
+        out.indirect_vars |= other.indirect_vars
+        return out
+
+    def add(self, other: "SymFormula") -> "SymFormula":
+        return self._combine(other, 1)
+
+    def sub(self, other: "SymFormula") -> "SymFormula":
+        return self._combine(other, -1)
+
+    def scale(self, factor: int) -> "SymFormula":
+        return SymFormula(
+            self.const * factor,
+            {k: v * factor for k, v in self.params.items()},
+            {k: v * factor for k, v in self.lvars.items()},
+            self.irregular_vars, self.indirect_vars,
+            symbol=self.symbol if factor == 1 else None,
+        )
+
+    def tainted(self) -> "SymFormula":
+        """All affine structure lost: every variable becomes irregular."""
+        out = SymFormula(0, symbol=self.symbol)
+        out.irregular_vars = (set(self.lvars) | self.irregular_vars
+                              | self.indirect_vars)
+        out.indirect_vars = set(self.indirect_vars)
+        return out
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return (not self.params and not self.lvars
+                and not self.irregular_vars and not self.indirect_vars)
+
+    def depends_on(self, var: str) -> bool:
+        return (var in self.lvars or var in self.irregular_vars
+                or var in self.indirect_vars)
+
+    def coeff(self, var: str) -> int:
+        return self.lvars.get(var, 0)
+
+    def delta_const(self, other: "SymFormula") -> Optional[int]:
+        """If ``self - other`` is a pure constant, return it; else None."""
+        if self.params != other.params or self.lvars != other.lvars:
+            return None
+        if (self.irregular_vars | other.irregular_vars
+                or self.indirect_vars | other.indirect_vars):
+            return None
+        return self.const - other.const
+
+    def substitute(self, var: str, replacement: "SymFormula") -> "SymFormula":
+        """Replace an affine occurrence of ``var`` with ``replacement``."""
+        coeff = self.lvars.get(var)
+        out = SymFormula(self.const, self.params,
+                         {k: v for k, v in self.lvars.items() if k != var},
+                         self.irregular_vars, self.indirect_vars,
+                         symbol=self.symbol)
+        if coeff:
+            out = out.add(replacement.scale(coeff))
+        return out
+
+    def __repr__(self) -> str:
+        parts = [str(self.const)]
+        parts += [f"{c}*{p}" for p, c in sorted(self.params.items())]
+        parts += [f"{c}*{v}" for v, c in sorted(self.lvars.items())]
+        text = " + ".join(parts)
+        if self.irregular_vars:
+            text += f" [irregular: {sorted(self.irregular_vars)}]"
+        if self.indirect_vars:
+            text += f" [indirect: {sorted(self.indirect_vars)}]"
+        return text
+
+
+class StrideInfo:
+    """The paper's stride formula for one reference w.r.t. one loop."""
+
+    __slots__ = ("bytes", "irregular", "indirect")
+
+    def __init__(self, stride_bytes: Optional[int], irregular: bool,
+                 indirect: bool) -> None:
+        self.bytes = stride_bytes      # None when not constant
+        self.irregular = irregular
+        self.indirect = indirect
+
+    @property
+    def is_constant(self) -> bool:
+        return (self.bytes is not None
+                and not self.irregular and not self.indirect)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrideInfo):
+            return NotImplemented
+        return (self.bytes == other.bytes
+                and self.irregular == other.irregular
+                and self.indirect == other.indirect)
+
+    def __hash__(self) -> int:
+        return hash((self.bytes, self.irregular, self.indirect))
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.irregular:
+            flags.append("irregular")
+        if self.indirect:
+            flags.append("indirect")
+        suffix = f" ({','.join(flags)})" if flags else ""
+        return f"stride {self.bytes}{suffix}"
+
+
+def formula_of_reg(rir: RoutineIR, reg: int,
+                   _memo: Optional[Dict[int, SymFormula]] = None) -> SymFormula:
+    """Recover the symbolic formula of a register by use-def tracing."""
+    if _memo is None:
+        _memo = {}
+    cached = _memo.get(reg)
+    if cached is not None:
+        return cached
+    inst = rir.defining(reg)
+    op = inst.op
+    if op == ir.LI:
+        result = SymFormula(inst.imm)
+    elif op == ir.GLOBAL:
+        result = SymFormula(inst.imm, symbol=inst.imm)
+    elif op == ir.PARAM:
+        result = SymFormula(0, params={inst.meta: 1})
+    elif op == ir.LOOPVAR:
+        result = SymFormula(0, lvars={inst.meta: 1})
+        # A loop variable's induction is initialized from its bounds; if a
+        # bound is a loaded or non-affine value, the variable inherits that
+        # taint (e.g. CSR inner loops bounded by rowstart loads make every
+        # subscript data-dependent on the row).
+        for bound_reg in rir.loop_bound_regs.get(inst.meta, ()):
+            bound = formula_of_reg(rir, bound_reg, _memo)
+            result.irregular_vars |= bound.irregular_vars
+            result.indirect_vars |= bound.indirect_vars
+    elif op == ir.ADD:
+        result = (formula_of_reg(rir, inst.srcs[0], _memo)
+                  .add(formula_of_reg(rir, inst.srcs[1], _memo)))
+    elif op == ir.SUB:
+        result = (formula_of_reg(rir, inst.srcs[0], _memo)
+                  .sub(formula_of_reg(rir, inst.srcs[1], _memo)))
+    elif op == ir.MUL:
+        left = formula_of_reg(rir, inst.srcs[0], _memo)
+        right = formula_of_reg(rir, inst.srcs[1], _memo)
+        if right.is_constant:
+            result = left.scale(right.const)
+        elif left.is_constant:
+            result = right.scale(left.const)
+        elif not left.lvars and not right.lvars:
+            # product of parameters: symbolic but loop-invariant
+            result = SymFormula(0)
+            result.irregular_vars = (left.irregular_vars
+                                     | right.irregular_vars)
+            result.indirect_vars = left.indirect_vars | right.indirect_vars
+        else:
+            result = left.add(right).tainted()
+    elif op in (ir.DIV, ir.MOD, ir.MINOP, ir.MAXOP):
+        combined = SymFormula(0)
+        for src in inst.srcs:
+            combined = combined.add(formula_of_reg(rir, src, _memo))
+        result = combined.tainted()
+    elif op == ir.LDVAL:
+        # Value loaded from memory: indirect w.r.t. every loop variable the
+        # *address* depends on.
+        addr = formula_of_reg(rir, inst.srcs[0], _memo)
+        result = SymFormula(0)
+        result.indirect_vars = (set(addr.lvars) | addr.irregular_vars
+                                | addr.indirect_vars)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"register defined by non-value op {op}")
+    _memo[reg] = result
+    return result
+
+
+def address_formula(rir: RoutineIR, rid: int) -> SymFormula:
+    """The symbolic address formula of reference ``rid``."""
+    return formula_of_reg(rir, rir.ref_addr[rid])
+
+
+def stride_of(formula: SymFormula, loop_var: str, step: int) -> StrideInfo:
+    """Stride of an address formula w.r.t. one loop (per-iteration bytes)."""
+    irregular = loop_var in formula.irregular_vars
+    indirect = loop_var in formula.indirect_vars
+    if irregular or indirect:
+        return StrideInfo(None, irregular, indirect)
+    return StrideInfo(formula.coeff(loop_var) * step, False, False)
+
+
+def first_location(formula: SymFormula, loops) -> SymFormula:
+    """First-location formula: loop variables set to their lower bounds.
+
+    ``loops`` is an iterable of (var name, lower-bound SymFormula) from the
+    *innermost outward*; substituting in that order resolves bounds that
+    depend on outer loop variables.
+    """
+    out = formula
+    for var, lower in loops:
+        out = out.substitute(var, lower)
+    return out

@@ -1,0 +1,143 @@
+"""Cache-line fragmentation analysis (Section III's three-step algorithm).
+
+For each group of related references:
+
+* **Step 1** — traverse the enclosing loops inside-out and find the loop L
+  with the smallest non-zero constant stride ``s``; abort at the first loop
+  with an irregular/indirect stride (static analysis cannot see through
+  those — they are reported separately as irregular patterns).
+* **Step 2** — split the related group into *reuse groups*: two references
+  belong together iff their first-location formulas differ by a constant
+  small enough that L closes the gap in fewer iterations than its average
+  trip count (taken from dynamic feedback, as in the paper).
+* **Step 3** — compute each reuse group's *hot footprint*: map every
+  reference's locations into one s-byte window with modular arithmetic and
+  measure the coverage ``c``; the fragmentation factor is ``f = 1 - c/s``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.executor import RunStats
+from repro.static.related import RelatedGroup, StaticAnalysis
+
+
+class FragmentationInfo:
+    """Result of the three-step algorithm for one related group."""
+
+    __slots__ = ("group", "loop_sid", "stride", "reuse_groups", "coverage",
+                 "factor", "status")
+
+    def __init__(self, group: RelatedGroup, loop_sid: Optional[int],
+                 stride: Optional[int], reuse_groups: List[List[int]],
+                 coverage: int, factor: float, status: str) -> None:
+        self.group = group
+        self.loop_sid = loop_sid       # the loop L of step 1
+        self.stride = stride           # s, in bytes
+        self.reuse_groups = reuse_groups
+        self.coverage = coverage       # max hot-footprint coverage, bytes
+        self.factor = factor           # f = 1 - c/s
+        #: "ok" | "irregular" (search stopped at an irregular stride) |
+        #: "no-stride" (no constant non-zero stride in the nest)
+        self.status = status
+
+    def __repr__(self) -> str:
+        return (f"FragmentationInfo({self.group.object_name!r}, s={self.stride}, "
+                f"c={self.coverage}, f={self.factor:.2f}, {self.status})")
+
+
+def analyze_group(static: StaticAnalysis, group: RelatedGroup,
+                  stats: Optional[RunStats] = None) -> FragmentationInfo:
+    """Run the three-step algorithm on one related group."""
+    program = static.program
+    rep = group.rids[0]  # strides are equal across the group (footnote 1)
+
+    # -- Step 1: innermost loop with smallest non-zero constant stride ----
+    best_sid: Optional[int] = None
+    best_stride: Optional[int] = None
+    for sid, stride in zip(group.loop_chain, group.strides):
+        if stride.irregular or stride.indirect:
+            break  # cannot see past irregular access patterns
+        if stride.bytes:
+            magnitude = abs(stride.bytes)
+            if best_stride is None or magnitude < best_stride:
+                best_stride = magnitude
+                best_sid = sid
+    if best_stride is None:
+        had_irregular = any(s.irregular or s.indirect for s in group.strides)
+        status = "irregular" if had_irregular else "no-stride"
+        return FragmentationInfo(group, None, None,
+                                 [list(group.rids)], 0, 0.0, status)
+
+    # -- Step 2: split into reuse groups by first-location deltas ---------
+    avg_trip = stats.avg_trip(best_sid) if stats is not None else float("inf")
+    reuse_groups: List[List[int]] = []
+    anchors: List[int] = []  # representative rid per reuse group
+    for rid in group.rids:
+        first = static.first_loc(rid)
+        placed = False
+        for members, anchor in zip(reuse_groups, anchors):
+            delta = first.delta_const(static.first_loc(anchor))
+            if delta is None:
+                continue
+            iterations = abs(delta) / best_stride
+            if iterations < max(avg_trip, 1.0):
+                members.append(rid)
+                placed = True
+                break
+        if not placed:
+            reuse_groups.append([rid])
+            anchors.append(rid)
+
+    # -- Step 3: hot footprint per reuse group ------------------------------
+    stride_window = best_stride
+    best_coverage = 0
+    for members in reuse_groups:
+        window = bytearray(stride_window)
+        for rid in members:
+            obj = static.object_of(rid)
+            width = obj.elem_size if obj is not None else 8
+            offset = static.first_loc(rid).const % stride_window
+            for byte in range(width):
+                window[(offset + byte) % stride_window] = 1
+        coverage = sum(window)
+        if coverage > best_coverage:
+            best_coverage = coverage
+    factor = 1.0 - best_coverage / stride_window
+    return FragmentationInfo(group, best_sid, best_stride, reuse_groups,
+                             best_coverage, factor, "ok")
+
+
+class FragmentationAnalysis:
+    """Fragmentation factors for every related group of a program."""
+
+    def __init__(self, static: StaticAnalysis,
+                 stats: Optional[RunStats] = None) -> None:
+        self.static = static
+        self.infos: List[FragmentationInfo] = [
+            analyze_group(static, group, stats)
+            for group in static.related_groups()
+        ]
+        self._by_rid: Dict[int, FragmentationInfo] = {}
+        for info in self.infos:
+            for rid in info.group.rids:
+                self._by_rid[rid] = info
+
+    def factor_of_ref(self, rid: int) -> float:
+        info = self._by_rid.get(rid)
+        return info.factor if info is not None else 0.0
+
+    def info_of_ref(self, rid: int) -> Optional[FragmentationInfo]:
+        return self._by_rid.get(rid)
+
+    def by_array(self) -> Dict[str, float]:
+        """Worst fragmentation factor observed per data object."""
+        out: Dict[str, float] = {}
+        for info in self.infos:
+            name = info.group.object_name
+            out[name] = max(out.get(name, 0.0), info.factor)
+        return out
+
+    def fragmented_groups(self, threshold: float = 0.0) -> List[FragmentationInfo]:
+        return [i for i in self.infos if i.factor > threshold]

@@ -1,0 +1,132 @@
+"""Low-level register IR: what the paper's binary analysis operates on.
+
+The paper recovers access patterns from *machine code*: "we compute symbolic
+formulas that describe the memory locations accessed by each reference ...
+by tracing back along use-def chains in its enclosing routine, starting from
+the registers used in the reference's address computation."
+
+To reproduce that mechanism honestly, kernels are lowered
+(:mod:`repro.static.lower`) to this IR — explicit address arithmetic over
+virtual registers — and the formula recovery (:mod:`repro.static.formulas`)
+sees only the IR, never the source-level subscripts.
+
+Registers are SSA-like: each is defined by exactly one instruction, so the
+use-def chain is the ``def_of`` table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Instruction opcodes.
+LI = "li"            # dest <- immediate constant
+GLOBAL = "global"    # dest <- relocated address of a global (imm = address)
+PARAM = "param"      # dest <- program parameter (symbol in meta)
+LOOPVAR = "loopvar"  # dest <- current value of loop variable (symbol in meta)
+ADD = "add"
+SUB = "sub"
+MUL = "mul"
+DIV = "div"          # floor division (non-affine)
+MOD = "mod"          # (non-affine)
+MINOP = "min"        # (non-affine)
+MAXOP = "max"        # (non-affine)
+LDVAL = "ldval"      # dest <- memory[src0]   (value load; indirect indexing)
+LOAD = "load"        # memory reference: address in src0  (rid in meta)
+STORE = "store"      # memory reference: address in src0  (rid in meta)
+
+_BINOPS = (ADD, SUB, MUL, DIV, MOD, MINOP, MAXOP)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One IR instruction.  ``dest`` is -1 for load/store (no value def)."""
+
+    op: str
+    dest: int
+    srcs: Tuple[int, ...] = ()
+    imm: int = 0
+    meta: str = ""        # parameter / loop-variable name, or "" otherwise
+    rid: int = -1         # reference id for LOAD/STORE/LDVAL
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.dest >= 0:
+            parts.append(f"r{self.dest} <-")
+        parts.extend(f"r{s}" for s in self.srcs)
+        if self.op == LI:
+            parts.append(str(self.imm))
+        if self.meta:
+            parts.append(self.meta)
+        if self.rid >= 0:
+            parts.append(f"[ref {self.rid}]")
+        return " ".join(parts)
+
+
+class RoutineIR:
+    """The lowered body of one routine.
+
+    ``instrs`` is the linear instruction list; ``loops`` maps loop scope ids
+    to the loop-variable names they drive (the structure the stride analysis
+    differentiates against); ``ref_addr`` maps each reference id to the
+    register holding its address.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instrs: List[Instr] = []
+        self.def_of: Dict[int, Instr] = {}
+        self.ref_addr: Dict[int, int] = {}
+        self.loop_vars: Dict[int, str] = {}   # loop sid -> variable name
+        #: variable name -> registers holding its loops' lower/upper bounds.
+        #: A loop variable is *defined* by an induction initialized from its
+        #: bounds; formula recovery inherits the bounds' irregular/indirect
+        #: taint (a loop counting between two loaded values is itself a
+        #: data-dependent quantity).
+        self.loop_bound_regs: Dict[str, List[int]] = {}
+        self._next_reg = 0
+
+    # -- construction -----------------------------------------------------
+
+    def new_reg(self) -> int:
+        reg = self._next_reg
+        self._next_reg += 1
+        return reg
+
+    def emit(self, op: str, srcs: Tuple[int, ...] = (), imm: int = 0,
+             meta: str = "", rid: int = -1, has_dest: bool = True) -> int:
+        dest = self.new_reg() if has_dest else -1
+        inst = Instr(op, dest, srcs, imm, meta, rid)
+        self.instrs.append(inst)
+        if dest >= 0:
+            self.def_of[dest] = inst
+        return dest
+
+    def emit_ref(self, is_store: bool, addr_reg: int, rid: int) -> None:
+        op = STORE if is_store else LOAD
+        self.instrs.append(Instr(op, -1, (addr_reg,), 0, "", rid))
+        self.ref_addr[rid] = addr_reg
+
+    # -- queries ------------------------------------------------------------
+
+    def defining(self, reg: int) -> Instr:
+        """The use-def chain step: the unique instruction defining ``reg``."""
+        return self.def_of[reg]
+
+    def references(self) -> List[Instr]:
+        return [i for i in self.instrs if i.op in (LOAD, STORE)]
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"RoutineIR({self.name!r}, {len(self.instrs)} instrs)"
+
+
+def is_binop(op: str) -> bool:
+    return op in _BINOPS
+
+
+def is_affine_op(op: str) -> bool:
+    """Ops preserving affine form (MUL only when one side is constant)."""
+    return op in (ADD, SUB, MUL, LI, PARAM, LOOPVAR)

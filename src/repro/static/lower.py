@@ -1,0 +1,147 @@
+"""Lower kernel ASTs to the register IR.
+
+Every reference's address computation becomes explicit arithmetic —
+``base + (i - origin) * stride + ...`` — so the formula recovery in
+:mod:`repro.static.formulas` has real use-def chains to trace, as the
+paper's tool does on optimized binaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lang.ast import (
+    Access, Add, Call, Const, Expr, FloorDiv, Load, Loop, Max, Min, Mod, Mul,
+    Node, Program, Routine, ScalarAssign, Stmt, Sub, Var,
+)
+from repro.static import ir
+from repro.static.ir import RoutineIR
+
+
+class _Lowerer:
+    def __init__(self, program: Program, routine: Routine) -> None:
+        self.program = program
+        self.out = RoutineIR(routine.name)
+        #: active loop variables (name -> True); names outside are params
+        self.loop_vars: Dict[str, bool] = {}
+        #: scalar locals currently holding a lowered register
+        self.scalars: Dict[str, int] = {}
+
+    # -- expressions -------------------------------------------------------
+
+    def lower_expr(self, expr: Expr) -> int:
+        out = self.out
+        if isinstance(expr, Const):
+            return out.emit(ir.LI, imm=expr.value)
+        if isinstance(expr, Var):
+            name = expr.name
+            if name in self.scalars:
+                return self.scalars[name]
+            if name in self.loop_vars:
+                return out.emit(ir.LOOPVAR, meta=name)
+            return out.emit(ir.PARAM, meta=name)
+        if isinstance(expr, Add):
+            return out.emit(ir.ADD, (self.lower_expr(expr.left),
+                                     self.lower_expr(expr.right)))
+        if isinstance(expr, Sub):
+            return out.emit(ir.SUB, (self.lower_expr(expr.left),
+                                     self.lower_expr(expr.right)))
+        if isinstance(expr, Mul):
+            return out.emit(ir.MUL, (self.lower_expr(expr.left),
+                                     self.lower_expr(expr.right)))
+        if isinstance(expr, FloorDiv):
+            return out.emit(ir.DIV, (self.lower_expr(expr.left),
+                                     self.lower_expr(expr.right)))
+        if isinstance(expr, Mod):
+            return out.emit(ir.MOD, (self.lower_expr(expr.left),
+                                     self.lower_expr(expr.right)))
+        if isinstance(expr, Min):
+            regs = tuple(self.lower_expr(a) for a in expr.args)
+            acc = regs[0]
+            for reg in regs[1:]:
+                acc = out.emit(ir.MINOP, (acc, reg))
+            return acc
+        if isinstance(expr, Max):
+            regs = tuple(self.lower_expr(a) for a in expr.args)
+            acc = regs[0]
+            for reg in regs[1:]:
+                acc = out.emit(ir.MAXOP, (acc, reg))
+            return acc
+        if isinstance(expr, Load):
+            addr = self.lower_address(expr.access)
+            self.out.ref_addr[expr.access.rid] = addr
+            return out.emit(ir.LDVAL, (addr,), rid=expr.access.rid)
+        raise TypeError(f"cannot lower expression {expr!r}")
+
+    def lower_address(self, access: Access) -> int:
+        """Emit the address arithmetic of one reference; returns addr reg."""
+        out = self.out
+        array = access.array
+        base = array.base
+        if access.field is not None:
+            base += array.field_offset(access.field)
+        # The base address is a relocated literal in real object code —
+        # emit it as GLOBAL so the symbol table can resolve the object.
+        addr = out.emit(ir.GLOBAL, imm=base, meta=array.name)
+        for index_expr, stride in zip(access.indices, array.strides):
+            if stride == 0:
+                continue
+            idx = self.lower_expr(index_expr)
+            if array.origin:
+                org = out.emit(ir.LI, imm=array.origin)
+                idx = out.emit(ir.SUB, (idx, org))
+            sreg = out.emit(ir.LI, imm=stride)
+            term = out.emit(ir.MUL, (idx, sreg))
+            addr = out.emit(ir.ADD, (addr, term))
+        return addr
+
+    def lower_ref(self, access: Access) -> None:
+        # Subscript loads (indirect indexing) are lowered inside
+        # lower_address via the Load expression case.
+        addr = self.lower_address(access)
+        self.out.emit_ref(access.is_store, addr, access.rid)
+
+    # -- body ------------------------------------------------------------
+
+    def lower_body(self, body) -> None:
+        for node in body:
+            if isinstance(node, Loop):
+                self.out.loop_vars[node.sid] = node.var
+                # Bounds are evaluated at loop entry: lower them before the
+                # body, outside the loop variable's scope.  Their registers
+                # are recorded so formula recovery can propagate taint from
+                # data-dependent bounds into the loop variable itself.
+                lo_reg = self.lower_expr(node.lo)
+                hi_reg = self.lower_expr(node.hi)
+                self.out.loop_bound_regs.setdefault(node.var, []).extend(
+                    (lo_reg, hi_reg))
+                was_scalar = self.scalars.pop(node.var, None)
+                self.loop_vars[node.var] = True
+                self.lower_body(node.body)
+                del self.loop_vars[node.var]
+                if was_scalar is not None:
+                    self.scalars[node.var] = was_scalar
+            elif isinstance(node, Stmt):
+                for access in node.accesses:
+                    self.lower_ref(access)
+            elif isinstance(node, ScalarAssign):
+                self.scalars[node.var] = self.lower_expr(node.expr)
+            elif isinstance(node, Call):
+                pass  # interprocedural formulas are out of scope, as in [12]
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"cannot lower node {node!r}")
+
+
+def lower_routine(program: Program, routine: Routine) -> RoutineIR:
+    """Lower one routine to IR."""
+    lowerer = _Lowerer(program, routine)
+    lowerer.lower_body(routine.body)
+    return lowerer.out
+
+
+def lower_program(program: Program) -> Dict[str, RoutineIR]:
+    """Lower every routine; keyed by routine name."""
+    return {
+        name: lower_routine(program, routine)
+        for name, routine in program.routines.items()
+    }

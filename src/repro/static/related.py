@@ -1,0 +1,202 @@
+"""Related-reference grouping and the per-reference static facts.
+
+Section III: "we identify references that access the same data arrays with
+the same stride.  We say such references are related ... references in a
+loop that access data with the same name and the same symbolic stride are
+related references."
+
+:class:`StaticAnalysis` is the façade over the whole static pipeline: it
+lowers every routine, recovers address formulas and strides, recovers data
+object names through the symbol table, and groups related references.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.ast import (
+    Add, Const, Expr, Load, Max, Min, Mul, Program, RefInfo, Sub, Var,
+)
+from repro.lang.memory import DataObject
+from repro.static.formulas import (
+    StrideInfo, SymFormula, address_formula, first_location, stride_of,
+)
+from repro.static.lower import lower_program
+
+#: Max gap (bytes) tolerated when an address formula's constant lands just
+#: outside an object (negative subscript offsets at loop lower bounds).
+_NAME_SLACK = 1 << 16
+
+
+class RelatedGroup:
+    """References in one loop nest on one object with identical strides."""
+
+    __slots__ = ("loop_chain", "object_name", "strides", "rids")
+
+    def __init__(self, loop_chain: Tuple[int, ...], object_name: str,
+                 strides: Tuple[StrideInfo, ...], rids: List[int]) -> None:
+        self.loop_chain = loop_chain      # enclosing loop sids, innermost first
+        self.object_name = object_name
+        self.strides = strides            # one StrideInfo per chain entry
+        self.rids = rids
+
+    def __repr__(self) -> str:
+        return (f"RelatedGroup({self.object_name!r}, refs={self.rids}, "
+                f"strides={list(self.strides)})")
+
+
+class StaticAnalysis:
+    """All static facts about a program's references."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.ir = lower_program(program)
+        self._formulas: Dict[int, SymFormula] = {}
+        self._first_locs: Dict[int, SymFormula] = {}
+        self._strides: Dict[int, Dict[int, StrideInfo]] = {}
+        self._objects: Dict[int, Optional[DataObject]] = {}
+        self._analyze_all()
+
+    # -- per-reference facts ------------------------------------------------
+
+    def formula(self, rid: int) -> SymFormula:
+        return self._formulas[rid]
+
+    def first_loc(self, rid: int) -> SymFormula:
+        return self._first_locs[rid]
+
+    def strides(self, rid: int) -> Dict[int, StrideInfo]:
+        """Stride per enclosing loop scope id (innermost included first)."""
+        return self._strides[rid]
+
+    def stride(self, rid: int, loop_sid: int) -> Optional[StrideInfo]:
+        return self._strides[rid].get(loop_sid)
+
+    def object_of(self, rid: int) -> Optional[DataObject]:
+        """Data object recovered from the formula + symbol table."""
+        return self._objects[rid]
+
+    def loop_chain(self, rid: int) -> Tuple[int, ...]:
+        ref = self.program.ref(rid)
+        return tuple(s.sid for s in self.program.enclosing_loops(ref.scope))
+
+    # -- related grouping -----------------------------------------------------
+
+    def related_groups(self) -> List[RelatedGroup]:
+        """Group references by (loop nest, object, stride signature)."""
+        buckets: Dict[Tuple, List[int]] = {}
+        for ref in self.program.refs:
+            rid = ref.rid
+            obj = self._objects[rid]
+            if obj is None:
+                continue
+            chain = self.loop_chain(rid)
+            strides = tuple(self._strides[rid][sid] for sid in chain)
+            key = (chain, obj.name, strides)
+            buckets.setdefault(key, []).append(rid)
+        ordered = sorted(buckets.items(),
+                         key=lambda kv: (kv[0][0], kv[0][1], min(kv[1])))
+        return [
+            RelatedGroup(chain, name, strides, sorted(rids))
+            for (chain, name, strides), rids in ordered
+        ]
+
+    def group_of_ref(self) -> Dict[int, RelatedGroup]:
+        out: Dict[int, RelatedGroup] = {}
+        for group in self.related_groups():
+            for rid in group.rids:
+                out[rid] = group
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _analyze_all(self) -> None:
+        program = self.program
+        for ref in program.refs:
+            rid = ref.rid
+            routine = program.scope(ref.scope).routine
+            rir = self.ir[routine]
+            formula = address_formula(rir, rid)
+            self._formulas[rid] = formula
+            loops = program.enclosing_loops(ref.scope)
+            strides = {}
+            bound_subs = []
+            for info in loops:  # innermost first
+                loop_node = info.node
+                strides[info.sid] = stride_of(formula, loop_node.var,
+                                              loop_node.step)
+                bound_subs.append(
+                    (loop_node.var,
+                     self._bound_formula(loop_node.lo, loops))
+                )
+            self._strides[rid] = strides
+            self._first_locs[rid] = first_location(formula, bound_subs)
+            self._objects[rid] = self._recover_object(formula)
+
+    def _bound_formula(self, expr: Expr, loops: Sequence) -> SymFormula:
+        """Convert a loop-bound expression to a SymFormula directly."""
+        loop_vars = {info.node.var for info in loops}
+        return _expr_formula(expr, loop_vars)
+
+    def _recover_object(self, formula: SymFormula) -> Optional[DataObject]:
+        """Name recovery: symbolic formula + symbol table (Section III).
+
+        The formula's relocation anchor (the GLOBAL base literal) is looked
+        up in the symbol table — subscript offsets around the base never
+        perturb the lookup, matching how relocations identify globals in
+        real object code.
+        """
+        symtab = self.program.layout.symtab
+        if formula.symbol is not None:
+            obj = symtab.find(formula.symbol)
+            if obj is not None:
+                return obj
+        obj = symtab.find(formula.const)
+        if obj is not None:
+            return obj
+        # Negative subscript offsets can push the constant below the base;
+        # accept the next object if it starts within the slack window.
+        for candidate in symtab.objects():
+            if 0 < candidate.base - formula.const <= _NAME_SLACK:
+                return candidate
+        return None
+
+
+def _expr_formula(expr: Expr, loop_vars) -> SymFormula:
+    """Direct Expr -> SymFormula conversion (used for loop bounds only)."""
+    if isinstance(expr, Const):
+        return SymFormula(expr.value)
+    if isinstance(expr, Var):
+        if expr.name in loop_vars:
+            return SymFormula(0, lvars={expr.name: 1})
+        return SymFormula(0, params={expr.name: 1})
+    if isinstance(expr, Add):
+        return (_expr_formula(expr.left, loop_vars)
+                .add(_expr_formula(expr.right, loop_vars)))
+    if isinstance(expr, Sub):
+        return (_expr_formula(expr.left, loop_vars)
+                .sub(_expr_formula(expr.right, loop_vars)))
+    if isinstance(expr, Mul):
+        left = _expr_formula(expr.left, loop_vars)
+        right = _expr_formula(expr.right, loop_vars)
+        if right.is_constant:
+            return left.scale(right.const)
+        if left.is_constant:
+            return right.scale(left.const)
+        return left.add(right).tainted()
+    if isinstance(expr, (Min, Max)):
+        out = SymFormula(0)
+        for arg in expr.args:
+            out = out.add(_expr_formula(arg, loop_vars))
+        return out.tainted()
+    if isinstance(expr, Load):
+        out = SymFormula(0)
+        out.indirect_vars = set(loop_vars)
+        return out
+    # FloorDiv / Mod and anything else: non-affine
+    out = SymFormula(0)
+    for attr in ("left", "right"):
+        sub = getattr(expr, attr, None)
+        if sub is not None:
+            out = out.add(_expr_formula(sub, loop_vars))
+    return out.tainted()

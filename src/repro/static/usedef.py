@@ -1,0 +1,62 @@
+"""Use-def chain utilities over the register IR.
+
+The IR is SSA-like (every register has exactly one definition), so the
+use-def relation is a table lookup; this module adds the traversals the
+formula recovery and tests build on: backward slices, reachability of
+loop variables, and the set of memory loads feeding an address.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set
+
+from repro.static import ir
+from repro.static.ir import Instr, RoutineIR
+
+
+def backward_slice(rir: RoutineIR, reg: int) -> List[Instr]:
+    """All instructions reachable backwards from ``reg``'s definition.
+
+    Returned in deterministic (reverse-discovery) order; the slice is what
+    the paper "traces back along" when building symbolic formulas.
+    """
+    seen: Set[int] = set()
+    order: List[Instr] = []
+
+    def visit(r: int) -> None:
+        if r in seen:
+            return
+        seen.add(r)
+        inst = rir.defining(r)
+        for src in inst.srcs:
+            visit(src)
+        order.append(inst)
+
+    visit(reg)
+    return order
+
+
+def loop_vars_reaching(rir: RoutineIR, reg: int) -> Set[str]:
+    """Loop variables on which ``reg`` (transitively) depends."""
+    return {
+        inst.meta for inst in backward_slice(rir, reg)
+        if inst.op == ir.LOOPVAR
+    }
+
+
+def params_reaching(rir: RoutineIR, reg: int) -> Set[str]:
+    """Program parameters on which ``reg`` (transitively) depends."""
+    return {
+        inst.meta for inst in backward_slice(rir, reg)
+        if inst.op == ir.PARAM
+    }
+
+
+def feeding_loads(rir: RoutineIR, reg: int) -> List[Instr]:
+    """Value loads (``ldval``) in the backward slice: indirect indexing."""
+    return [inst for inst in backward_slice(rir, reg) if inst.op == ir.LDVAL]
+
+
+def address_slice_of_ref(rir: RoutineIR, rid: int) -> List[Instr]:
+    """The backward slice of a reference's address register."""
+    return backward_slice(rir, rir.ref_addr[rid])

@@ -1,0 +1,30 @@
+"""User-facing toolkit: sessions, reports, flat database, recommendations."""
+
+from repro.tools.carried import CarriedMisses
+from repro.tools.diff import SessionDiff, diff_sessions
+from repro.tools.htmlreport import render_html, write_html
+from repro.tools.misscurve import miss_curve, render_curve, working_set_knees
+from repro.tools.flatdb import FlatDatabase, PatternRow
+from repro.tools.recommend import (
+    FRAGMENTATION, FUSION, INTERCHANGE, IRREGULAR, Recommendation,
+    STRIP_MINE_FUSION, TIME_LOOP, classify_pattern, recommend,
+)
+from repro.tools.report import (
+    dest_breakdown, fragmentation_misses, irregular_misses, irregular_total,
+    render_fragmentation, render_table2,
+)
+from repro.tools.scopetree import ROOT, ScopeTree
+from repro.tools.session import AnalysisSession, analyze
+from repro.tools.viewer import Viewer
+from repro.tools.xmlout import export as export_xml
+
+__all__ = [
+    "AnalysisSession", "CarriedMisses", "FRAGMENTATION", "FUSION",
+    "SessionDiff", "diff_sessions", "miss_curve", "render_html", "write_html",
+    "render_curve", "working_set_knees",
+    "FlatDatabase", "INTERCHANGE", "IRREGULAR", "PatternRow", "ROOT",
+    "Recommendation", "STRIP_MINE_FUSION", "ScopeTree", "TIME_LOOP", "Viewer",
+    "analyze", "classify_pattern", "dest_breakdown", "export_xml",
+    "fragmentation_misses", "irregular_misses", "irregular_total",
+    "recommend", "render_fragmentation", "render_table2",
+]

@@ -1,0 +1,92 @@
+"""Carried-miss metrics: the paper's central tuning signal.
+
+"To guide tuning, we also compute the number of cache misses carried by
+each scope.  A scope S is carrying those cache misses produced by reuse
+patterns for which S is the carrying scope.  We break down carried miss
+counts by the source or/and destination scopes of the reuse." (Section II)
+
+Carried misses are a property of the *dynamic* scope tree, so — as the
+paper notes — they are not aggregated over the static scope hierarchy;
+they are reported flat, one row per carrying scope (Figs 5 and 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.patterns import COLD
+from repro.lang.ast import Program
+from repro.model.predictor import LevelPrediction, Prediction
+
+
+class CarriedMisses:
+    """Carried misses per scope at every level, with percentage helpers."""
+
+    def __init__(self, prediction: Prediction) -> None:
+        self.program = prediction.program
+        self.prediction = prediction
+        #: level -> scope sid -> carried misses (cold misses excluded:
+        #: a first touch has no carrying scope)
+        self.carried: Dict[str, Dict[int, float]] = {
+            name: pred.carried_by_scope()
+            for name, pred in prediction.levels.items()
+        }
+        #: level -> total reuse misses (the denominator for percentages;
+        #: Fig 5 reports carried misses as fractions of all misses)
+        self.totals: Dict[str, float] = {
+            name: pred.total for name, pred in prediction.levels.items()
+        }
+
+    def fraction(self, level: str, sid: int) -> float:
+        total = self.totals.get(level, 0.0)
+        if total == 0.0:
+            return 0.0
+        return self.carried[level].get(sid, 0.0) / total
+
+    def top_scopes(self, level: str, n: int = 10) -> List[Tuple[int, float]]:
+        rows = sorted(self.carried[level].items(), key=lambda kv: -kv[1])
+        return rows[:n]
+
+    def breakdown_by_source(self, level: str,
+                            carry_sid: int) -> Dict[int, float]:
+        """Carried misses of one scope broken down by source scope."""
+        out: Dict[int, float] = {}
+        pred = self.prediction.levels[level]
+        for (rid, src, carry), misses in pred.pattern_misses.items():
+            if carry == carry_sid and src != COLD:
+                out[src] = out.get(src, 0.0) + misses
+        return out
+
+    def breakdown_by_dest(self, level: str, carry_sid: int) -> Dict[int, float]:
+        """Carried misses of one scope broken down by destination scope."""
+        out: Dict[int, float] = {}
+        pred = self.prediction.levels[level]
+        for (rid, src, carry), misses in pred.pattern_misses.items():
+            if carry == carry_sid and src != COLD:
+                dest = self.program.ref(rid).scope
+                out[dest] = out.get(dest, 0.0) + misses
+        return out
+
+    def scope_label(self, sid: int) -> str:
+        if sid < 0:
+            return "(none)"
+        info = self.program.scope(sid)
+        if info.kind == "routine":
+            return info.name
+        return f"{info.routine}:{info.name}"
+
+    def render(self, levels: Optional[List[str]] = None, n: int = 8) -> str:
+        """Fig 5 / Fig 10 style table: top carrying scopes per level."""
+        levels = levels or list(self.carried)
+        lines = []
+        for level in levels:
+            lines.append(f"== scopes carrying the most {level} misses ==")
+            lines.append(f"{'carrying scope':<36}{'carried':>12}{'% of all':>10}")
+            lines.append("-" * 58)
+            for sid, misses in self.top_scopes(level, n):
+                lines.append(
+                    f"{self.scope_label(sid):<36}{misses:>12.0f}"
+                    f"{100.0 * self.fraction(level, sid):>9.1f}%"
+                )
+            lines.append("")
+        return "\n".join(lines)

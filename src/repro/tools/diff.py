@@ -1,0 +1,114 @@
+"""Before/after comparison of two analysis sessions.
+
+The paper's workflow is iterative: analyze, transform, re-analyze, check
+that the targeted reuse patterns actually disappeared.  This module does
+the checking: align two runs' patterns by (array, destination scope name,
+source scope name, carrying scope name) — ids differ across programs — and
+report which patterns shrank, vanished, or appeared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.patterns import COLD
+from repro.tools.flatdb import FlatDatabase
+from repro.tools.session import AnalysisSession
+
+#: Alignment key: names, not ids, so different programs can be compared.
+DiffKey = Tuple[str, str, str, str]
+
+
+def _keyed(flatdb: FlatDatabase, level: str) -> Dict[DiffKey, float]:
+    out: Dict[DiffKey, float] = {}
+    for row in flatdb.rows:
+        key = (
+            row.array,
+            flatdb.scope_label(row.dest_sid),
+            flatdb.scope_label(row.src_sid),
+            flatdb.scope_label(row.carry_sid),
+        )
+        out[key] = out.get(key, 0.0) + row.miss(level)
+    return out
+
+
+class SessionDiff:
+    """Pattern-level miss deltas between two analyzed programs."""
+
+    def __init__(self, before: AnalysisSession, after: AnalysisSession,
+                 level: str = "L2") -> None:
+        self.level = level
+        self.before_total = before.prediction.levels[level].total
+        self.after_total = after.prediction.levels[level].total
+        self._before = _keyed(before.flatdb, level)
+        self._after = _keyed(after.flatdb, level)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total_delta(self) -> float:
+        return self.after_total - self.before_total
+
+    def removed(self, threshold: float = 1.0) -> List[Tuple[DiffKey, float]]:
+        """Patterns whose misses dropped by at least ``threshold``."""
+        rows = []
+        for key, misses in self._before.items():
+            delta = self._after.get(key, 0.0) - misses
+            if delta <= -threshold:
+                rows.append((key, delta))
+        rows.sort(key=lambda kv: kv[1])
+        return rows
+
+    def introduced(self, threshold: float = 1.0) -> List[Tuple[DiffKey, float]]:
+        """Patterns that appeared or grew by at least ``threshold``."""
+        rows = []
+        for key, misses in self._after.items():
+            delta = misses - self._before.get(key, 0.0)
+            if delta >= threshold:
+                rows.append((key, delta))
+        rows.sort(key=lambda kv: -kv[1])
+        return rows
+
+    def delta_of(self, array: Optional[str] = None,
+                 carry: Optional[str] = None) -> float:
+        """Net miss change filtered by array and/or carrying-scope name."""
+        total = 0.0
+        keys = set(self._before) | set(self._after)
+        for key in keys:
+            k_array, _dest, _src, k_carry = key
+            if array is not None and k_array != array:
+                continue
+            if carry is not None and k_carry != carry:
+                continue
+            total += self._after.get(key, 0.0) - self._before.get(key, 0.0)
+        return total
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self, n: int = 8) -> str:
+        lines = [
+            f"== {self.level} miss diff: {self.before_total:.0f} -> "
+            f"{self.after_total:.0f} "
+            f"({self.total_delta:+.0f}, "
+            f"{100 * self.total_delta / max(self.before_total, 1):+.1f}%) ==",
+            "",
+            "largest reductions:",
+            f"{'array':<12}{'dest':<18}{'carrier':<18}{'delta':>10}",
+            "-" * 58,
+        ]
+        for (array, dest, _src, carry), delta in self.removed()[:n]:
+            lines.append(f"{array:<12}{dest:<18}{carry:<18}{delta:>10.0f}")
+        grew = self.introduced()[:n]
+        if grew:
+            lines.append("")
+            lines.append("new or grown patterns:")
+            for (array, dest, _src, carry), delta in grew:
+                lines.append(
+                    f"{array:<12}{dest:<18}{carry:<18}{delta:>+10.0f}")
+        return "\n".join(lines)
+
+
+def diff_sessions(before: AnalysisSession, after: AnalysisSession,
+                  level: str = "L2") -> SessionDiff:
+    """Convenience constructor."""
+    return SessionDiff(before, after, level)

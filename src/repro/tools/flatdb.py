@@ -1,0 +1,101 @@
+"""The flat reuse-pattern database (Section IV).
+
+"we generate also a database in which we can compare reuse patterns
+directly.  This is a flat database in which entries represent not individual
+program scopes, but pairs of scopes that correspond to the source and
+destination scopes of reuse patterns.  Its purpose is to quickly identify
+the reuse patterns contributing the greatest number of cache misses at each
+memory level."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.patterns import COLD
+from repro.lang.ast import Program
+from repro.model.predictor import Prediction
+
+
+class PatternRow:
+    """One flat-database entry: a reuse pattern with its per-level misses."""
+
+    __slots__ = ("rid", "array", "dest_sid", "src_sid", "carry_sid", "misses")
+
+    def __init__(self, rid: int, array: str, dest_sid: int, src_sid: int,
+                 carry_sid: int, misses: Dict[str, float]) -> None:
+        self.rid = rid
+        self.array = array
+        self.dest_sid = dest_sid
+        self.src_sid = src_sid
+        self.carry_sid = carry_sid
+        self.misses = misses  # level name -> predicted misses
+
+    def miss(self, level: str) -> float:
+        return self.misses.get(level, 0.0)
+
+    @property
+    def is_cold(self) -> bool:
+        return self.src_sid == COLD
+
+
+class FlatDatabase:
+    """All reuse patterns of a run, sortable by misses at any level."""
+
+    def __init__(self, prediction: Prediction) -> None:
+        self.program = prediction.program
+        rows: Dict[tuple, PatternRow] = {}
+        for level_name, level_pred in prediction.levels.items():
+            for key, misses in level_pred.pattern_misses.items():
+                row = rows.get(key)
+                if row is None:
+                    rid, src_sid, carry_sid = key
+                    ref = self.program.ref(rid)
+                    row = PatternRow(rid, ref.array, ref.scope, src_sid,
+                                     carry_sid, {})
+                    rows[key] = row
+                row.misses[level_name] = misses
+        self.rows: List[PatternRow] = list(rows.values())
+
+    def top(self, level: str, n: int = 20,
+            include_cold: bool = True) -> List[PatternRow]:
+        rows = [r for r in self.rows if include_cold or not r.is_cold]
+        rows.sort(key=lambda r: -r.miss(level))
+        return rows[:n]
+
+    def for_array(self, array: str) -> List[PatternRow]:
+        return [r for r in self.rows if r.array == array]
+
+    def for_dest_scope(self, sid: int) -> List[PatternRow]:
+        return [r for r in self.rows if r.dest_sid == sid]
+
+    def total(self, level: str) -> float:
+        return sum(r.miss(level) for r in self.rows)
+
+    def scope_label(self, sid: int) -> str:
+        if sid == COLD:
+            return "(cold)"
+        if sid < 0:
+            return "(none)"
+        info = self.program.scope(sid)
+        if info.kind == "routine":
+            return info.name
+        return f"{info.routine}:{info.name}"
+
+    def render_top(self, level: str, n: int = 15) -> str:
+        lines = [
+            f"== top reuse patterns by {level} misses ==",
+            f"{'array':<14}{'dest scope':<24}{'source scope':<24}"
+            f"{'carrying scope':<24}{level + ' misses':>12}",
+            "-" * 98,
+        ]
+        total = self.total(level) or 1.0
+        for row in self.top(level, n):
+            lines.append(
+                f"{row.array:<14}{self.scope_label(row.dest_sid):<24}"
+                f"{self.scope_label(row.src_sid):<24}"
+                f"{self.scope_label(row.carry_sid):<24}"
+                f"{row.miss(level):>12.0f}"
+                f"  ({100.0 * row.miss(level) / total:4.1f}%)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Self-contained HTML report for one analysis session.
+
+The paper's workflow explores the XML database in hpcviewer; the modern
+open-source equivalent is a single static HTML file anyone can open.  The
+report packs every view the paper uses: totals, the scope tree with
+inclusive/exclusive/carried columns, the carried-miss tables (Figs 5/10),
+the per-array fragmentation table (Fig 9), the top reuse patterns, and the
+Table I recommendations.
+
+No external assets, no JavaScript dependencies — just HTML with a little
+inline CSS, safe to attach to a bug report.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tools.session import AnalysisSession
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #1a1a1a; max-width: 72em; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3em; }
+h2 { margin-top: 1.6em; color: #333; }
+table { border-collapse: collapse; margin: .8em 0; font-size: 0.92em; }
+th, td { border: 1px solid #ccc; padding: .3em .7em; text-align: right; }
+th { background: #f0f0f0; }
+td.name, th.name { text-align: left; font-family: ui-monospace, monospace; }
+tr.depth1 td.name { padding-left: 2em; }
+tr.depth2 td.name { padding-left: 3.4em; }
+tr.depth3 td.name { padding-left: 4.8em; }
+tr.depth4 td.name { padding-left: 6.2em; }
+tr.depth5 td.name { padding-left: 7.6em; }
+.bar { background: #4a7db8; display: inline-block; height: .75em; }
+.advice { font-size: .9em; color: #333; }
+.scenario { font-weight: 600; font-family: ui-monospace, monospace; }
+.small { color: #666; font-size: .85em; }
+"""
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text))
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+           name_cols: int = 1, row_classes: Optional[List[str]] = None) -> str:
+    out = ["<table><tr>"]
+    for k, header in enumerate(headers):
+        cls = ' class="name"' if k < name_cols else ""
+        out.append(f"<th{cls}>{_esc(header)}</th>")
+    out.append("</tr>")
+    for idx, row in enumerate(rows):
+        cls = f' class="{row_classes[idx]}"' if row_classes else ""
+        out.append(f"<tr{cls}>")
+        for k, cell in enumerate(row):
+            td_cls = ' class="name"' if k < name_cols else ""
+            out.append(f"<td{td_cls}>{cell}</td>")
+        out.append("</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def _bar(fraction: float, max_px: int = 160) -> str:
+    width = max(1, int(round(max_px * min(max(fraction, 0.0), 1.0))))
+    return (f'<span class="bar" style="width:{width}px"></span> '
+            f"{100 * fraction:.1f}%")
+
+
+def render_html(session: "AnalysisSession",
+                levels: Optional[Sequence[str]] = None,
+                top_n: int = 10) -> str:
+    """Build the report; returns the HTML text."""
+    prediction = session.prediction
+    program = session.program
+    levels = list(levels or prediction.levels)
+    viewer = session.viewer
+    carried = session.carried
+
+    parts: List[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>locality report: {_esc(program.name)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Data-locality report — {_esc(program.name)}</h1>",
+        f"<p class='small'>machine: {_esc(session.config.name)}; "
+        f"{session.stats.accesses:,} memory accesses; "
+        f"{len(program.refs)} references, "
+        f"{len(program.scopes)} scopes</p>",
+    ]
+
+    # -- totals --------------------------------------------------------------
+    rows = [[_esc(name),
+             f"{prediction.levels[name].total:,.0f}",
+             f"{prediction.levels[name].cold:,.0f}",
+             f"{prediction.levels[name].miss_rate(session.stats.accesses):.4f}",
+             f"{prediction.levels[name].traffic_bytes / 1024:,.0f} KB"]
+            for name in levels]
+    parts.append("<h2>Predicted misses</h2>")
+    parts.append(_table(
+        ["level", "misses", "compulsory", "miss rate", "traffic"], rows))
+
+    # -- scope tree ------------------------------------------------------------
+    primary = levels[0]
+    exclusive = prediction.levels[primary].by_dest_scope()
+    inclusive = viewer.tree.inclusive(exclusive)
+    total = inclusive.get(-2, 0.0) or 1.0
+    tree_rows, tree_classes = [], []
+
+    def emit(sid: int, depth: int) -> None:
+        inc = inclusive.get(sid, 0.0)
+        if inc < 0.005 * total:
+            return
+        tree_rows.append([
+            _esc(viewer.tree.name(sid)),
+            f"{inc:,.0f}",
+            f"{exclusive.get(sid, 0.0):,.0f}",
+            f"{carried.carried[primary].get(sid, 0.0):,.0f}",
+            _bar(inc / total),
+        ])
+        tree_classes.append(f"depth{min(depth, 5)}")
+        for child in viewer.tree.children.get(sid, ()):
+            emit(child, depth + 1)
+
+    for top in viewer.tree.children[-2]:
+        emit(top, 0)
+    parts.append(f"<h2>Scope tree ({primary} misses)</h2>")
+    parts.append(_table(
+        ["scope", "inclusive", "exclusive", "carried", "share"],
+        tree_rows, row_classes=tree_classes))
+
+    # -- carried misses (Figs 5 / 10) -----------------------------------------
+    parts.append("<h2>Scopes carrying the most misses</h2>")
+    for level in levels:
+        rows = [[_esc(carried.scope_label(sid)),
+                 f"{misses:,.0f}",
+                 _bar(carried.fraction(level, sid))]
+                for sid, misses in carried.top_scopes(level, top_n)]
+        parts.append(f"<h3 class='small'>{_esc(level)}</h3>")
+        parts.append(_table(["carrying scope", "carried", "share of all"],
+                            rows))
+
+    # -- fragmentation (Fig 9) ---------------------------------------------------
+    from repro.tools.report import fragmentation_misses
+    frag_level = levels[min(1, len(levels) - 1)]
+    per_array = fragmentation_misses(prediction, session.fragmentation,
+                                     frag_level)
+    if per_array:
+        total_frag = sum(per_array.values()) or 1.0
+        by_array = prediction.levels[frag_level].by_array()
+        rows = [[_esc(array),
+                 f"{by_array.get(array, 0.0):,.0f}",
+                 f"{misses:,.0f}",
+                 _bar(misses / total_frag)]
+                for array, misses in sorted(per_array.items(),
+                                            key=lambda kv: -kv[1])[:top_n]]
+        parts.append(f"<h2>Fragmentation misses by array ({frag_level})</h2>")
+        parts.append(_table(
+            ["array", "total misses", "fragmentation misses", "share"],
+            rows))
+
+    # -- top patterns ------------------------------------------------------------
+    flat = session.flatdb
+    rows = []
+    for row in flat.top(primary, top_n, include_cold=False):
+        rows.append([
+            _esc(row.array),
+            _esc(flat.scope_label(row.dest_sid)),
+            _esc(flat.scope_label(row.src_sid)),
+            _esc(flat.scope_label(row.carry_sid)),
+            f"{row.miss(primary):,.0f}",
+        ])
+    parts.append(f"<h2>Top reuse patterns ({primary})</h2>")
+    parts.append(_table(
+        ["array", "destination", "source", "carrier", "misses"],
+        rows, name_cols=4))
+
+    # -- recommendations (Table I) -------------------------------------------------
+    parts.append("<h2>Recommended transformations</h2><ul>")
+    for rec in session.recommendations(primary, top_n):
+        parts.append(
+            f"<li><span class='scenario'>[{_esc(rec.scenario)}]</span> "
+            f"<span class='advice'>{_esc(rec.advice)}"
+            + (f" — {_esc(rec.detail)}" if rec.detail else "")
+            + f"</span> <span class='small'>(array {_esc(rec.pattern.array)},"
+            f" {rec.pattern.miss(primary):,.0f} misses)</span></li>")
+    parts.append("</ul></body></html>")
+    return "".join(parts)
+
+
+def write_html(session: "AnalysisSession", path: str,
+               levels: Optional[Sequence[str]] = None) -> str:
+    """Write the report to ``path``; returns the HTML text."""
+    text = render_html(session, levels)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

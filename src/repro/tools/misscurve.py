@@ -1,0 +1,95 @@
+"""Miss curves: one measurement, every cache size.
+
+The founding trick of the reuse-distance literature (Mattson et al. 1970,
+the paper's reference [16]): because an LRU cache of capacity C misses
+exactly the accesses with stack distance >= C, a single measured histogram
+yields the miss count of *every* capacity at once.  This module evaluates
+and renders those curves — useful for sizing the scaled configurations and
+for seeing exactly where a workload's working sets sit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.histogram import Histogram
+from repro.core.patterns import PatternDB
+
+
+def miss_curve(db: PatternDB, capacities: Sequence[int],
+               block_size: int = 64) -> List[Tuple[int, float]]:
+    """Expected FA-LRU misses for each capacity (in bytes).
+
+    Returns ``[(capacity_bytes, misses), ...]`` — non-increasing in
+    capacity by LRU stack inclusion.
+    """
+    merged = db.merged_histogram()
+    out = []
+    for capacity in capacities:
+        blocks = max(1, capacity // block_size)
+        out.append((capacity, merged.count_at_least(blocks)))
+    return out
+
+
+def working_set_knees(db: PatternDB, block_size: int = 64,
+                      drop_fraction: float = 0.25,
+                      max_capacity: int = 1 << 24) -> List[int]:
+    """Capacities where the miss count falls sharply: the working sets.
+
+    Scans power-of-two capacities and reports each size that eliminates at
+    least ``drop_fraction`` of the misses remaining at the previous size.
+    """
+    capacities = []
+    c = block_size
+    while c <= max_capacity:
+        capacities.append(c)
+        c *= 2
+    curve = miss_curve(db, capacities, block_size)
+    floor = curve[-1][1]
+    knees = []
+    for (c_prev, m_prev), (c_next, m_next) in zip(curve, curve[1:]):
+        removable = m_prev - floor
+        if removable <= 0:
+            break
+        if (m_prev - m_next) / removable >= drop_fraction:
+            knees.append(c_next)
+    return knees
+
+
+def render_curve(db: PatternDB, block_size: int = 64,
+                 max_capacity: int = 1 << 22, width: int = 50,
+                 annotate: Optional[Dict[str, int]] = None) -> str:
+    """ASCII miss curve over power-of-two capacities.
+
+    ``annotate`` marks machine capacities on their rows
+    (e.g. ``{"L2": 4096, "L3": 32768}``).
+    """
+    capacities = []
+    c = block_size
+    while c <= max_capacity:
+        capacities.append(c)
+        c *= 2
+    curve = miss_curve(db, capacities, block_size)
+    peak = curve[0][1] or 1.0
+    annotate = annotate or {}
+    by_capacity = {cap: name for name, cap in annotate.items()}
+    lines = [
+        "== FA-LRU miss curve (one measurement, every capacity) ==",
+        f"{'capacity':>10} {'misses':>10}  ",
+        "-" * (26 + width),
+    ]
+    for capacity, misses in curve:
+        bar = "#" * int(round(width * misses / peak))
+        label = _fmt_bytes(capacity)
+        marker = f"  <- {by_capacity[capacity]}" if capacity in by_capacity \
+            else ""
+        lines.append(f"{label:>10} {misses:>10.0f}  {bar}{marker}")
+    return "\n".join(lines)
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n >> 20}MB"
+    if n >= 1 << 10:
+        return f"{n >> 10}KB"
+    return f"{n}B"

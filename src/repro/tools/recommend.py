@@ -1,0 +1,191 @@
+"""Transformation recommendations: the engine behind the paper's Table I.
+
+Given a reuse pattern (source scope S, destination scope D, carrying scope
+C) plus the static-analysis facts, classify the scenario and emit the
+recommended transformation:
+
+======================================================  =======================================
+scenario                                                transformation
+======================================================  =======================================
+large fragmentation miss count due to one array         split the array (data transformation)
+many irregular misses and S == D                        data or computation reordering
+many misses, S == D, C an outer loop of the same nest   loop interchange / dimension
+                                                        interchange; blocking when several
+                                                        arrays have different orderings
+S != D, C inside the same routine as S and D            fuse S and D
+... but S or D in a different routine invoked from C    strip-mine S and D with one stripe and
+                                                        promote the stripe loops out of C,
+                                                        fusing them
+C is a time-step or main loop                           time skewing if possible; otherwise
+                                                        these misses are hard/impossible
+======================================================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.patterns import COLD
+from repro.lang.ast import Program
+from repro.static.fragmentation import FragmentationAnalysis
+from repro.static.related import StaticAnalysis
+from repro.tools.flatdb import FlatDatabase, PatternRow
+
+#: Scenario identifiers (rows of Table I).
+FRAGMENTATION = "fragmentation"
+IRREGULAR = "irregular"
+INTERCHANGE = "interchange"
+FUSION = "fusion"
+STRIP_MINE_FUSION = "strip-mine-fusion"
+TIME_LOOP = "time-loop"
+COLD_MISSES = "cold"
+
+_ADVICE = {
+    FRAGMENTATION: ("data transformation: split the array into multiple "
+                    "arrays (one per field / accessed region)"),
+    IRREGULAR: "apply data or computation reordering",
+    INTERCHANGE: ("carrying scope iterates over the array's inner dimension; "
+                  "apply loop interchange or dimension interchange on the "
+                  "affected array; if multiple arrays with different "
+                  "dimension orderings, loop blocking may work best"),
+    FUSION: "fuse the source and destination scopes",
+    STRIP_MINE_FUSION: ("strip mine source and destination with the same "
+                        "stripe and promote the loops over stripes outside "
+                        "the carrying scope, fusing them in the process"),
+    TIME_LOOP: ("apply time skewing if possible; alternatively, do not "
+                "focus on these hard or impossible to remove misses"),
+    COLD_MISSES: "compulsory misses; shrink the footprint or prefetch",
+}
+
+
+@dataclass
+class Recommendation:
+    """One recommendation for one reuse pattern."""
+
+    scenario: str
+    pattern: PatternRow
+    advice: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"[{self.scenario}] {self.advice}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+def classify_pattern(row: PatternRow, program: Program,
+                     static: Optional[StaticAnalysis] = None,
+                     frag: Optional[FragmentationAnalysis] = None,
+                     frag_threshold: float = 0.25) -> List[Recommendation]:
+    """Classify one pattern against Table I; may match several rows."""
+    recs: List[Recommendation] = []
+
+    # Fragmentation: orthogonal to the reuse-pattern shape, and applicable
+    # even to compulsory misses (a fragmented layout inflates them too).
+    if frag is not None:
+        factor = frag.factor_of_ref(row.rid)
+        if factor >= frag_threshold:
+            recs.append(Recommendation(
+                FRAGMENTATION, row, _ADVICE[FRAGMENTATION],
+                f"array {row.array!r}, fragmentation factor {factor:.2f}",
+            ))
+
+    if row.is_cold:
+        if not recs:
+            recs.append(Recommendation(COLD_MISSES, row,
+                                       _ADVICE[COLD_MISSES]))
+        return recs
+
+    src, dest, carry = row.src_sid, row.dest_sid, row.carry_sid
+    carry_info = program.scope(carry) if carry >= 0 else None
+
+    # Irregular reuse: carrying scope drives an irregular/indirect stride
+    # at the destination reference.
+    irregular = False
+    if static is not None and carry >= 0:
+        stride = static.stride(row.rid, carry)
+        if stride is not None and (stride.irregular or stride.indirect):
+            irregular = True
+
+    if src == dest:
+        if irregular:
+            recs.append(Recommendation(
+                IRREGULAR, row, _ADVICE[IRREGULAR],
+                "irregular reuse within one scope",
+            ))
+            return recs
+        # C an outer loop of the same loop nest as D?
+        if (carry in _enclosing_sids(program, dest)
+                and carry_info is not None
+                and not carry_info.is_time_loop):
+            recs.append(Recommendation(
+                INTERCHANGE, row, _ADVICE[INTERCHANGE],
+                f"carried by outer loop {carry_info.name}",
+            ))
+            return recs
+        # Reuse of one scope with itself across iterations of a time-step
+        # loop, a routine body, or a distant scope: Table I's last row.
+        recs.append(Recommendation(
+            TIME_LOOP, row, _ADVICE[TIME_LOOP],
+            f"carried by {carry_info.name if carry_info else '(program)'}",
+        ))
+        return recs
+
+    # S != D: fusion territory (Table I rows 4 and 5 outrank the time-loop
+    # row — bringing the two scopes together shortens the reuse even when
+    # the carrier is the main loop).
+    src_routine = program.scope(src).routine if src >= 0 else None
+    dest_routine = program.scope(dest).routine
+    carry_routine = carry_info.routine if carry_info else None
+    if src_routine == dest_routine == carry_routine:
+        recs.append(Recommendation(
+            FUSION, row, _ADVICE[FUSION],
+            f"fuse {program.scope(src).name} with {program.scope(dest).name}",
+        ))
+    else:
+        recs.append(Recommendation(
+            STRIP_MINE_FUSION, row, _ADVICE[STRIP_MINE_FUSION],
+            f"{src_routine} and {dest_routine} under {carry_routine}",
+        ))
+    return recs
+
+
+def recommend(flatdb: FlatDatabase, level: str,
+              static: Optional[StaticAnalysis] = None,
+              frag: Optional[FragmentationAnalysis] = None,
+              top_n: int = 12,
+              frag_threshold: float = 0.25) -> List[Recommendation]:
+    """Recommendations for the top miss-producing patterns at one level.
+
+    Cold rows are included: compulsory misses still carry fragmentation
+    advice (splitting the array shrinks the streamed footprint).
+    """
+    out: List[Recommendation] = []
+    for row in flatdb.top(level, top_n, include_cold=True):
+        recs = classify_pattern(row, flatdb.program, static, frag,
+                                frag_threshold)
+        out.extend(r for r in recs if r.scenario != COLD_MISSES)
+    return out
+
+
+def render(recommendations: List[Recommendation], flatdb: FlatDatabase,
+           level: str) -> str:
+    """Human-readable recommendation report."""
+    total = flatdb.total(level) or 1.0
+    lines = [f"== recommended transformations ({level}) =="]
+    for rec in recommendations:
+        row = rec.pattern
+        share = 100.0 * row.miss(level) / total
+        lines.append(
+            f"{row.array:<12} D={flatdb.scope_label(row.dest_sid):<22} "
+            f"S={flatdb.scope_label(row.src_sid):<22} "
+            f"C={flatdb.scope_label(row.carry_sid):<22} {share:5.1f}%"
+        )
+        lines.append(f"    -> {rec}")
+    return "\n".join(lines)
+
+
+def _enclosing_sids(program: Program, sid: int) -> set:
+    return {info.sid for info in program.enclosing_loops(sid)}

@@ -1,0 +1,157 @@
+"""Top-down textual reports reproducing the paper's tool views.
+
+* :func:`fragmentation_misses` / :func:`render_fragmentation` — Fig 9: the
+  arrays whose fragmented layout produces the most misses.
+* :func:`irregular_misses` — misses produced by irregular/indirect reuse
+  patterns, reported with the scopes involved (Section III).
+* :func:`dest_breakdown` / :func:`render_table2` — Table II: for the loops
+  suffering the most misses, the carrying-scope breakdown per array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.patterns import COLD
+from repro.lang.ast import Program
+from repro.model.predictor import LevelPrediction, Prediction
+from repro.static.fragmentation import FragmentationAnalysis
+from repro.static.related import StaticAnalysis
+
+
+# ---------------------------------------------------------------------------
+# Fragmentation misses (Fig 9)
+# ---------------------------------------------------------------------------
+
+def fragmentation_misses(prediction: Prediction, frag: FragmentationAnalysis,
+                         level: str) -> Dict[str, float]:
+    """Misses at ``level`` attributable to cache-line fragmentation, per array.
+
+    Per Section III, fragmentation miss counts are computed separately for
+    each reuse pattern: a pattern whose destination reference belongs to a
+    related group with fragmentation factor ``f`` wastes a fraction ``f`` of
+    every fetched block, so ``f`` of its misses are charged to fragmentation.
+    """
+    program = prediction.program
+    out: Dict[str, float] = {}
+    for (rid, _src, _carry), misses in prediction.levels[level].pattern_misses.items():
+        factor = frag.factor_of_ref(rid)
+        if factor > 0.0:
+            array = program.ref(rid).array
+            out[array] = out.get(array, 0.0) + factor * misses
+    return out
+
+
+def render_fragmentation(prediction: Prediction, frag: FragmentationAnalysis,
+                         level: str, n: int = 10) -> str:
+    """Fig 9 style: arrays with the most fragmentation misses."""
+    per_array_frag = fragmentation_misses(prediction, frag, level)
+    per_array_total = prediction.levels[level].by_array()
+    total_frag = sum(per_array_frag.values()) or 1.0
+    lines = [
+        f"== data arrays by {level} fragmentation misses ==",
+        f"{'array':<18}{'total misses':>14}{'frag misses':>14}"
+        f"{'% of frag':>11}{'factor':>8}",
+        "-" * 66,
+    ]
+    rows = sorted(per_array_frag.items(), key=lambda kv: -kv[1])[:n]
+    for array, frag_misses in rows:
+        total_misses = per_array_total.get(array, 0.0)
+        # Effective factor: the miss-weighted average over this array's
+        # reuse patterns (an alias's refs may resolve to another symbol in
+        # frag.by_array(), so derive it from the attribution itself).
+        implied = frag_misses / total_misses if total_misses else 0.0
+        lines.append(
+            f"{array:<18}{total_misses:>14.0f}"
+            f"{frag_misses:>14.0f}"
+            f"{100.0 * frag_misses / total_frag:>10.1f}%"
+            f"{implied:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Irregular misses
+# ---------------------------------------------------------------------------
+
+def irregular_misses(prediction: Prediction, static: StaticAnalysis,
+                     level: str) -> Dict[Tuple[int, int], float]:
+    """Misses from irregular reuse patterns: ``{(dest sid, carry sid): n}``.
+
+    "A reuse pattern is considered irregular if its carrying scope produces
+    an irregular or indirect symbolic stride formula for the references at
+    its destination end." (Section III)
+    """
+    program = prediction.program
+    out: Dict[Tuple[int, int], float] = {}
+    for (rid, src, carry), misses in prediction.levels[level].pattern_misses.items():
+        if src == COLD or carry < 0:
+            continue
+        stride = static.stride(rid, carry)
+        if stride is not None and (stride.irregular or stride.indirect):
+            key = (program.ref(rid).scope, carry)
+            out[key] = out.get(key, 0.0) + misses
+    return out
+
+
+def irregular_total(prediction: Prediction, static: StaticAnalysis,
+                    level: str) -> float:
+    return sum(irregular_misses(prediction, static, level).values())
+
+
+# ---------------------------------------------------------------------------
+# Destination-scope breakdowns (Table II)
+# ---------------------------------------------------------------------------
+
+def dest_breakdown(prediction: Prediction, level: str,
+                   top_scopes: int = 6) -> List[Tuple[int, str, Dict[int, float]]]:
+    """For the loops with the most misses: per-array carrying breakdown.
+
+    Returns ``[(dest sid, array, {carry sid: misses}), ...]`` sorted by the
+    scope+array total, mirroring Table II's rows.
+    """
+    program = prediction.program
+    level_pred = prediction.levels[level]
+    by_scope_array: Dict[Tuple[int, str], Dict[int, float]] = {}
+    for (rid, src, carry), misses in level_pred.pattern_misses.items():
+        if src == COLD:
+            continue
+        ref = program.ref(rid)
+        key = (ref.scope, ref.array)
+        by_scope_array.setdefault(key, {})
+        bucket = by_scope_array[key]
+        bucket[carry] = bucket.get(carry, 0.0) + misses
+    rows = sorted(by_scope_array.items(),
+                  key=lambda kv: -sum(kv[1].values()))[:top_scopes]
+    return [(sid, array, carries) for (sid, array), carries in rows]
+
+
+def render_table2(prediction: Prediction, level: str,
+                  top_scopes: int = 6) -> str:
+    """Table II style: breakdown of misses by array, scope, carrying scope."""
+    program = prediction.program
+    total = prediction.levels[level].total or 1.0
+
+    def label(sid: int) -> str:
+        if sid < 0:
+            return "(none)"
+        info = program.scope(sid)
+        return info.name if info.kind == "routine" else info.name
+
+    lines = [
+        f"== breakdown of {level} misses (Table II view) ==",
+        f"{'array':<14}{'in scope':<26}{'carrying scope':<22}{'% misses':>9}",
+        "-" * 72,
+    ]
+    for sid, array, carries in dest_breakdown(prediction, level, top_scopes):
+        scope_total = sum(carries.values())
+        lines.append(
+            f"{array:<14}{label(sid):<26}{'ALL':<22}"
+            f"{100.0 * scope_total / total:>8.1f}%"
+        )
+        for carry, misses in sorted(carries.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"{'':<14}{'':<26}{label(carry):<22}"
+                f"{100.0 * misses / total:>8.1f}%"
+            )
+    return "\n".join(lines)

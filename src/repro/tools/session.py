@@ -1,0 +1,158 @@
+"""AnalysisSession: the one-call front door of the toolkit.
+
+Wires the whole pipeline together the way the paper's tool chain does:
+instrumented execution → online reuse-pattern analysis → static analysis →
+fragmentation → per-level miss prediction → reports and recommendations.
+
+    session = AnalysisSession(build_my_kernel())
+    session.run()
+    print(session.render_carried())
+    print(session.render_recommendations("L3"))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.analyzer import ReuseAnalyzer
+from repro.lang.ast import Program
+from repro.lang.executor import Executor, RunStats
+from repro.model.config import MachineConfig
+from repro.model.predictor import Prediction, predict
+from repro.sim.hierarchy import HierarchySim
+from repro.static.fragmentation import FragmentationAnalysis
+from repro.static.related import StaticAnalysis
+import repro.tools.report as report_mod
+from repro.tools.recommend import recommend as _recommend
+from repro.tools.recommend import render as _render_recommendations
+from repro.tools.carried import CarriedMisses
+from repro.tools.flatdb import FlatDatabase
+from repro.tools.scopetree import ScopeTree
+from repro.tools.xmlout import export as export_xml
+
+
+class AnalysisSession:
+    """Run the full toolkit on one program."""
+
+    def __init__(self, program: Program,
+                 config: Optional[MachineConfig] = None,
+                 miss_model: str = "sa",
+                 engine: str = "fenwick",
+                 simulate: bool = False) -> None:
+        self.program = program
+        self.config = config or MachineConfig.scaled_itanium2()
+        self.miss_model = miss_model
+        self.engine = engine
+        self.simulate = simulate
+        self.analyzer = ReuseAnalyzer(self.config.granularities(),
+                                      engine=engine)
+        self.sim: Optional[HierarchySim] = (
+            HierarchySim(self.config) if simulate else None
+        )
+        self.stats: Optional[RunStats] = None
+        self._static: Optional[StaticAnalysis] = None
+        self._frag: Optional[FragmentationAnalysis] = None
+        self._prediction: Optional[Prediction] = None
+        self._ran = False
+
+    # -- pipeline ----------------------------------------------------------
+
+    def run(self, **params: int) -> "AnalysisSession":
+        """Execute the program once under instrumentation."""
+        if self._ran:
+            raise RuntimeError("AnalysisSession.run() may only be called once")
+        handlers = [self.analyzer]
+        if self.sim is not None:
+            handlers.append(self.sim)
+        executor = Executor(self.program, *handlers)
+        self.stats = executor.run(**params)
+        self._ran = True
+        return self
+
+    def _require_run(self) -> None:
+        if not self._ran:
+            raise RuntimeError("call session.run() first")
+
+    @property
+    def static(self) -> StaticAnalysis:
+        if self._static is None:
+            self._static = StaticAnalysis(self.program)
+        return self._static
+
+    @property
+    def fragmentation(self) -> FragmentationAnalysis:
+        if self._frag is None:
+            self._require_run()
+            self._frag = FragmentationAnalysis(self.static, self.stats)
+        return self._frag
+
+    @property
+    def prediction(self) -> Prediction:
+        if self._prediction is None:
+            self._require_run()
+            self._prediction = predict(self.analyzer, self.config,
+                                       self.program, model=self.miss_model)
+        return self._prediction
+
+    @property
+    def carried(self) -> CarriedMisses:
+        return CarriedMisses(self.prediction)
+
+    @property
+    def flatdb(self) -> FlatDatabase:
+        return FlatDatabase(self.prediction)
+
+    @property
+    def scope_tree(self) -> ScopeTree:
+        return ScopeTree(self.program)
+
+    @property
+    def viewer(self):
+        from repro.tools.viewer import Viewer
+        return Viewer(self.prediction)
+
+    # -- reports ------------------------------------------------------------
+
+    def totals(self) -> Dict[str, float]:
+        return self.prediction.totals()
+
+    def render_carried(self, levels: Optional[List[str]] = None,
+                       n: int = 8) -> str:
+        return self.carried.render(levels, n)
+
+    def render_table2(self, level: str = "L2", top_scopes: int = 6) -> str:
+        return report_mod.render_table2(self.prediction, level, top_scopes)
+
+    def render_fragmentation(self, level: str = "L3", n: int = 10) -> str:
+        return report_mod.render_fragmentation(self.prediction,
+                                               self.fragmentation, level, n)
+
+    def render_top_patterns(self, level: str = "L2", n: int = 15) -> str:
+        return self.flatdb.render_top(level, n)
+
+    def render_scope_tree(self, level: str = "L2") -> str:
+        values = self.prediction.levels[level].by_dest_scope()
+        return self.scope_tree.render(values, title=f"{level} misses")
+
+    def recommendations(self, level: str = "L2", top_n: int = 12):
+        return _recommend(
+            self.flatdb, level, self.static, self.fragmentation, top_n)
+
+    def render_recommendations(self, level: str = "L2", top_n: int = 12) -> str:
+        return _render_recommendations(
+            self.recommendations(level, top_n), self.flatdb, level)
+
+    def export_xml(self, path: Optional[str] = None) -> str:
+        return export_xml(self.prediction, path)
+
+    def export_html(self, path: str) -> str:
+        from repro.tools.htmlreport import write_html
+        return write_html(self, path)
+
+
+def analyze(program: Program, config: Optional[MachineConfig] = None,
+            **params: int) -> AnalysisSession:
+    """Build, run and return a session in one call."""
+    session = AnalysisSession(program, config=config)
+    session.run(**params)
+    return session

@@ -1,0 +1,136 @@
+"""Text-mode metric browser: the hpcviewer stand-in.
+
+Section IV describes browsing the data "in a top-down fashion", sorting by
+any metric, with inclusive and exclusive values at every level of the scope
+tree.  :class:`Viewer` renders that view as text: one row per scope, one
+column group per metric, sortable, filterable by a minimum share of the
+program total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.predictor import Prediction
+from repro.tools.carried import CarriedMisses
+from repro.tools.scopetree import ROOT, ScopeTree
+
+
+class Viewer:
+    """Render every miss metric over the program scope tree."""
+
+    def __init__(self, prediction: Prediction) -> None:
+        self.prediction = prediction
+        self.program = prediction.program
+        self.tree = ScopeTree(self.program)
+        self.carried = CarriedMisses(prediction)
+        self._exclusive: Dict[str, Dict[int, float]] = {
+            name: pred.by_dest_scope()
+            for name, pred in prediction.levels.items()
+        }
+        self._inclusive: Dict[str, Dict[int, float]] = {
+            name: self.tree.inclusive(vals)
+            for name, vals in self._exclusive.items()
+        }
+
+    # -- queries ------------------------------------------------------------
+
+    def levels(self) -> List[str]:
+        return list(self.prediction.levels)
+
+    def inclusive(self, level: str, sid: int) -> float:
+        return self._inclusive[level].get(sid, 0.0)
+
+    def exclusive(self, level: str, sid: int) -> float:
+        return self._exclusive[level].get(sid, 0.0)
+
+    def carried_of(self, level: str, sid: int) -> float:
+        return self.carried.carried[level].get(sid, 0.0)
+
+    def hot_scopes(self, level: str, n: int = 10,
+                   view: str = "exclusive") -> List[Tuple[int, float]]:
+        """Scopes sorted by one metric: the 'sort by any metric' feature."""
+        source = {
+            "exclusive": self._exclusive[level],
+            "inclusive": self._inclusive[level],
+            "carried": self.carried.carried[level],
+        }[view]
+        rows = sorted(source.items(), key=lambda kv: -kv[1])
+        return rows[:n]
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self, level: str = "L2", min_share: float = 0.0,
+               max_depth: Optional[int] = None) -> str:
+        """Top-down tree with inclusive / exclusive / carried columns."""
+        total = self._inclusive[level].get(ROOT, 0.0) or 1.0
+        lines = [
+            f"== {level} misses, top-down "
+            f"(program total {total:.0f}) ==",
+            f"{'scope':<40}{'inclusive':>11}{'exclusive':>11}"
+            f"{'carried':>10}{'incl%':>8}",
+            "-" * 80,
+        ]
+
+        def emit(sid: int, depth: int) -> None:
+            inc = self.inclusive(level, sid)
+            if inc < min_share * total and self.carried_of(level, sid) == 0:
+                return
+            if max_depth is not None and depth > max_depth:
+                return
+            label = "  " * depth + self.tree.name(sid)
+            lines.append(
+                f"{label:<40}{inc:>11.0f}"
+                f"{self.exclusive(level, sid):>11.0f}"
+                f"{self.carried_of(level, sid):>10.0f}"
+                f"{100 * inc / total:>7.1f}%"
+            )
+            for child in self.tree.children.get(sid, ()):
+                emit(child, depth + 1)
+
+        for top in self.tree.children[ROOT]:
+            emit(top, 0)
+        return "\n".join(lines)
+
+    def render_hot(self, level: str = "L2", n: int = 8,
+                   view: str = "carried") -> str:
+        """Flat 'sorted by metric' view."""
+        lines = [
+            f"== scopes by {view} {level} misses ==",
+            f"{'scope':<40}{view:>12}",
+            "-" * 54,
+        ]
+        for sid, value in self.hot_scopes(level, n, view):
+            lines.append(f"{self.tree.name(sid):<40}{value:>12.0f}")
+        return "\n".join(lines)
+
+    def render_arrays(self, n: int = 12) -> str:
+        """Per-data-array view: misses at every level plus L3 traffic.
+
+        Section IV: the viewer can "associate metrics with ... data array
+        names" — this is that table, sorted by the last cache level.
+        """
+        levels = self.levels()
+        per_level = {name: self.prediction.levels[name].by_array()
+                     for name in levels}
+        cache_levels = [name for name in levels
+                        if self.prediction.levels[name].level.granularity
+                        == "line"]
+        sort_level = cache_levels[-1] if cache_levels else levels[-1]
+        traffic = self.prediction.levels[sort_level].traffic_by_array()
+        arrays = sorted(
+            {a for vals in per_level.values() for a in vals},
+            key=lambda a: -per_level[sort_level].get(a, 0.0),
+        )[:n]
+        header = f"{'array':<18}" + "".join(
+            f"{name + ' misses':>14}" for name in levels)
+        header += f"{sort_level + ' bytes':>14}"
+        lines = [f"== data arrays (sorted by {sort_level} misses) ==",
+                 header, "-" * len(header)]
+        for array in arrays:
+            row = f"{array:<18}" + "".join(
+                f"{per_level[name].get(array, 0.0):>14.0f}"
+                for name in levels)
+            row += f"{traffic.get(array, 0.0):>14.0f}"
+            lines.append(row)
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Program transformations: the 'Exploiting' half of the paper's title.
+
+Mechanical implementations of the Table I fixes over the kernel AST:
+array splitting (fragmentation), loop interchange (outer-loop-carried
+reuse), and loop fusion (source/destination scopes side by side).
+"""
+
+from repro.transform.loops import fuse, interchange
+from repro.transform.rewrite import Rewriter
+from repro.transform.split import split_record_array
+
+__all__ = ["Rewriter", "fuse", "interchange", "split_record_array"]

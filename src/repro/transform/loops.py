@@ -1,0 +1,130 @@
+"""Loop transformations: interchange and fusion (Table I rows 3 and 4).
+
+These operate on the kernel AST, returning a fresh program:
+
+* :func:`interchange` swaps a perfectly-nested loop pair — the fix when an
+  outer loop carries the reuse over an array's inner dimension (Fig 1).
+* :func:`fuse` merges two adjacent sibling loops with identical bounds —
+  the fix when a pattern's source and destination scopes sit side by side
+  in one routine (GTC's chargei).
+
+Legality is the caller's responsibility, as the paper leaves it to the
+developer ("Determining whether a transformation is legal is left for the
+application developer").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lang.ast import (
+    Const, Expr, Loop, Program, ScalarAssign, Stmt, Var,
+)
+from repro.transform.rewrite import Rewriter
+
+
+class _VarRenamingRewriter(Rewriter):
+    """Base rewriter with a variable-substitution map for cloned exprs."""
+
+    def __init__(self, program: Program) -> None:
+        super().__init__(program)
+        self.var_map: Dict[str, str] = {}
+
+    def clone_expr(self, expr: Expr) -> Expr:
+        if isinstance(expr, Var):
+            return Var(self.var_map.get(expr.name, expr.name))
+        return super().clone_expr(expr)
+
+
+class _InterchangeRewriter(_VarRenamingRewriter):
+    def __init__(self, program: Program, outer_name: str) -> None:
+        super().__init__(program)
+        self.outer_name = outer_name
+        self.applied = False
+
+    def rewrite_loop(self, loop: Loop, body: List) -> Loop:
+        if loop.name == self.outer_name:
+            if not (len(loop.body) == 1 and isinstance(loop.body[0], Loop)):
+                raise ValueError(
+                    f"loop {self.outer_name!r} is not perfectly nested; "
+                    f"cannot interchange"
+                )
+            inner_clone = body[0]
+            if not isinstance(inner_clone, Loop):  # pragma: no cover
+                raise ValueError("inner clone is not a loop")
+            self.applied = True
+            # inner becomes outer, original outer becomes the new inner
+            new_inner = Loop(loop.var, self.clone_expr(loop.lo),
+                             self.clone_expr(loop.hi), inner_clone.body,
+                             step=loop.step, name=loop.name, loc=loop.loc,
+                             is_time_loop=loop.is_time_loop)
+            return Loop(inner_clone.var, inner_clone.lo, inner_clone.hi,
+                        [new_inner], step=inner_clone.step,
+                        name=inner_clone.name, loc=inner_clone.loc,
+                        is_time_loop=inner_clone.is_time_loop)
+        return super().rewrite_loop(loop, body)
+
+
+def interchange(program: Program, outer_loop_name: str) -> Program:
+    """Swap the named loop with its (single, perfectly nested) inner loop."""
+    rewriter = _InterchangeRewriter(program, outer_loop_name)
+    out = rewriter.run(name_suffix=f"+interchange({outer_loop_name})")
+    if not rewriter.applied:
+        raise KeyError(f"no loop named {outer_loop_name!r}")
+    return out
+
+
+class _FusionRewriter(_VarRenamingRewriter):
+    def __init__(self, program: Program, first: str, second: str) -> None:
+        super().__init__(program)
+        self.first = first
+        self.second = second
+        self.applied = False
+
+    def clone_body(self, body) -> List:
+        # Locate the adjacent pair at this level before generic cloning.
+        names = [node.name if isinstance(node, Loop) else None
+                 for node in body]
+        if self.first in names and self.second in names:
+            i1, i2 = names.index(self.first), names.index(self.second)
+            if i2 != i1 + 1:
+                raise ValueError(
+                    f"loops {self.first!r} and {self.second!r} are not "
+                    f"adjacent; cannot fuse")
+            first: Loop = body[i1]
+            second: Loop = body[i2]
+            if (not isinstance(first.lo, Const)
+                    or not isinstance(second.lo, Const)
+                    or first.lo.value != second.lo.value
+                    or repr(first.hi) != repr(second.hi)
+                    or first.step != second.step):
+                raise ValueError("loop bounds differ; cannot fuse")
+            fused_body = self.clone_body(first.body)
+            self.var_map[second.var] = first.var
+            fused_body += self.clone_body(second.body)
+            del self.var_map[second.var]
+            fused = Loop(first.var, self.clone_expr(first.lo),
+                         self.clone_expr(first.hi), fused_body,
+                         step=first.step,
+                         name=f"{self.first}+{self.second}",
+                         loc=first.loc)
+            self.applied = True
+            rest = list(body[:i1]) + [None] + list(body[i2 + 1:])
+            out: List = []
+            for node in rest:
+                if node is None:
+                    out.append(fused)
+                else:
+                    out.extend(super().clone_body([node]))
+            return out
+        return super().clone_body(body)
+
+
+def fuse(program: Program, first_loop: str, second_loop: str) -> Program:
+    """Fuse two adjacent sibling loops with identical bounds."""
+    rewriter = _FusionRewriter(program, first_loop, second_loop)
+    out = rewriter.run(name_suffix=f"+fuse({first_loop},{second_loop})")
+    if not rewriter.applied:
+        raise KeyError(
+            f"loops {first_loop!r}/{second_loop!r} not found as siblings")
+    return out

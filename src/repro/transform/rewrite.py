@@ -1,0 +1,130 @@
+"""Program rewriting infrastructure for the transformation package.
+
+Programs are finalized (reference and scope ids assigned, closures
+compiled), so transformations never mutate them: a :class:`Rewriter` deep-
+clones the AST into a fresh :class:`~repro.lang.memory.MemoryLayout`,
+applying two hooks along the way:
+
+* :meth:`Rewriter.map_object` — redirect a data object (e.g. replace an
+  array of records by per-field arrays);
+* :meth:`Rewriter.rewrite_access` — rebuild one reference against the new
+  objects (e.g. drop the record field and pick the field's own array).
+
+Subclasses implement the paper's transformations; the base class clones
+programs unchanged (tested as an identity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lang.ast import (
+    Access, Add, Call, Const, Expr, FloorDiv, Load, Loop, Max, Min, Mod,
+    Mul, Program, Routine, ScalarAssign, Stmt, Sub, Var,
+)
+from repro.lang.memory import DataObject, MemoryLayout
+
+
+class Rewriter:
+    """Clone a program through a fresh layout, with rewrite hooks."""
+
+    def __init__(self, program: Program) -> None:
+        self.source = program
+        self.layout = MemoryLayout()
+        self._objects: Dict[str, DataObject] = {}
+
+    # -- hooks (override in subclasses) ------------------------------------
+
+    def map_object(self, obj: DataObject) -> Optional[DataObject]:
+        """Create the clone's counterpart of ``obj``; None defers to
+        :meth:`rewrite_access` entirely (no 1:1 replacement exists)."""
+        return self.layout.array(
+            obj.name, *obj.shape, elem_size=obj.elem_size, order=obj.order,
+            fields=obj.fields, origin=obj.origin,
+            values=(obj.values.copy() if obj.values is not None else None),
+        )
+
+    def rewrite_access(self, access: Access) -> Access:
+        """Rebuild one reference against the cloned objects."""
+        new_obj = self.object_for(access.array)
+        if new_obj is None:
+            raise ValueError(
+                f"no mapping for object {access.array.name!r}; the "
+                f"transformation must override rewrite_access for it"
+            )
+        return Access(new_obj, [self.clone_expr(ix) for ix in access.indices],
+                      is_store=access.is_store, field=access.field)
+
+    def rewrite_loop(self, loop: Loop, body: List) -> Loop:
+        """Rebuild one loop around its already-cloned body."""
+        return Loop(loop.var, self.clone_expr(loop.lo),
+                    self.clone_expr(loop.hi), body, step=loop.step,
+                    name=loop.name, loc=loop.loc,
+                    is_time_loop=loop.is_time_loop)
+
+    # -- machinery ---------------------------------------------------------
+
+    def object_for(self, obj: DataObject) -> Optional[DataObject]:
+        if obj.name not in self._objects:
+            self._objects[obj.name] = self.map_object(obj)
+        return self._objects[obj.name]
+
+    def clone_expr(self, expr: Expr) -> Expr:
+        if isinstance(expr, Const):
+            return expr
+        if isinstance(expr, Var):
+            return expr
+        if isinstance(expr, Add):
+            return Add(self.clone_expr(expr.left), self.clone_expr(expr.right))
+        if isinstance(expr, Sub):
+            return Sub(self.clone_expr(expr.left), self.clone_expr(expr.right))
+        if isinstance(expr, Mul):
+            return Mul(self.clone_expr(expr.left), self.clone_expr(expr.right))
+        if isinstance(expr, FloorDiv):
+            return FloorDiv(self.clone_expr(expr.left),
+                            self.clone_expr(expr.right))
+        if isinstance(expr, Mod):
+            return Mod(self.clone_expr(expr.left), self.clone_expr(expr.right))
+        if isinstance(expr, Min):
+            return Min(*(self.clone_expr(a) for a in expr.args))
+        if isinstance(expr, Max):
+            return Max(*(self.clone_expr(a) for a in expr.args))
+        if isinstance(expr, Load):
+            cloned = self.clone_access(expr.access)
+            return Load(cloned)
+        raise TypeError(f"cannot clone expression {expr!r}")
+
+    def clone_access(self, access: Access) -> Access:
+        new = self.rewrite_access(access)
+        if not new.loc:
+            new.loc = access.loc
+        return new
+
+    def clone_body(self, body) -> List:
+        out: List = []
+        for node in body:
+            if isinstance(node, Stmt):
+                accesses = [self.clone_access(a) for a in node.accesses]
+                out.append(Stmt(accesses, ops=node.ops, loc=node.loc))
+            elif isinstance(node, ScalarAssign):
+                out.append(ScalarAssign(node.var,
+                                        self.clone_expr(node.expr),
+                                        loc=node.loc))
+            elif isinstance(node, Loop):
+                out.append(self.rewrite_loop(node,
+                                             self.clone_body(node.body)))
+            elif isinstance(node, Call):
+                out.append(Call(node.callee, loc=node.loc))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"cannot clone node {node!r}")
+        return out
+
+    def run(self, name_suffix: str = "-rewritten") -> Program:
+        routines = [
+            Routine(r.name, self.clone_body(r.body), loc=r.loc,
+                    language=r.language)
+            for r in self.source.routines.values()
+        ]
+        return Program(self.source.name + name_suffix, self.layout,
+                       routines, entry=self.source.entry,
+                       params=dict(self.source.params))

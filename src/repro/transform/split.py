@@ -1,0 +1,64 @@
+"""Array splitting: the fix for cache-line fragmentation (Table I row 1).
+
+"The problem can be solved by replacing an array of records with a
+collection of arrays, one array for each individual record field.  A loop
+working with only a few fields of the original record needs to load into
+cache only the arrays corresponding to those fields." (Section III)
+
+:func:`split_record_array` rewrites a program so that an array of records
+becomes one plain array per field — exactly the zion AoS→SoA transposition
+of the GTC case study, but derived mechanically from the program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.lang.ast import Access, Program
+from repro.lang.memory import DataObject
+from repro.transform.rewrite import Rewriter
+
+
+class _SplitRewriter(Rewriter):
+    def __init__(self, program: Program, target: str) -> None:
+        super().__init__(program)
+        self.target = target
+        self._field_arrays: Dict[str, DataObject] = {}
+        src = None
+        for obj in program.layout.symtab.objects():
+            if obj.name == target:
+                src = obj
+        if src is None:
+            raise KeyError(f"no array of records named {target!r}")
+        if not src.fields:
+            raise ValueError(f"{target!r} is not an array of records")
+        self._source_obj = src
+        for field in src.fields:
+            self._field_arrays[field] = self.layout.array(
+                f"{target}_{field}", *src.shape,
+                elem_size=src.elem_size, order=src.order, origin=src.origin,
+            )
+
+    def map_object(self, obj: DataObject) -> Optional[DataObject]:
+        if obj.name == self.target:
+            return None  # handled per-access below
+        return super().map_object(obj)
+
+    def rewrite_access(self, access: Access) -> Access:
+        if access.array.name == self.target:
+            if access.field is None:
+                raise ValueError(
+                    f"reference {access!r} touches {self.target!r} without "
+                    f"naming a field; cannot split"
+                )
+            new_obj = self._field_arrays[access.field]
+            return Access(new_obj,
+                          [self.clone_expr(ix) for ix in access.indices],
+                          is_store=access.is_store)
+        return super().rewrite_access(access)
+
+
+def split_record_array(program: Program, array_name: str) -> Program:
+    """Return a program with ``array_name`` split into per-field arrays."""
+    return _SplitRewriter(program, array_name).run(
+        name_suffix=f"+split({array_name})")

@@ -1,0 +1,146 @@
+"""GTC model: variants, index tables, layout transforms."""
+
+import pytest
+
+from repro.apps.gtc import (
+    GTCArrays, GTCParams, GTCVariant, NPT, VARIANTS, ZION_FIELDS, build_gtc,
+    variant_by_name,
+)
+from repro.lang import run_program
+
+SMALL = GTCParams(mpsi=4, mtheta=6, micell=2, mzeta=2, timesteps=1)
+
+
+class TestParams:
+    def test_derived_sizes(self):
+        p = GTCParams(mpsi=4, mtheta=6, micell=3)
+        assert p.mgrid == 24
+        assert p.mi == 72
+
+    def test_with_micell(self):
+        p = GTCParams(micell=4).with_micell(9)
+        assert p.micell == 9
+
+
+class TestVariants:
+    def test_seven_cumulative_variants(self):
+        assert len(VARIANTS) == 7
+        assert VARIANTS[0].name == "gtc_original"
+        # cumulative: each variant keeps all earlier flags
+        flags = ["zion_soa", "fuse_chargei", "spcpft_unroll",
+                 "poisson_linear", "smooth_interchange", "pushi_tiled"]
+        for earlier, later in zip(VARIANTS, VARIANTS[1:]):
+            for flag in flags:
+                if getattr(earlier, flag):
+                    assert getattr(later, flag)
+
+    def test_lookup_by_name(self):
+        assert variant_by_name("+smooth LI").smooth_interchange
+        with pytest.raises(KeyError):
+            variant_by_name("nope")
+
+    @pytest.mark.parametrize("variant", VARIANTS, ids=lambda v: v.name)
+    def test_every_variant_runs(self, variant):
+        stats = run_program(build_gtc(variant, SMALL))
+        assert stats.accesses > 0
+
+
+class TestIndexTables:
+    def test_jtion_values_in_grid_range(self):
+        ar = GTCArrays(SMALL, VARIANTS[0])
+        assert all(1 <= v <= SMALL.mgrid for v in ar.jtion.values)
+
+    def test_jtion_mostly_local(self):
+        """Particles scatter near their home cell."""
+        p = GTCParams(mpsi=8, mtheta=8, micell=4)
+        ar = GTCArrays(p, VARIANTS[0])
+        close = 0
+        for m in range(p.mi):
+            home = m // p.micell
+            cell = int(ar.jtion.values[NPT * m]) - 1
+            if min((cell - home) % p.mgrid, (home - cell) % p.mgrid) <= 2:
+                close += 1
+        assert close / p.mi > 0.9
+
+    def test_nring_within_bounds(self):
+        ar = GTCArrays(SMALL, VARIANTS[0])
+        assert all(4 <= v <= SMALL.nring for v in ar.nringv.values)
+
+    def test_linearized_tables_consistent(self):
+        variant = variant_by_name("+poisson transforms")
+        ar = GTCArrays(SMALL, variant)
+        starts = [int(v) for v in ar.istart.values]
+        assert starts == sorted(starts)
+        nnz = starts[-1] - 1
+        assert nnz == int(ar.nringv.values.sum())
+        assert ar.ring_lin.nelems() == nnz
+        assert all(1 <= v <= SMALL.mgrid for v in ar.indexp_lin.values)
+
+    def test_deterministic_across_builds(self):
+        a = GTCArrays(SMALL, VARIANTS[0])
+        b = GTCArrays(SMALL, VARIANTS[0])
+        assert list(a.jtion.values) == list(b.jtion.values)
+
+
+class TestLayouts:
+    def test_aos_zion_is_record_array(self):
+        ar = GTCArrays(SMALL, VARIANTS[0])
+        assert ar.zion.fields == ZION_FIELDS
+        assert ar.zion.strides == (len(ZION_FIELDS) * 8,)
+
+    def test_alias_shares_storage(self):
+        ar = GTCArrays(SMALL, VARIANTS[0])
+        assert ar.particle_array.base == ar.zion.base
+        assert ar.particle_array.name == "particle_array"
+
+    def test_soa_zion_is_field_vectors(self):
+        ar = GTCArrays(SMALL, variant_by_name("+zion transpose"))
+        assert set(ar.zion) == set(ZION_FIELDS)
+        assert ar.zion["psi"].strides == (8,)
+        assert ar.particle_array is None
+
+    def test_soa_and_aos_same_access_counts(self):
+        aos = run_program(build_gtc(VARIANTS[0], SMALL))
+        soa = run_program(build_gtc(variant_by_name("+zion transpose"),
+                                    SMALL))
+        assert aos.accesses == soa.accesses
+        assert aos.ops == soa.ops
+
+
+class TestTiledPushi:
+    def test_tiled_same_particle_work(self):
+        """Strip-mining must not change which particles are processed."""
+        from repro.lang import TraceRecorder
+        counts = {}
+        for name in ("+smooth LI", "+pushi tiling/fusion"):
+            prog = build_gtc(variant_by_name(name), SMALL)
+            rec = TraceRecorder()
+            run_program(prog, rec)
+            wpi = prog.layout.get("wpi")
+            stores = sorted(
+                e[2] - wpi.base for e in rec.accesses()
+                if e[3] and wpi.base <= e[2] < wpi.base + wpi.size)
+            counts[name] = stores
+        assert counts["+smooth LI"] == counts["+pushi tiling/fusion"]
+
+    def test_stripe_loop_present(self):
+        prog = build_gtc(variant_by_name("+pushi tiling/fusion"), SMALL)
+        assert any(s.name == "pushi_stripe" for s in prog.scopes)
+
+
+class TestScopeStructure:
+    def test_paper_routines_present(self):
+        prog = build_gtc(None, SMALL)
+        assert set(prog.routines) == {
+            "main", "chargei", "poisson", "spcpft", "smooth", "field",
+            "gcmotion", "pushi",
+        }
+
+    def test_gcmotion_is_c(self):
+        prog = build_gtc(None, SMALL)
+        assert prog.routines["gcmotion"].language == "c"
+
+    def test_time_loops_flagged(self):
+        prog = build_gtc(None, SMALL)
+        assert prog.scope_named("main_time").is_time_loop
+        assert prog.scope_named("main_rk").is_time_loop

@@ -1,0 +1,79 @@
+"""The measurement harness (simulator + timing: the 'hardware counters')."""
+
+import pytest
+
+from repro.apps.harness import (
+    dynamic_instructions, measure, static_instructions,
+)
+from repro.apps.kernels import fig1_interchange, stream_triad
+from repro.lang import run_program
+from repro.model import MachineConfig
+
+
+class TestMeasure:
+    def test_result_fields(self):
+        result = measure(stream_triad(512, 1), name="triad")
+        assert result.name == "triad"
+        assert set(result.misses) == {"L2", "L3", "TLB"}
+        assert result.total_cycles > 0
+        assert result.stats.accesses == 3 * 512
+
+    def test_misses_per_unit(self):
+        result = measure(stream_triad(512, 1))
+        per = result.misses_per(512.0)
+        assert per["L2"] == pytest.approx(result.misses["L2"] / 512.0)
+
+    def test_schedule_factor_scales_non_stall(self):
+        base = measure(stream_triad(512, 1))
+        better = measure(stream_triad(512, 1), schedule_factor=0.5)
+        assert better.cycles.non_stall == pytest.approx(
+            base.cycles.non_stall / 2)
+        assert better.misses == base.misses
+
+    def test_custom_config(self):
+        tiny = MachineConfig(
+            name="tiny",
+            levels=(MachineConfig.scaled_itanium2().levels[0],),
+        )
+        result = measure(stream_triad(512, 1), config=tiny)
+        assert set(result.misses) == {"L2"}
+
+    def test_param_override(self):
+        from repro.lang import MemoryLayout, Var, load, loop, program, routine, stmt
+        lay = MemoryLayout()
+        a = lay.array("A", 64)
+        prog = program("p", lay, [routine("main", loop(
+            "i", 1, "N", stmt(load(a, Var("i")))))], params={"N": 8})
+        result = measure(prog, N=32)
+        assert result.stats.accesses == 32
+
+
+class TestInstructionCounting:
+    def test_static_instructions_positive(self):
+        prog = fig1_interchange(8, 8)
+        count = static_instructions(prog, ["main"])
+        assert count > 0
+
+    def test_dynamic_instructions_partition(self):
+        from repro.apps.gtc import GTCParams, build_gtc
+        params = GTCParams(mpsi=4, mtheta=6, micell=2, mzeta=2, timesteps=1)
+        prog = build_gtc(None, params)
+        stats = run_program(prog)
+        total = sum(
+            dynamic_instructions(stats, prog, [name])
+            for name in prog.routines
+        )
+        assert total == sum(stats.scope_insts.values())
+        pushi = dynamic_instructions(stats, prog, ["pushi", "gcmotion"])
+        assert 0 < pushi < total
+
+    def test_fused_routines_charge_icache(self):
+        from repro.apps.gtc import GTCParams, build_gtc, variant_by_name
+        params = GTCParams(mpsi=4, mtheta=6, micell=4, mzeta=2, timesteps=1)
+        variant = variant_by_name("+pushi tiling/fusion")
+        plain = measure(build_gtc(variant, params))
+        fused = measure(build_gtc(variant, params),
+                        fused_routines=("pushi", "gcmotion"))
+        assert plain.cycles.icache_stall == 0
+        assert fused.cycles.icache_stall > 0
+        assert fused.misses == plain.misses

@@ -1,0 +1,115 @@
+"""Sparse CG app: CSR structure, orderings, irregular-reuse detection."""
+
+import pytest
+
+from repro.apps.harness import measure
+from repro.apps.spcg import (
+    ORDERINGS, _grid_matrix, _shuffle_permutation, build_cg,
+    first_touch_permutation,
+)
+from repro.lang import run_program
+from repro.tools import AnalysisSession, IRREGULAR
+from repro.tools.report import irregular_total
+
+
+class TestMatrixConstruction:
+    def test_csr_wellformed(self):
+        rowstart, colidx = _grid_matrix(6)
+        n = 36
+        assert len(rowstart) == n + 1
+        assert rowstart[0] == 1
+        assert rowstart[-1] == len(colidx) + 1
+        assert all(1 <= c <= n for c in colidx)
+
+    def test_five_point_degree(self):
+        rowstart, colidx = _grid_matrix(6)
+        degrees = [rowstart[i + 1] - rowstart[i] for i in range(36)]
+        # corner 3, edge 4, interior 5 (incl. diagonal)
+        assert min(degrees) == 3
+        assert max(degrees) == 5
+
+    def test_symmetric_structure(self):
+        rowstart, colidx = _grid_matrix(5)
+        entries = set()
+        for row in range(25):
+            for pos in range(rowstart[row] - 1, rowstart[row + 1] - 1):
+                entries.add((row + 1, colidx[pos]))
+        assert all((c, r) in entries for r, c in entries)
+
+    def test_shuffle_is_permutation(self):
+        perm = _shuffle_permutation(100, seed=42)
+        assert sorted(perm) == list(range(100))
+
+    def test_first_touch_is_permutation(self):
+        rowstart, colidx = _grid_matrix(8)
+        perm = first_touch_permutation(rowstart, colidx)
+        assert sorted(perm) == list(range(64))
+
+    def test_first_touch_on_natural_is_near_identity(self):
+        """A well-ordered matrix is (almost) a fixed point."""
+        rowstart, colidx = _grid_matrix(8)
+        perm = first_touch_permutation(rowstart, colidx)
+        displacement = sum(abs(new - old) for old, new in enumerate(perm))
+        assert displacement / len(perm) < 8  # within a grid row on average
+
+
+class TestKernel:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_builds_and_runs(self, ordering):
+        stats = run_program(build_cg(grid=8, iterations=2,
+                                     ordering=ordering))
+        assert stats.accesses > 0
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            build_cg(ordering="chaos")
+
+    def test_same_work_every_ordering(self):
+        counts = {o: run_program(build_cg(grid=8, ordering=o)).accesses
+                  for o in ORDERINGS}
+        assert len(set(counts.values())) == 1
+
+    def test_deterministic(self):
+        from tests.helpers import collect_trace
+        a = collect_trace(build_cg(grid=6, iterations=1))
+        b = collect_trace(build_cg(grid=6, iterations=1))
+        assert a == b
+
+
+class TestReorderingStory:
+    """Table I row 2 on a realistic workload."""
+
+    def test_shuffled_worse_than_natural(self):
+        shuffled = measure(build_cg(grid=32, ordering="shuffled"))
+        natural = measure(build_cg(grid=32, ordering="natural"))
+        assert shuffled.misses["L2"] > 1.5 * natural.misses["L2"]
+
+    def test_first_touch_recovers_locality(self):
+        shuffled = measure(build_cg(grid=32, ordering="shuffled"))
+        fixed = measure(build_cg(grid=32, ordering="first-touch"))
+        assert fixed.misses["L2"] < 0.85 * shuffled.misses["L2"]
+        assert fixed.total_cycles < shuffled.total_cycles
+
+    def test_tool_flags_irregular_reuse(self):
+        session = AnalysisSession(build_cg(grid=24, ordering="shuffled"))
+        session.run()
+        total = session.prediction.levels["L2"].total
+        irregular = irregular_total(session.prediction, session.static,
+                                    "L2")
+        assert irregular > 0.2 * total
+        scenarios = {r.scenario
+                     for r in session.recommendations("L2", top_n=10)}
+        assert IRREGULAR in scenarios
+
+    def test_gather_indirect_wrt_both_loops(self):
+        """The x-gather's subscript is loaded per nonzero, and the inner
+        loop's bounds are loaded per row: indirect w.r.t. both loops."""
+        prog = build_cg(grid=8, iterations=1)
+        from repro.static import StaticAnalysis
+        static = StaticAnalysis(prog)
+        gather = next(r.rid for r in prog.refs
+                      if r.array == "p" and r.loc == "spmv.f:15")
+        nz_loop = prog.scope_named("spmv_nz").sid
+        row_loop = prog.scope_named("spmv_row").sid
+        assert static.stride(gather, nz_loop).indirect
+        assert static.stride(gather, row_loop).indirect

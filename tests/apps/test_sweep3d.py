@@ -1,0 +1,164 @@
+"""Sweep3D model: structure, diagonal tables, and variant equivalence."""
+
+import pytest
+
+from repro.apps.sweep3d import (
+    SweepArrays, SweepParams, build_blocked, build_diag2_tables,
+    build_diag3_tables, build_original, build_variant, VARIANTS,
+)
+from repro.lang import run_program
+
+
+class TestDiagonalTables:
+    def test_diag3_covers_every_cell_once(self):
+        p = SweepParams(n=4, mm=3, noct=1)
+        ar = SweepArrays(p)
+        build_diag3_tables(ar, p)
+        cells = set()
+        n_cells = p.n * p.n * p.mm
+        for c in range(n_cells):
+            cells.add((int(ar.diag_j.values[c]), int(ar.diag_k.values[c]),
+                       int(ar.diag_mi.values[c])))
+        assert len(cells) == n_cells
+        assert all(1 <= j <= p.n and 1 <= k <= p.n and 1 <= mi <= p.mm
+                   for j, k, mi in cells)
+
+    def test_diag3_wavefront_order(self):
+        """Within one octant, j+k+mi is non-decreasing along the table."""
+        p = SweepParams(n=4, mm=3, noct=1)
+        ar = SweepArrays(p)
+        build_diag3_tables(ar, p)
+        sums = [int(ar.diag_j.values[c] + ar.diag_k.values[c]
+                    + ar.diag_mi.values[c])
+                for c in range(p.n * p.n * p.mm)]
+        assert sums == sorted(sums)
+
+    def test_diag3_start_offsets_monotone(self):
+        p = SweepParams(n=4, mm=3, noct=2)
+        ar = SweepArrays(p)
+        build_diag3_tables(ar, p)
+        starts = [int(v) for v in ar.dstart.values]
+        assert starts == sorted(starts)
+        assert starts[-1] == 2 * p.n * p.n * p.mm + 1
+
+    def test_diag2_covers_jk_plane(self):
+        p = SweepParams(n=5, noct=1)
+        ar = SweepArrays(p)
+        build_diag2_tables(ar, p)
+        cells = {(int(ar.diag_j.values[c]), int(ar.diag_k.values[c]))
+                 for c in range(p.n * p.n)}
+        assert len(cells) == p.n * p.n
+
+    def test_octant_mirroring(self):
+        """Octant 2 sweeps from the opposite corner."""
+        p = SweepParams(n=4, mm=2, noct=2)
+        ar = SweepArrays(p)
+        build_diag3_tables(ar, p)
+        first_oct1 = (int(ar.diag_j.values[0]), int(ar.diag_k.values[0]))
+        base = p.n * p.n * p.mm
+        first_oct2 = (int(ar.diag_j.values[base]),
+                      int(ar.diag_k.values[base]))
+        assert first_oct1 == (1, 1)
+        assert first_oct2 == (p.n, p.n)
+
+
+class TestVariants:
+    @pytest.mark.parametrize("name", VARIANTS)
+    def test_builds_and_runs(self, name):
+        prog = build_variant(name, SweepParams(n=4, mm=6, nm=2, noct=1))
+        stats = run_program(prog)
+        assert stats.accesses > 0
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_variant("block5x")
+
+    def test_block_must_divide_mm(self):
+        with pytest.raises(ValueError):
+            build_blocked(SweepParams(n=4, mm=6), block=4)
+
+    def test_variants_do_same_cell_work(self):
+        """Blocking reorders the sweep but performs the same i-line work."""
+        p = SweepParams(n=4, mm=2, nm=2, noct=1)
+        flux_stores = {}
+        for name in ("original", "block2"):
+            prog = build_variant(name, p)
+            from repro.lang import TraceRecorder
+            rec = TraceRecorder()
+            run_program(prog, rec)
+            flux = prog.layout.get("flux")
+            addrs = sorted(
+                e[2] for e in rec.accesses()
+                if e[3] and flux.base <= e[2] < flux.base + flux.size
+            )
+            flux_stores[name] = addrs
+        assert flux_stores["original"] == flux_stores["block2"]
+
+    def test_dimic_changes_src_layout(self):
+        p = SweepParams(n=4, mm=2, nm=2, noct=1)
+        plain = build_variant("block2", p)
+        dimic = build_blocked(p, block=2, dim_ic=True)
+        assert plain.layout.get("src").shape == (4, 4, 4, 2)
+        assert dimic.layout.get("src").shape == (4, 2, 4, 4)
+
+    def test_too_many_octants_rejected(self):
+        with pytest.raises(ValueError):
+            SweepParams(n=4, noct=9)
+
+
+class TestScopeStructure:
+    def test_original_has_paper_loops(self):
+        prog = build_original(SweepParams(n=4, mm=2, nm=2, noct=1))
+        names = {s.name for s in prog.scopes}
+        for expected in ("iq", "mo", "kk", "idiag", "jkm", "timestep",
+                         "src_loop", "flux_loop", "sigt_loop", "face_loop"):
+            assert expected in names
+
+    def test_blocked_has_mi_block_loop(self):
+        prog = build_blocked(SweepParams(n=4, mm=2, nm=2, noct=1), block=2)
+        names = {s.name for s in prog.scopes}
+        assert "mi_block" in names and "mib" in names
+
+    def test_time_loop_flag(self):
+        prog = build_original(SweepParams(n=4, mm=2, nm=2, noct=1))
+        assert prog.scope_named("timestep").is_time_loop
+
+
+class TestKPlanePipelining:
+    """Fig 3's kk loop: pipelined k-plane blocks."""
+
+    def _flux_stores(self, kb):
+        from repro.lang import TraceRecorder
+        p = SweepParams(n=6, mm=4, nm=2, noct=1, kb=kb)
+        prog = build_original(p)
+        rec = TraceRecorder()
+        run_program(prog, rec)
+        flux = prog.layout.get("flux")
+        return sorted(e[2] - flux.base for e in rec.accesses()
+                      if e[3] and flux.base <= e[2] < flux.base + flux.size)
+
+    def test_same_work_any_kb(self):
+        assert self._flux_stores(1) == self._flux_stores(2) \
+            == self._flux_stores(3)
+
+    def test_kb_must_divide_mesh(self):
+        with pytest.raises(ValueError, match="must divide"):
+            SweepParams(n=6, kb=4)
+
+    def test_ndiag_accounts_for_block_height(self):
+        p = SweepParams(n=8, mm=4, kb=2)
+        assert p.nk == 4
+        assert p.ndiag3 == 8 + 4 + 4 - 2
+
+    def test_kk_carries_misses_when_pipelined(self):
+        from repro.tools import AnalysisSession
+        session = AnalysisSession(build_original(
+            SweepParams(n=8, mm=6, nm=3, noct=1, kb=2)))
+        session.run()
+        prog = session.program
+        kk = prog.scope_named("kk").sid
+        assert session.carried.fraction("L2", kk) > 0.02
+
+    def test_blocked_variant_requires_kb1(self):
+        with pytest.raises(ValueError, match="k-block"):
+            build_blocked(SweepParams(n=6, mm=6, kb=2), block=6)

@@ -1,0 +1,177 @@
+"""The reuse-pattern analyzer: hand-checked traces and path equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import COLD, ReuseAnalyzer, from_raw
+from repro.lang import (
+    MemoryLayout, Var, load, loop, program, routine, run_program, stmt,
+    store,
+)
+
+from tests.helpers import NaiveReuseDistance, two_array_kernel
+
+
+def _manual_analyzer(**kw):
+    an = ReuseAnalyzer({"line": 64}, **kw)
+    return an
+
+
+class TestHandTraces:
+    def test_cold_then_hit(self):
+        an = _manual_analyzer()
+        an.enter_scope(0)
+        an.access(0, 0, False)     # cold
+        an.access(0, 0, False)     # distance 0
+        db = an.db("line")
+        assert db.cold == {0: 1}
+        assert list(db.raw) == [(0, 0, 0)]
+        assert db.raw[(0, 0, 0)] == {0: 1}
+
+    def test_distance_counts_distinct_blocks(self):
+        an = _manual_analyzer()
+        an.enter_scope(0)
+        an.access(0, 0, False)        # block 0
+        an.access(0, 64, False)       # block 1
+        an.access(0, 64 + 8, False)   # block 1 again (same line!)
+        an.access(0, 0, False)        # reuse of block 0: distance 1
+        db = an.db("line")
+        hist = from_raw(db.raw[(0, 0, 0)])
+        # one d=0 (same line) and one d=1 (across one distinct block)
+        assert hist.bins == {0: 1, 1: 1}
+
+    def test_source_scope_recorded(self):
+        an = _manual_analyzer()
+        an.enter_scope(0)
+        an.enter_scope(1)
+        an.access(0, 0, False)     # touched inside scope 1
+        an.exit_scope(1)
+        an.enter_scope(2)
+        an.access(1, 0, False)     # reused inside scope 2
+        an.exit_scope(2)
+        (key,) = an.db("line").raw
+        rid, src, carry = key
+        assert rid == 1
+        assert src == 1            # last access was inside scope 1
+        assert carry == 0          # scope 0 was active before t_prev
+
+    def test_carrying_scope_inner_loop_instances(self):
+        an = _manual_analyzer()
+        an.enter_scope(0)          # clock 0: routine
+        an.enter_scope(1)          # clock 0: outer loop
+        an.enter_scope(2)          # inner loop, instance 1
+        an.access(0, 0, False)     # clock 1 (cold)
+        an.exit_scope(2)
+        an.enter_scope(2)          # inner loop, instance 2 (entry clock 1)
+        an.access(0, 0, False)     # reuse; prev t=1; carrier = outer loop
+        an.exit_scope(2)
+        keys = set(an.db("line").raw)
+        assert keys == {(0, 2, 1)}
+
+    def test_multi_granularity_independent(self):
+        an = ReuseAnalyzer({"line": 64, "page": 512})
+        an.enter_scope(0)
+        an.access(0, 0, False)
+        an.access(0, 128, False)   # new line, same page
+        an.access(0, 0, False)     # line distance 1; page distance 0
+        line_hist = from_raw(an.db("line").raw[(0, 0, 0)])
+        page_hist = from_raw(an.db("page").raw[(0, 0, 0)])
+        assert line_hist.bins == {1: 1}
+        assert page_hist.bins == {0: 2}
+        assert an.distinct_blocks("line") == 2
+        assert an.distinct_blocks("page") == 1
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            ReuseAnalyzer({"line": 48})
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ReuseAnalyzer({"line": 64}, engine="magic")
+        with pytest.raises(ValueError):
+            ReuseAnalyzer({"line": 64}, table="magic")
+
+
+def _snapshot(an):
+    return {
+        g.name: (
+            {k: dict(sorted(v.items())) for k, v in sorted(g.db.raw.items())},
+            dict(sorted(g.db.cold.items())),
+        )
+        for g in an.grans
+    }
+
+
+class TestPathEquivalence:
+    """The specialized closure, the generic loop, and the treap must agree."""
+
+    @pytest.mark.parametrize("engine,table", [
+        ("fenwick", "flat"), ("fenwick", "hierarchical"),
+        ("treap", "flat"), ("treap", "hierarchical"),
+    ])
+    def test_all_paths_agree_on_kernel(self, engine, table):
+        reference = ReuseAnalyzer({"line": 64, "page": 512})
+        run_program(two_array_kernel(12, 12, transposed_b=True), reference)
+        other = ReuseAnalyzer({"line": 64, "page": 512},
+                              engine=engine, table=table)
+        run_program(two_array_kernel(12, 12, transposed_b=True), other)
+        assert _snapshot(reference) == _snapshot(other)
+
+    def test_three_granularities_use_generic_path(self):
+        an = ReuseAnalyzer({"a": 64, "b": 128, "c": 512})
+        run_program(two_array_kernel(6, 6), an)
+        assert an.clock > 0
+        assert len(an.grans) == 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=40),
+                min_size=1, max_size=150))
+def test_analyzer_distances_match_naive(blocks):
+    """Merged histograms equal the naive LRU-stack distance distribution."""
+    an = ReuseAnalyzer({"line": 64})
+    an.enter_scope(0)
+    naive = NaiveReuseDistance(block_size=1)
+    expected = {}
+    cold = 0
+    for b in blocks:
+        an.access(0, b * 64, False)
+        d = naive.access(b * 64)
+        if d is None:
+            cold += 1
+        else:
+            from repro.core.histogram import bin_of
+            expected[bin_of(d)] = expected.get(bin_of(d), 0) + 1
+    db = an.db("line")
+    got = db.raw.get((0, 0, 0), {})
+    assert got == expected
+    assert db.cold.get(0, 0) == cold
+
+
+class TestPatternDB:
+    def test_patterns_iteration_and_totals(self):
+        an = _manual_analyzer()
+        run_program(two_array_kernel(8, 8), an)
+        db = an.db("line")
+        total = db.total_accesses
+        assert total == 8 * 8 * 3
+        merged = db.merged_histogram()
+        assert merged.total == total
+
+    def test_for_ref_filters(self):
+        an = _manual_analyzer()
+        prog = two_array_kernel(8, 8)
+        run_program(prog, an)
+        db = an.db("line")
+        for p in db.for_ref(0):
+            assert p.rid == 0
+
+    def test_cold_patterns_marked(self):
+        an = _manual_analyzer()
+        run_program(two_array_kernel(8, 8), an)
+        db = an.db("line")
+        colds = [p for p in db.patterns() if p.is_cold]
+        assert colds
+        assert all(p.src_sid == COLD for p in colds)
+        assert all(p.histogram.reuses == 0 for p in colds)

@@ -1,0 +1,66 @@
+"""Block tables: hierarchical (paper-faithful) vs flat equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocktable import FlatBlockTable, HierarchicalBlockTable
+
+
+TABLES = [FlatBlockTable, HierarchicalBlockTable]
+
+
+@pytest.mark.parametrize("table_cls", TABLES)
+class TestBlockTable:
+    def test_get_missing_is_none(self, table_cls):
+        assert table_cls().get(12345) is None
+
+    def test_set_get_roundtrip(self, table_cls):
+        t = table_cls()
+        t.set(7, (10, 1, 2))
+        assert t.get(7) == (10, 1, 2)
+
+    def test_overwrite(self, table_cls):
+        t = table_cls()
+        t.set(7, (10, 1, 2))
+        t.set(7, (20, 3, 4))
+        assert t.get(7) == (20, 3, 4)
+        assert len(t) == 1
+
+    def test_len_counts_distinct_blocks(self, table_cls):
+        t = table_cls()
+        for block in (1, 2, 3, 2, 1):
+            t.set(block, (0, 0, 0))
+        assert len(t) == 3
+
+    def test_sparse_far_apart_blocks(self, table_cls):
+        t = table_cls()
+        blocks = [0, 1023, 1024, 2 ** 20, 2 ** 30, 2 ** 40]
+        for k, block in enumerate(blocks):
+            t.set(block, (k, 0, 0))
+        for k, block in enumerate(blocks):
+            assert t.get(block) == (k, 0, 0)
+
+    def test_blocks_iteration_sorted(self, table_cls):
+        t = table_cls()
+        for block in (99, 5, 2 ** 21 + 3, 0):
+            t.set(block, (block, 0, 0))
+        listed = list(t.blocks())
+        assert [b for b, _ in listed] == sorted(b for b, _ in listed)
+        assert all(entry == (b, 0, 0) for b, entry in listed)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2 ** 34),
+              st.integers(min_value=0, max_value=1000)),
+    min_size=1, max_size=200))
+def test_hierarchical_matches_flat(ops):
+    flat, hier = FlatBlockTable(), HierarchicalBlockTable()
+    for block, time in ops:
+        flat.set(block, (time, 0, 0))
+        hier.set(block, (time, 0, 0))
+    assert len(flat) == len(hier)
+    for block, _ in ops:
+        assert flat.get(block) == hier.get(block)
+    assert list(flat.blocks()) == list(hier.blocks())

@@ -1,0 +1,108 @@
+"""Distance engines (Fenwick, treap) against the naive LRU-stack oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fenwick import FenwickEngine
+from repro.core.treap import TreapEngine
+
+from tests.helpers import NaiveReuseDistance
+
+
+def _drive(engine, addresses):
+    """Feed an address stream through an engine; return distances."""
+    table = {}
+    clock = 0
+    out = []
+    for addr in addresses:
+        clock += 1
+        prev = table.get(addr)
+        if prev is None:
+            engine.first(clock)
+            out.append(None)
+        else:
+            out.append(engine.reuse(prev, clock))
+        table[addr] = clock
+    return out
+
+
+def _naive(addresses):
+    oracle = NaiveReuseDistance()
+    return [oracle.access(a) for a in addresses]
+
+
+ENGINES = [FenwickEngine, TreapEngine]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestEnginesBasic:
+    def test_repeat_same_block(self, engine_cls):
+        assert _drive(engine_cls(), [1, 1, 1]) == [None, 0, 0]
+
+    def test_two_blocks_alternating(self, engine_cls):
+        assert _drive(engine_cls(), [1, 2, 1, 2]) == [None, None, 1, 1]
+
+    def test_classic_stack_example(self, engine_cls):
+        # a b c b a: distance(b)=1, distance(a)=2
+        assert _drive(engine_cls(), [1, 2, 3, 2, 1]) == [
+            None, None, None, 1, 2]
+
+    def test_streaming_never_reuses(self, engine_cls):
+        assert _drive(engine_cls(), list(range(50))) == [None] * 50
+
+    def test_active_block_count(self, engine_cls):
+        engine = engine_cls()
+        _drive(engine, [1, 2, 3, 1, 2])
+        assert engine.active_blocks == 3
+
+
+class TestFenwickGrowth:
+    def test_growth_preserves_marks(self):
+        engine = FenwickEngine(initial_capacity=8)
+        # Push the clock far beyond the initial capacity.
+        stream = [k % 5 for k in range(100)]
+        assert _drive(engine, stream) == _naive(stream)
+
+    def test_ensure_idempotent(self):
+        engine = FenwickEngine(initial_capacity=8)
+        engine.first(1)
+        engine.ensure(1000)
+        engine.ensure(1000)
+        assert engine.reuse(1, 999) == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30),
+                min_size=1, max_size=120))
+def test_fenwick_matches_naive(stream):
+    assert _drive(FenwickEngine(initial_capacity=16), stream) == _naive(stream)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30),
+                min_size=1, max_size=120))
+def test_treap_matches_naive(stream):
+    assert _drive(TreapEngine(), stream) == _naive(stream)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=200),
+                min_size=1, max_size=300))
+def test_engines_agree(stream):
+    assert (_drive(FenwickEngine(initial_capacity=4), stream)
+            == _drive(TreapEngine(), stream))
+
+
+class TestTreapStructure:
+    def test_keys_sorted_after_churn(self):
+        engine = TreapEngine()
+        _drive(engine, [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5])
+        keys = engine.keys()
+        assert keys == sorted(keys)
+
+    def test_delete_missing_raises(self):
+        engine = TreapEngine()
+        engine.first(5)
+        with pytest.raises(KeyError):
+            engine._delete(7)

@@ -1,0 +1,129 @@
+"""Histogram binning invariants and statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import (
+    EXACT_LIMIT, Histogram, bin_mid, bin_of, bin_range, from_raw,
+)
+
+
+class TestBinning:
+    def test_small_distances_exact(self):
+        for d in range(EXACT_LIMIT):
+            assert bin_of(d) == d
+            assert bin_range(d) == (d, d)
+
+    def test_boundary_bin(self):
+        lo, hi = bin_range(bin_of(EXACT_LIMIT))
+        assert lo == EXACT_LIMIT
+
+    def test_bins_monotone(self):
+        prev = -1
+        for d in [1, 10, 255, 256, 300, 512, 1000, 4096, 10 ** 6]:
+            b = bin_of(d)
+            assert b >= prev
+            prev = b
+
+    def test_mid_within_range(self):
+        for d in [1, 100, 256, 1000, 123456]:
+            b = bin_of(d)
+            lo, hi = bin_range(b)
+            assert lo <= bin_mid(b) <= hi
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 40))
+def test_distance_falls_in_its_bin_range(d):
+    lo, hi = bin_range(bin_of(d))
+    assert lo <= d <= hi
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=256, max_value=2 ** 30))
+def test_log_bin_relative_error_bounded(d):
+    """Sub-binned log bins keep relative width below 25%."""
+    lo, hi = bin_range(bin_of(d))
+    assert (hi - lo + 1) / lo <= 0.25 + 1e-9
+
+
+class TestHistogram:
+    def test_add_and_total(self):
+        h = Histogram()
+        h.add(5)
+        h.add(5)
+        h.add(1000)
+        h.add_cold(3)
+        assert h.reuses == 3
+        assert h.cold == 3
+        assert h.total == 6
+
+    def test_items_sorted_with_counts(self):
+        h = Histogram()
+        h.add(100, 2)
+        h.add(3)
+        rows = list(h.items())
+        assert rows[0] == (3, 3, 1)
+        assert rows[1] == (100, 100, 2)
+
+    def test_merge(self):
+        h1, h2 = Histogram(), Histogram()
+        h1.add(4, 2)
+        h2.add(4, 3)
+        h2.add_cold()
+        merged = h1.merge(h2)
+        assert merged.reuses == 5
+        assert merged.cold == 1
+        assert h1.reuses == 2  # merge does not mutate
+
+    def test_count_at_least_exact_bins(self):
+        h = Histogram()
+        for d in (1, 5, 10, 200):
+            h.add(d)
+        assert h.count_at_least(6) == 2
+        assert h.count_at_least(0) == 4
+        assert h.count_at_least(201) == 0
+
+    def test_count_at_least_includes_cold(self):
+        h = Histogram()
+        h.add(1)
+        h.add_cold(2)
+        assert h.count_at_least(10 ** 9) == 2
+
+    def test_count_at_least_fractional_straddle(self):
+        h = Histogram()
+        h.add(300, 100)  # bin [256+, ...] covering 300
+        lo, hi = None, None
+        from repro.core.histogram import bin_range, bin_of
+        lo, hi = bin_range(bin_of(300))
+        threshold = (lo + hi + 1) // 2
+        frac = h.count_at_least(threshold)
+        assert 0 < frac < 100
+
+    def test_quantile_monotone(self):
+        h = Histogram()
+        for d in (1, 2, 4, 8, 16, 5000):
+            h.add(d)
+        qs = [h.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert qs == sorted(qs)
+
+    def test_quantile_empty(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_mean(self):
+        h = Histogram()
+        h.add(10, 2)
+        h.add(20, 2)
+        assert h.mean() == pytest.approx(15.0)
+
+    def test_from_raw_shares_nothing(self):
+        raw = {3: 5}
+        h = from_raw(raw, cold=1)
+        raw[3] = 99
+        assert h.bins[3] == 5
+        assert h.cold == 1

@@ -1,0 +1,71 @@
+"""PatternDB slow-path API and ReusePattern semantics."""
+
+import pytest
+
+from repro.core import COLD, PatternDB, ReusePattern, from_raw
+from repro.core.histogram import bin_of
+
+
+class TestPatternDB:
+    def test_add_and_pattern_lookup(self):
+        db = PatternDB()
+        db.add(rid=1, src_sid=2, carry_sid=3, distance=10)
+        db.add(rid=1, src_sid=2, carry_sid=3, distance=10)
+        db.add(rid=1, src_sid=2, carry_sid=3, distance=500)
+        pattern = db.pattern((1, 2, 3))
+        assert pattern is not None
+        assert pattern.histogram.reuses == 3
+        assert pattern.histogram.bins[bin_of(10)] == 2
+
+    def test_pattern_missing(self):
+        assert PatternDB().pattern((9, 9, 9)) is None
+
+    def test_cold_tracking(self):
+        db = PatternDB()
+        db.add_cold(5)
+        db.add_cold(5)
+        db.add_cold(7)
+        colds = [p for p in db.patterns() if p.is_cold]
+        assert {p.rid for p in colds} == {5, 7}
+        assert sum(p.accesses for p in colds) == 3
+
+    def test_total_accesses(self):
+        db = PatternDB()
+        db.add(0, 0, 0, 4)
+        db.add(1, 0, 0, 4)
+        db.add_cold(0)
+        assert db.total_accesses == 3
+        assert len(db) == 3  # two reuse patterns + one cold pattern
+
+    def test_for_ref(self):
+        db = PatternDB()
+        db.add(0, 1, 1, 4)
+        db.add(1, 1, 1, 4)
+        assert {p.rid for p in db.for_ref(0)} == {0}
+
+    def test_merged_histogram_scoped_to_ref(self):
+        db = PatternDB()
+        db.add(0, 1, 1, 4)
+        db.add(0, 2, 2, 8)
+        db.add(1, 1, 1, 4)
+        db.add_cold(0)
+        merged = db.merged_histogram(rid=0)
+        assert merged.reuses == 2
+        assert merged.cold == 1
+
+
+class TestReusePattern:
+    def test_key_roundtrip(self):
+        pattern = ReusePattern(3, 1, 2, from_raw({0: 5}))
+        assert pattern.key == (3, 1, 2)
+        assert pattern.accesses == 5
+        assert not pattern.is_cold
+
+    def test_cold_flag(self):
+        pattern = ReusePattern(3, COLD, COLD, from_raw({}, cold=2))
+        assert pattern.is_cold
+        assert pattern.accesses == 2
+
+    def test_repr(self):
+        text = repr(ReusePattern(3, 1, 2, from_raw({0: 5})))
+        assert "rid=3" in text

@@ -1,0 +1,79 @@
+"""Scope stack and carrying-scope semantics (Section II)."""
+
+import pytest
+
+from repro.core.scopestack import ScopeStack
+
+
+class TestStackDiscipline:
+    def test_enter_exit(self):
+        s = ScopeStack()
+        s.enter(1, 0)
+        s.enter(2, 5)
+        assert s.depth() == 2
+        assert s.current() == 2
+        s.exit(2)
+        assert s.current() == 1
+
+    def test_mismatched_exit_raises(self):
+        s = ScopeStack()
+        s.enter(1, 0)
+        with pytest.raises(ValueError):
+            s.exit(9)
+
+    def test_underflow_raises(self):
+        with pytest.raises(IndexError):
+            ScopeStack().exit(1)
+
+    def test_current_empty(self):
+        assert ScopeStack().current() == -1
+
+    def test_frames(self):
+        s = ScopeStack()
+        s.enter(1, 0)
+        s.enter(2, 7)
+        assert s.frames() == [(1, 0), (2, 7)]
+
+
+class TestCarrying:
+    def test_paper_semantics(self):
+        """The carrying scope is the most recent scope entered before the
+        previous access (the deepest frame with entry clock < t_prev)."""
+        s = ScopeStack()
+        s.enter(10, 0)    # main
+        s.enter(20, 3)    # outer loop, entered at clock 3
+        s.enter(30, 9)    # inner loop, entered at clock 9
+        # previous access at clock 5: after outer entered, before inner
+        assert s.carrying(5) == 20
+        # previous access at clock 11: inner loop carries
+        assert s.carrying(11) == 30
+        # previous access at clock 1: only main was active
+        assert s.carrying(1) == 10
+
+    def test_entry_exactly_at_t_prev_not_carrying(self):
+        """A scope entered at clock == t_prev was entered *after* the
+        access that set the clock to t_prev."""
+        s = ScopeStack()
+        s.enter(10, 0)
+        s.enter(20, 5)
+        assert s.carrying(5) == 10
+
+    def test_reentered_inner_loop(self):
+        """Classic i/j nest: reuse across outer iterations is carried by
+        the outer loop even though an inner instance is active."""
+        s = ScopeStack()
+        s.enter(1, 0)      # main
+        s.enter(2, 2)      # j loop
+        s.enter(3, 4)      # i loop, first instance
+        t_prev = 6         # access inside first i instance
+        s.exit(3)
+        s.enter(3, 8)      # i loop, second instance
+        assert s.carrying(t_prev) == 2  # j loop drives the reuse
+
+    def test_prev_before_everything(self):
+        s = ScopeStack()
+        s.enter(5, 10)
+        assert s.carrying(3) == 5  # falls back to the outermost frame
+
+    def test_empty_stack(self):
+        assert ScopeStack().carrying(5) == -1

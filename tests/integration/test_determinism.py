@@ -1,0 +1,68 @@
+"""End-to-end determinism: identical builds produce identical databases.
+
+Everything in the pipeline is seeded or deterministic (LCG index tables,
+splitmix treap priorities, insertion-ordered dicts), so two independent
+builds and runs of the same configuration must agree bit for bit — the
+property that makes every benchmark in this repository reproducible.
+"""
+
+import pytest
+
+from repro.apps.gtc import GTCParams, build_gtc
+from repro.apps.spcg import build_cg
+from repro.apps.sweep3d import SweepParams, build_original
+from repro.core import ReuseAnalyzer
+from repro.lang import run_program
+from repro.model import MachineConfig
+
+CFG = MachineConfig.scaled_itanium2()
+
+BUILDERS = [
+    ("sweep3d", lambda: build_original(SweepParams(n=6, mm=4, nm=2,
+                                                   noct=1))),
+    ("gtc", lambda: build_gtc(None, GTCParams(mpsi=4, mtheta=6, micell=2,
+                                              mzeta=2, timesteps=1))),
+    ("cg", lambda: build_cg(grid=10, iterations=2)),
+]
+
+
+def _snapshot(build):
+    analyzer = ReuseAnalyzer(CFG.granularities())
+    run_program(build(), analyzer)
+    return {
+        g.name: (
+            {k: dict(sorted(v.items()))
+             for k, v in sorted(g.db.raw.items())},
+            dict(sorted(g.db.cold.items())),
+        )
+        for g in analyzer.grans
+    }
+
+
+@pytest.mark.parametrize("name,build", BUILDERS,
+                         ids=[n for n, _b in BUILDERS])
+def test_two_runs_identical(name, build):
+    assert _snapshot(build) == _snapshot(build)
+
+
+def test_xml_export_deterministic():
+    from repro.tools import AnalysisSession
+
+    def export():
+        session = AnalysisSession(build_cg(grid=8, iterations=1))
+        session.run()
+        return session.export_xml()
+
+    assert export() == export()
+
+
+def test_prediction_deterministic():
+    from repro.tools import AnalysisSession
+
+    def totals():
+        session = AnalysisSession(
+            build_original(SweepParams(n=6, mm=4, nm=2, noct=1)))
+        session.run()
+        return session.totals()
+
+    assert totals() == totals()

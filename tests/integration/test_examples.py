@@ -1,0 +1,35 @@
+"""The shipped examples must run clean end to end (fast subset).
+
+The two full case-study walkthroughs (sweep3d_tuning, gtc_tuning) rerun
+multi-variant measurements and are exercised by the benchmarks instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "examples")
+
+FAST_EXAMPLES = [
+    ("quickstart.py", ["interchange", "carrying scope"]),
+    ("fragmentation_analysis.py", ["f = 1 - c/s = 0.50", "reuse groups"]),
+    ("transform_roundtrip.py", ["fewer", "[fragmentation]", "[fusion]"]),
+    ("scaling_prediction.py", ["predicted L3 misses", "error"]),
+    ("miss_curves.py", ["miss curve", "working-set knees", "<- L2"]),
+]
+
+
+@pytest.mark.parametrize("script,expected",
+                         FAST_EXAMPLES, ids=[s for s, _e in FAST_EXAMPLES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES, script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script}: missing {needle!r} in output")

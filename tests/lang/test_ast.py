@@ -1,0 +1,138 @@
+"""Tests for the kernel AST: expressions, finalize, compiled closures."""
+
+import pytest
+
+from repro.lang import (
+    Access, Const, FloorDiv, Load, Max, MemoryLayout, Min, Mod, Program,
+    Var, as_expr, idx, load, loop, program, routine, stmt, store,
+)
+
+
+class TestExpressions:
+    def test_arith_eval(self):
+        env = {"i": 5, "j": 3}
+        expr = (Var("i") + 2) * Var("j") - 1
+        assert expr.eval(env) == 20
+
+    def test_rsub_rmul_radd(self):
+        env = {"i": 4}
+        assert (10 - Var("i")).eval(env) == 6
+        assert (3 * Var("i")).eval(env) == 12
+        assert (1 + Var("i")).eval(env) == 5
+
+    def test_min_max(self):
+        env = {"i": 5}
+        assert Min(Var("i"), 3).eval(env) == 3
+        assert Max(Var("i"), 3, 7).eval(env) == 7
+
+    def test_mod_floordiv(self):
+        env = {"i": 17}
+        assert Mod(Var("i"), 5).eval(env) == 2
+        assert FloorDiv(Var("i"), 5).eval(env) == 3
+
+    def test_as_expr_coercions(self):
+        assert isinstance(as_expr(3), Const)
+        assert isinstance(as_expr("i"), Var)
+        with pytest.raises(TypeError):
+            as_expr(3.5)
+
+
+def _tiny(n=4):
+    lay = MemoryLayout()
+    a = lay.array("A", n)
+    body = loop("i", 1, n, stmt(load(a, Var("i")), store(a, Var("i")),
+                                loc="t:1"), name="I")
+    return program("tiny", lay, [routine("main", body)]), a
+
+
+class TestFinalize:
+    def test_scope_ids_assigned(self):
+        prog, _ = _tiny()
+        kinds = [s.kind for s in prog.scopes]
+        assert kinds == ["routine", "loop"]
+        assert prog.scope_named("I").kind == "loop"
+
+    def test_ref_ids_assigned(self):
+        prog, _ = _tiny()
+        assert len(prog.refs) == 2
+        assert prog.refs[0].is_store is False
+        assert prog.refs[1].is_store is True
+        assert all(r.loc == "t:1" for r in prog.refs)
+
+    def test_reused_access_rejected(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 4)
+        acc = load(a, Var("i"))
+        body = loop("i", 1, 4, stmt(acc), stmt(acc))
+        with pytest.raises(ValueError, match="more than one statement"):
+            program("bad", lay, [routine("main", body)])
+
+    def test_missing_entry_rejected(self):
+        lay = MemoryLayout()
+        with pytest.raises(ValueError, match="entry routine"):
+            Program("p", lay, [routine("other")], entry="main")
+
+    def test_call_to_undefined_routine_rejected(self):
+        from repro.lang import call
+        lay = MemoryLayout()
+        with pytest.raises(ValueError, match="undefined routine"):
+            program("p", lay, [routine("main", call("nope"))])
+
+    def test_subscript_arity_checked(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 4, 4)
+        with pytest.raises(ValueError, match="subscripts"):
+            load(a, Var("i"))
+
+    def test_enclosing_loops_innermost_first(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 4, 4)
+        nest = loop("j", 1, 4,
+                    loop("i", 1, 4,
+                         stmt(load(a, Var("i"), Var("j"))), name="I"),
+                    name="J")
+        prog = program("p", lay, [routine("main", nest)])
+        chain = prog.enclosing_loops(prog.refs[0].scope)
+        assert [c.name for c in chain] == ["I", "J"]
+
+
+class TestCompiledAddresses:
+    def test_compiled_matches_interpreted(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 8, 8)
+        acc = load(a, Var("i") + 1, 2 * Var("j"))
+        body = loop("j", 1, 4, loop("i", 1, 4, stmt(acc)))
+        program("p", lay, [routine("main", body)])
+        for env in ({"i": 1, "j": 1}, {"i": 3, "j": 2}):
+            interpreted = a.base + (env["i"] + 1 - 1) * 8 + (2 * env["j"] - 1) * 64
+            assert acc._addr_fn(env) == interpreted
+
+    def test_field_access_offsets(self):
+        lay = MemoryLayout()
+        z = lay.array("z", 8, fields=("x", "y", "w"))
+        acc = load(z, Var("m"), field="y")
+        body = loop("m", 1, 8, stmt(acc))
+        program("p", lay, [routine("main", body)])
+        assert acc._addr_fn({"m": 1}) == z.base + 8
+        assert acc._addr_fn({"m": 3}) == z.base + 2 * 24 + 8
+
+    def test_indirect_value_load(self):
+        lay = MemoryLayout()
+        ix = lay.index_array("ix", 4)
+        ix.values[:] = [4, 3, 2, 1]
+        a = lay.array("A", 4)
+        acc = store(a, idx(ix, Var("i")))
+        body = loop("i", 1, 4, stmt(acc))
+        program("p", lay, [routine("main", body)])
+        assert acc._addr_fn({"i": 1}) == a.base + 3 * 8
+        assert acc._addr_fn({"i": 4}) == a.base + 0
+
+    def test_index_values_frozen_at_finalize(self):
+        lay = MemoryLayout()
+        ix = lay.index_array("ix", 2)
+        ix.values[:] = [1, 2]
+        a = lay.array("A", 4)
+        acc = store(a, idx(ix, Var("i")))
+        program("p", lay, [routine("main", loop("i", 1, 2, stmt(acc)))])
+        ix.values[0] = 4  # too late: closures bound a frozen copy
+        assert acc._addr_fn({"i": 1}) == a.base

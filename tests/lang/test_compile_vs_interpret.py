@@ -1,0 +1,53 @@
+"""Property: compiled address closures == interpreted addressing.
+
+The executor runs compiled closures for speed; `Access.address()` computes
+the same thing interpretively.  They must agree for arbitrary affine
+subscripts, record fields, origins, and loop environments.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import MemoryLayout, Var, load, loop, program, routine, stmt
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    shape=st.tuples(st.integers(2, 9), st.integers(2, 9)),
+    coeff=st.integers(0, 2),
+    offset=st.integers(0, 1),
+    origin=st.sampled_from([0, 1]),
+    order=st.sampled_from(["F", "C"]),
+    env=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+)
+def test_compiled_address_matches_interpreted(shape, coeff, offset, origin,
+                                              order, env):
+    n1, n2 = shape
+    lay = MemoryLayout()
+    a = lay.array("A", 4 * n1 + 4, n2 + 2, order=order, origin=origin)
+    i, j = Var("i"), Var("j")
+    acc = load(a, coeff * i + offset + origin, j + origin)
+    nest = loop("j", origin, origin + 1,
+                loop("i", origin, origin + 1, stmt(acc)))
+    program("p", lay, [routine("main", nest)])
+    environment = {"i": env[0], "j": env[1]}
+    assert acc._addr_fn(environment) == acc.address(environment)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    field_count=st.integers(2, 6),
+    field_index=st.integers(0, 5),
+    m=st.integers(1, 20),
+)
+def test_compiled_field_address_matches_interpreted(field_count, field_index,
+                                                    m):
+    fields = tuple(f"f{k}" for k in range(field_count))
+    field = fields[min(field_index, field_count - 1)]
+    lay = MemoryLayout()
+    z = lay.array("z", 32, fields=fields)
+    acc = load(z, Var("m"), field=field)
+    program("p", lay, [routine("main", loop("m", 1, 32, stmt(acc)))])
+    env = {"m": m}
+    assert acc._addr_fn(env) == acc.address(env)
+    assert acc.address(env) == z.address([m], field=field)

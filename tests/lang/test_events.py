@@ -1,0 +1,59 @@
+"""Event protocol plumbing: Tee fan-out, recorder helpers."""
+
+import pytest
+
+from repro.lang import EventHandler, Tee, TraceRecorder
+
+
+class _Counting(EventHandler):
+    def __init__(self):
+        self.enters = 0
+        self.exits = 0
+        self.accesses = 0
+
+    def enter_scope(self, sid):
+        self.enters += 1
+
+    def exit_scope(self, sid):
+        self.exits += 1
+
+    def access(self, rid, addr, is_store):
+        self.accesses += 1
+
+
+class TestTee:
+    def test_fans_out_in_order(self):
+        a, b, c = _Counting(), _Counting(), _Counting()
+        tee = Tee(a, b, c)
+        tee.enter_scope(0)
+        tee.access(0, 64, False)
+        tee.access(1, 128, True)
+        tee.exit_scope(0)
+        for handler in (a, b, c):
+            assert (handler.enters, handler.accesses, handler.exits) \
+                == (1, 2, 1)
+
+    def test_empty_tee_is_noop(self):
+        tee = Tee()
+        tee.enter_scope(0)
+        tee.access(0, 0, False)
+        tee.exit_scope(0)
+
+    def test_base_handler_is_noop(self):
+        handler = EventHandler()
+        handler.enter_scope(0)
+        handler.access(0, 0, False)
+        handler.exit_scope(0)
+
+
+class TestTraceRecorder:
+    def test_accessors(self):
+        rec = TraceRecorder()
+        rec.enter_scope(3)
+        rec.access(0, 1000, False)
+        rec.access(1, 2000, True)
+        rec.exit_scope(3)
+        assert rec.addresses() == [1000, 2000]
+        assert len(rec.accesses()) == 2
+        assert rec.events[0] == ("enter", 3)
+        assert rec.events[-1] == ("exit", 3)

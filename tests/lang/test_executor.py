@@ -1,0 +1,162 @@
+"""Tests for the instrumented executor: event streams and statistics."""
+
+import pytest
+
+from repro.lang import (
+    MemoryLayout, TraceRecorder, Var, assign, call, idx, load, loop,
+    program, routine, run_program, stmt, store,
+)
+
+
+def _fig1(n=3, m=2):
+    lay = MemoryLayout()
+    a = lay.array("A", n, m)
+    b = lay.array("B", n, m)
+    i, j = Var("i"), Var("j")
+    nest = loop("j", 1, m,
+                loop("i", 1, n,
+                     stmt(load(a, i, j), load(b, i, j), store(a, i, j),
+                          ops=1),
+                     name="I"),
+                name="J")
+    return program("fig1", lay, [routine("main", nest)]), a, b
+
+
+class TestEventStream:
+    def test_scope_event_nesting(self):
+        prog, _, _ = _fig1()
+        rec = TraceRecorder()
+        run_program(prog, rec)
+        events = rec.events
+        assert events[0] == ("enter", prog.scope_named("main").sid)
+        assert events[-1] == ("exit", prog.scope_named("main").sid)
+        depth = 0
+        for e in events:
+            if e[0] == "enter":
+                depth += 1
+            elif e[0] == "exit":
+                depth -= 1
+                assert depth >= 0
+        assert depth == 0
+
+    def test_access_order_and_addresses(self):
+        prog, a, b = _fig1(n=2, m=1)
+        rec = TraceRecorder()
+        run_program(prog, rec)
+        accs = rec.accesses()
+        assert len(accs) == 6
+        # i=1: A(1,1) load, B(1,1) load, A(1,1) store
+        assert accs[0] == ("access", 0, a.base, False)
+        assert accs[1] == ("access", 1, b.base, False)
+        assert accs[2] == ("access", 2, a.base, True)
+        # i=2: next row, contiguous
+        assert accs[3] == ("access", 0, a.base + 8, False)
+
+    def test_inner_loop_entered_per_outer_iteration(self):
+        prog, _, _ = _fig1(n=3, m=4)
+        rec = TraceRecorder()
+        run_program(prog, rec)
+        inner_sid = prog.scope_named("I").sid
+        enters = [e for e in rec.events if e == ("enter", inner_sid)]
+        assert len(enters) == 4
+
+
+class TestStats:
+    def test_access_and_op_counts(self):
+        prog, _, _ = _fig1(n=3, m=2)
+        stats = run_program(prog)
+        assert stats.accesses == 3 * 2 * 3
+        assert stats.loads == 3 * 2 * 2
+        assert stats.stores == 3 * 2
+        assert stats.ops == 3 * 2
+        assert stats.instructions == stats.accesses + stats.ops
+
+    def test_avg_trip_count(self):
+        prog, _, _ = _fig1(n=3, m=4)
+        stats = run_program(prog)
+        assert stats.avg_trip(prog.scope_named("I").sid) == 3.0
+        assert stats.avg_trip(prog.scope_named("J").sid) == 4.0
+
+    def test_avg_trip_unknown_loop_is_zero(self):
+        prog, _, _ = _fig1()
+        stats = run_program(prog)
+        assert stats.avg_trip(9999) == 0.0
+
+    def test_scope_insts_attributed_to_innermost(self):
+        prog, _, _ = _fig1(n=3, m=2)
+        stats = run_program(prog)
+        inner_sid = prog.scope_named("I").sid
+        assert stats.scope_insts[inner_sid] == 3 * 2 * 4  # 3 accesses + 1 op
+
+
+class TestControlFlow:
+    def test_param_override(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 10)
+        body = loop("i", 1, "N", stmt(load(a, Var("i"))))
+        prog = program("p", lay, [routine("main", body)], params={"N": 3})
+        assert run_program(prog).accesses == 3
+        prog2 = program("p2", MemoryLayout(), [routine("main", loop(
+            "i", 1, "N", stmt(load(lay.array("A2", 10), Var("i")))))],
+            params={"N": 3})
+        stats = run_program(prog2, N=7)
+        assert stats.accesses == 7
+
+    def test_negative_step(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 5)
+        body = loop("i", 5, 1, stmt(load(a, Var("i"))), step=-1)
+        rec = TraceRecorder()
+        run_program(program("p", lay, [routine("main", body)]), rec)
+        addrs = rec.addresses()
+        assert addrs == [a.base + 8 * k for k in (4, 3, 2, 1, 0)]
+
+    def test_strided_loop(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 16)
+        body = loop("i", 1, 16, stmt(load(a, Var("i"))), step=4)
+        assert run_program(program("p", lay, [routine("main", body)])).accesses == 4
+
+    def test_zero_trip_loop(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 4)
+        body = loop("i", 5, 4, stmt(load(a, Var("i"))))
+        assert run_program(program("p", lay, [routine("main", body)])).accesses == 0
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            loop("i", 1, 4, step=0)
+
+    def test_call_shares_env(self):
+        """Callees see caller scalars (Fortran-style dynamic env)."""
+        lay = MemoryLayout()
+        a = lay.array("A", 10)
+        callee = routine("sub", loop("i", "lo", "hi", stmt(load(a, Var("i"))),
+                                     name="sub_i"))
+        main = routine("main", assign("lo", 2), assign("hi", 5), call("sub"))
+        prog = program("p", lay, [main, callee])
+        stats = run_program(prog)
+        assert stats.accesses == 4
+
+    def test_scalar_assign_with_load_emits_event(self):
+        lay = MemoryLayout()
+        ix = lay.index_array("ix", 3)
+        ix.values[:] = [3, 1, 2]
+        a = lay.array("A", 3)
+        body = loop("i", 1, 3,
+                    assign("t", idx(ix, Var("i"))),
+                    stmt(store(a, Var("t"))))
+        prog = program("p", lay, [routine("main", body)])
+        rec = TraceRecorder()
+        run_program(prog, rec)
+        accs = rec.accesses()
+        assert len(accs) == 6  # 3 index loads + 3 stores
+        stores = [e for e in accs if e[3]]
+        assert [e[2] - a.base for e in stores] == [16, 0, 8]
+
+    def test_multiple_handlers_via_tee(self):
+        prog, _, _ = _fig1(n=2, m=2)
+        r1, r2 = TraceRecorder(), TraceRecorder()
+        run_program(prog, r1, r2)
+        assert r1.events == r2.events
+        assert len(r1.accesses()) == 12

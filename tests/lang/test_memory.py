@@ -1,0 +1,143 @@
+"""Tests for the data-layout substrate."""
+
+import pytest
+
+from repro.lang.memory import (
+    DOUBLE, DataObject, MemoryLayout, SymbolTable, column_major_strides,
+    row_major_strides,
+)
+
+
+class TestStrides:
+    def test_column_major_first_dim_contiguous(self):
+        assert column_major_strides((4, 3, 2)) == (1, 4, 12)
+
+    def test_row_major_last_dim_contiguous(self):
+        assert row_major_strides((4, 3, 2)) == (6, 2, 1)
+
+    def test_1d(self):
+        assert column_major_strides((7,)) == (1,)
+        assert row_major_strides((7,)) == (1,)
+
+
+class TestDataObject:
+    def test_fortran_addressing(self):
+        a = DataObject("A", (4, 3))
+        a.base = 1000
+        assert a.address([1, 1]) == 1000
+        assert a.address([2, 1]) == 1008       # next row: contiguous
+        assert a.address([1, 2]) == 1000 + 4 * 8  # next column
+
+    def test_c_order_addressing(self):
+        a = DataObject("A", (4, 3), order="C", origin=0)
+        a.base = 0
+        assert a.address([0, 0]) == 0
+        assert a.address([0, 1]) == 8           # last dim contiguous
+        assert a.address([1, 0]) == 3 * 8
+
+    def test_size(self):
+        a = DataObject("A", (4, 3), elem_size=8)
+        assert a.size == 4 * 3 * 8
+
+    def test_record_array_strides(self):
+        z = DataObject("zion", (10,), fields=("a", "b", "c"))
+        z.base = 0
+        assert z.strides == (3 * 8,)
+        assert z.address([1], field="a") == 0
+        assert z.address([1], field="c") == 16
+        assert z.address([2], field="a") == 24
+
+    def test_record_size(self):
+        z = DataObject("zion", (10,), fields=("a", "b", "c"))
+        assert z.size == 10 * 3 * 8
+
+    def test_field_offset_requires_fields(self):
+        a = DataObject("A", (4,))
+        with pytest.raises(ValueError):
+            a.field_offset("x")
+
+    def test_flat_index_fortran(self):
+        a = DataObject("A", (4, 3))
+        assert a.flat_index([1, 1]) == 0
+        assert a.flat_index([2, 1]) == 1
+        assert a.flat_index([1, 2]) == 4
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            DataObject("A", (0, 3))
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            DataObject("A", (4,), order="X")
+
+
+class TestLayout:
+    def test_placement_no_overlap(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 100)
+        b = lay.array("B", 100)
+        assert b.base >= a.base + a.size
+
+    def test_page_alignment(self):
+        lay = MemoryLayout()
+        lay.array("A", 13)
+        b = lay.array("B", 7)
+        assert b.base % 4096 == 0
+
+    def test_duplicate_name_rejected(self):
+        lay = MemoryLayout()
+        lay.array("A", 4)
+        with pytest.raises(ValueError):
+            lay.array("A", 4)
+
+    def test_get_and_contains(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 4)
+        assert lay.get("A") is a
+        assert "A" in lay
+        assert "B" not in lay
+
+    def test_index_array_has_values(self):
+        lay = MemoryLayout()
+        ix = lay.index_array("ix", 5)
+        assert ix.values is not None
+        assert len(ix.values) == 5
+
+    def test_total_bytes(self):
+        lay = MemoryLayout()
+        lay.array("A", 10)
+        lay.array("B", 20)
+        assert lay.total_bytes() == 30 * 8
+
+
+class TestSymbolTable:
+    def test_find_inside_object(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 10)
+        b = lay.array("B", 10)
+        assert lay.symtab.find(a.base) is a
+        assert lay.symtab.find(a.base + 79) is a
+        assert lay.symtab.find(b.base + 8) is b
+
+    def test_find_in_padding_returns_none(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 10)   # 80 bytes, padded to 4096
+        lay.array("B", 10)
+        assert lay.symtab.find(a.base + 80) is None
+
+    def test_find_below_all_returns_none(self):
+        lay = MemoryLayout()
+        lay.array("A", 10)
+        assert lay.symtab.find(0) is None
+
+    def test_field_of(self):
+        lay = MemoryLayout()
+        z = lay.array("zion", 10, fields=("x", "y"))
+        assert lay.symtab.field_of(z.base) == "x"
+        assert lay.symtab.field_of(z.base + 8) == "y"
+        assert lay.symtab.field_of(z.base + 16) == "x"
+
+    def test_field_of_plain_array_is_none(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 10)
+        assert lay.symtab.field_of(a.base) is None

@@ -1,0 +1,69 @@
+"""Trace persistence: record, save, replay."""
+
+import pytest
+
+from repro.core import ReuseAnalyzer
+from repro.lang import TraceRecorder, run_program
+from repro.lang.trace import TraceWriter, record, replay
+from repro.sim import HierarchySim
+from repro.model import MachineConfig
+
+from tests.helpers import two_array_kernel
+
+CFG = MachineConfig.scaled_itanium2()
+
+
+class TestRoundTrip:
+    def test_replay_reproduces_events(self, tmp_path):
+        prog = two_array_kernel(8, 8)
+        path = str(tmp_path / "trace.npz")
+        count = record(prog, path)
+        assert count > 0
+        recorded = TraceRecorder()
+        assert replay(path, recorded) == count
+        live = TraceRecorder()
+        run_program(two_array_kernel(8, 8), live)
+        assert recorded.events == live.events
+
+    def test_replayed_analysis_equals_online(self, tmp_path):
+        prog = two_array_kernel(12, 12, transposed_b=True)
+        path = str(tmp_path / "trace.npz")
+        record(prog, path)
+        online = ReuseAnalyzer(CFG.granularities())
+        run_program(two_array_kernel(12, 12, transposed_b=True), online)
+        offline = ReuseAnalyzer(CFG.granularities())
+        replay(path, offline)
+        for g_on, g_off in zip(online.grans, offline.grans):
+            assert g_on.db.raw == g_off.db.raw
+            assert g_on.db.cold == g_off.db.cold
+
+    def test_replay_into_simulator(self, tmp_path):
+        prog = two_array_kernel(12, 12, transposed_b=True)
+        path = str(tmp_path / "trace.npz")
+        record(prog, path)
+        live = HierarchySim(CFG)
+        run_program(two_array_kernel(12, 12, transposed_b=True), live)
+        replayed = HierarchySim(CFG)
+        replay(path, replayed)
+        assert live.totals() == replayed.totals()
+
+    def test_replay_fanout(self, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        record(two_array_kernel(6, 6), path)
+        r1, r2 = TraceRecorder(), TraceRecorder()
+        replay(path, r1, r2)
+        assert r1.events == r2.events
+
+    def test_program_name_check(self, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        record(two_array_kernel(4, 4), path)
+        replay(path, TraceRecorder(), expect_program="two_array")
+        with pytest.raises(ValueError, match="recorded from"):
+            replay(path, TraceRecorder(), expect_program="other")
+
+    def test_writer_len(self):
+        writer = TraceWriter("x")
+        writer.enter_scope(0)
+        writer.access(1, 64, True)
+        writer.exit_scope(0)
+        assert len(writer) == 3

@@ -1,0 +1,65 @@
+"""Machine configuration invariants."""
+
+import pytest
+
+from repro.model.config import MachineConfig, MemoryLevel
+
+
+class TestMemoryLevel:
+    def test_derived_quantities(self):
+        lvl = MemoryLevel("L2", 4096, 64, 8, "line", 6)
+        assert lvl.num_blocks == 64
+        assert lvl.num_sets == 8
+        assert not lvl.fully_associative
+
+    def test_fully_associative(self):
+        lvl = MemoryLevel("TLB", 16 * 512, 512, 16, "page", 15)
+        assert lvl.fully_associative
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MemoryLevel("X", 100, 64, 2, "line", 1)
+
+    def test_associativity_validation(self):
+        with pytest.raises(ValueError):
+            MemoryLevel("X", 4096, 64, 7, "line", 1)
+
+
+class TestMachineConfig:
+    def test_scaled_preset_consistent(self):
+        cfg = MachineConfig.scaled_itanium2()
+        assert cfg.level("L2").capacity < cfg.level("L3").capacity
+        grans = cfg.granularities()
+        assert grans["line"] == 64
+        assert grans["page"] == 512
+
+    def test_itanium2_preset(self):
+        cfg = MachineConfig.itanium2()
+        assert cfg.level("L2").capacity == 256 * 1024
+        assert cfg.level("L3").associativity == 6
+        assert cfg.level("TLB").fully_associative
+
+    def test_level_lookup_missing(self):
+        with pytest.raises(KeyError):
+            MachineConfig.scaled_itanium2().level("L9")
+
+    def test_cache_and_tlb_partition(self):
+        cfg = MachineConfig.scaled_itanium2()
+        names = {l.name for l in cfg.cache_levels()}
+        assert names == {"L2", "L3"}
+        assert [l.name for l in cfg.tlb_levels()] == ["TLB"]
+
+    def test_conflicting_granularity_block_sizes_rejected(self):
+        cfg = MachineConfig(
+            name="bad",
+            levels=(
+                MemoryLevel("A", 4096, 64, 8, "line", 1),
+                MemoryLevel("B", 4096, 128, 8, "line", 1),
+            ),
+        )
+        with pytest.raises(ValueError):
+            cfg.granularities()
+
+    def test_str_renders(self):
+        text = str(MachineConfig.scaled_itanium2())
+        assert "L2" in text and "L3" in text and "TLB" in text

@@ -1,0 +1,98 @@
+"""Miss models: the FA threshold rule and the probabilistic SA model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import Histogram
+from repro.model.config import MemoryLevel
+from repro.model.missmodel import (
+    expected_misses, fa_misses, miss_probability_at, sa_miss_probability,
+    sa_misses,
+)
+
+from tests.helpers import naive_binomial_sf
+
+L_FA = MemoryLevel("FA", 64 * 64, 64, 64, "line", 10)     # fully assoc, 64 lines
+L_SA = MemoryLevel("SA", 4096, 64, 8, "line", 10)          # 8 sets x 8 ways
+
+
+class TestFAModel:
+    def test_threshold_rule(self):
+        h = Histogram()
+        h.add(63)    # hit: d < 64
+        h.add(64)    # miss
+        h.add(1000)  # miss
+        assert fa_misses(h, L_FA) == 2
+
+    def test_cold_always_misses(self):
+        h = Histogram()
+        h.add_cold(5)
+        assert fa_misses(h, L_FA) == 5
+
+    def test_miss_probability_at(self):
+        assert miss_probability_at(63, L_FA) == 0.0
+        assert miss_probability_at(64, L_FA) == 1.0
+
+
+class TestSAProbability:
+    def test_below_associativity_never_misses(self):
+        for d in range(8):
+            assert sa_miss_probability(d, 8, 8) == 0.0
+
+    def test_fully_associative_special_case(self):
+        assert sa_miss_probability(63, 1, 64) == 0.0
+        assert sa_miss_probability(64, 1, 64) == 1.0
+
+    def test_matches_naive_binomial(self):
+        for d in (8, 20, 64, 100, 500):
+            got = sa_miss_probability(d, 8, 8)
+            want = naive_binomial_sf(d, 1 / 8, 8)
+            assert got == pytest.approx(want, abs=1e-9)
+
+    def test_monotone_in_distance(self):
+        probs = [sa_miss_probability(d, 8, 8) for d in range(0, 400, 7)]
+        assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_far_beyond_capacity_certain_miss(self):
+        assert sa_miss_probability(100_000, 8, 8) == pytest.approx(1.0)
+
+    def test_normal_approximation_continuity(self):
+        """The exact/approx switch at n=4096 must not jump."""
+        exact = sa_miss_probability(4096, 64, 8)
+        approx = sa_miss_probability(4097, 64, 8)
+        assert approx == pytest.approx(exact, abs=0.02)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=10000))
+    def test_probability_in_unit_interval(self, d):
+        p = sa_miss_probability(d, 16, 4)
+        assert 0.0 <= p <= 1.0
+
+
+class TestExpectedMisses:
+    def test_sa_bounded_by_total(self):
+        h = Histogram()
+        for d in (1, 10, 50, 64, 70, 200):
+            h.add(d, 10)
+        misses = sa_misses(h, L_SA)
+        assert 0 <= misses <= h.total
+
+    def test_sa_at_least_fa_far_from_capacity(self):
+        """For distances well past capacity both models agree."""
+        h = Histogram()
+        h.add(10_000, 5)
+        assert sa_misses(h, L_SA) == pytest.approx(fa_misses(h, L_SA))
+
+    def test_model_dispatch(self):
+        h = Histogram()
+        h.add(100)
+        assert expected_misses(h, L_FA, "fa") == fa_misses(h, L_FA)
+        assert expected_misses(h, L_SA, "sa") == sa_misses(h, L_SA)
+        with pytest.raises(ValueError):
+            expected_misses(h, L_SA, "nope")
+
+    def test_cold_included_in_sa(self):
+        h = Histogram()
+        h.add_cold(7)
+        assert sa_misses(h, L_SA) == 7

@@ -1,0 +1,97 @@
+"""Cross-input scaling model: fits, reconstruction, miss extrapolation."""
+
+import pytest
+
+from repro.core import ReuseAnalyzer
+from repro.lang import run_program
+from repro.model import MachineConfig, ScalingModel, fit_series
+from repro.model.scaling import QUANTILES
+
+from repro.apps.kernels import stream_triad
+
+CFG = MachineConfig.scaled_itanium2()
+
+
+class TestSeriesFit:
+    def test_linear_series(self):
+        model = fit_series([4, 8, 16, 32], [8, 16, 32, 64])
+        assert model.predict(64) == pytest.approx(128, rel=0.05)
+
+    def test_quadratic_series(self):
+        sizes = [4, 8, 16, 32]
+        model = fit_series(sizes, [s * s for s in sizes])
+        assert model.predict(64) == pytest.approx(4096, rel=0.05)
+
+    def test_constant_series(self):
+        model = fit_series([4, 8, 16], [7, 7, 7])
+        assert model.predict(100) == pytest.approx(7, rel=0.05)
+
+    def test_nonnegative_prediction(self):
+        model = fit_series([4, 8, 16], [10, 5, 1])
+        assert model.predict(64) >= 0.0
+
+    def test_describe_mentions_dominant_term(self):
+        sizes = [4, 8, 16, 32]
+        model = fit_series(sizes, [3 * s for s in sizes])
+        assert "n" in model.describe()
+
+
+def _dbs_for(sizes):
+    dbs = []
+    for n in sizes:
+        analyzer = ReuseAnalyzer(CFG.granularities())
+        run_program(stream_triad(n=n, timesteps=2), analyzer)
+        dbs.append(analyzer.db("line"))
+    return dbs
+
+
+class TestScalingModel:
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            ScalingModel.fit([4], _dbs_for([256]))
+        with pytest.raises(ValueError):
+            ScalingModel.fit([4, 8], _dbs_for([256]))
+
+    def test_histogram_counts_scale(self):
+        sizes = [256, 512, 1024, 2048]
+        model = ScalingModel.fit(sizes, _dbs_for(sizes))
+        hists = model.predict_histograms(4096)
+        total = sum(h.total for h in hists.values())
+        # triad executes 3 accesses x n x timesteps
+        assert total == pytest.approx(3 * 4096 * 2, rel=0.1)
+
+    def test_predicted_distances_grow_with_size(self):
+        """Triad reuse distance across time steps is ~ 3n/8 lines."""
+        sizes = [256, 512, 1024, 2048]
+        model = ScalingModel.fit(sizes, _dbs_for(sizes))
+        small = model.predict_histograms(512)
+        large = model.predict_histograms(8192)
+        mean_small = max(h.mean() for h in small.values())
+        mean_large = max(h.mean() for h in large.values())
+        assert mean_large > 4 * mean_small
+
+    def test_miss_extrapolation_crosses_capacity(self):
+        """Predicted L3 misses jump once the working set outgrows L3."""
+        sizes = [128, 256, 512, 1024]
+        model = ScalingModel.fit(sizes, _dbs_for(sizes))
+        level = CFG.level("L3")
+        # L3 = 32KB = 512 lines; triad working set 3n*8 bytes.
+        inside = model.predict_misses(512, level)    # 12KB: fits
+        outside = model.predict_misses(8192, level)  # 192KB: line reuses miss
+        # Per line (8 doubles): one cold miss + one cross-timestep miss;
+        # the 7 within-line spatial reuses stay hits at any size.
+        lines = 3 * 8192 // 8
+        assert outside > inside
+        assert outside == pytest.approx(2 * lines, rel=0.2)
+
+    def test_pattern_misses_keys_match(self):
+        sizes = [256, 512]
+        model = ScalingModel.fit(sizes, _dbs_for(sizes))
+        per = model.predict_pattern_misses(1024, CFG.level("L2"))
+        assert set(per) == set(model.patterns)
+
+    def test_quantile_models_per_pattern(self):
+        sizes = [256, 512]
+        model = ScalingModel.fit(sizes, _dbs_for(sizes))
+        for ps in model.patterns.values():
+            assert len(ps.quantile_models) == len(QUANTILES)

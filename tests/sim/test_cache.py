@@ -1,0 +1,83 @@
+"""Cache simulator vs a naive fully-associative LRU oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import SetAssocCache
+
+from tests.helpers import NaiveLRUCache
+
+
+class TestBasics:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(100, 64, 2)       # capacity not multiple
+        with pytest.raises(ValueError):
+            SetAssocCache(4096, 64, 7)      # blocks not multiple of ways
+        with pytest.raises(ValueError):
+            SetAssocCache(4096, 48, 4)      # block size not power of two
+
+    def test_cold_miss_then_hit(self):
+        c = SetAssocCache(4096, 64, 8)
+        assert c.access(0) is False
+        assert c.access(8) is True          # same line
+        assert c.misses == 1 and c.hits == 1
+
+    def test_eviction_lru_order(self):
+        c = SetAssocCache(2 * 64, 64, 2)    # 1 set, 2 ways
+        c.access_block(0)
+        c.access_block(1)
+        c.access_block(0)                   # 0 now MRU
+        c.access_block(2)                   # evicts 1
+        assert c.access_block(0) is True
+        assert c.access_block(1) is False
+
+    def test_set_isolation(self):
+        c = SetAssocCache(4 * 64, 64, 2)    # 2 sets x 2 ways
+        # blocks 0,2,4 map to set 0; block 1 to set 1
+        c.access_block(0)
+        c.access_block(2)
+        c.access_block(1)
+        c.access_block(4)                   # evicts 0 from set 0
+        assert c.access_block(1) is True    # set 1 untouched
+        assert c.access_block(0) is False
+
+    def test_miss_rate_and_reset(self):
+        c = SetAssocCache(4096, 64, 8)
+        for addr in range(0, 640, 64):
+            c.access(addr)
+        assert c.miss_rate == 1.0
+        c.reset()
+        assert c.accesses == 0
+        assert c.resident_blocks() == 0
+
+    def test_miss_rate_empty(self):
+        assert SetAssocCache(4096, 64, 8).miss_rate == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=40),
+                min_size=1, max_size=300))
+def test_fully_associative_matches_naive_lru(blocks):
+    cache = SetAssocCache(16 * 64, 64, 16)   # fully associative, 16 blocks
+    naive = NaiveLRUCache(16, 64)
+    for b in blocks:
+        got = cache.access_block(b)
+        want = naive.access(b * 64)
+        assert got == want
+    assert cache.misses == naive.misses
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=100),
+                min_size=1, max_size=200))
+def test_set_assoc_equals_per_set_lru(blocks):
+    """An S-set A-way cache is S independent A-way FA caches."""
+    sets, ways = 4, 3
+    cache = SetAssocCache(sets * ways * 64, 64, ways)
+    naives = [NaiveLRUCache(ways, 64) for _ in range(sets)]
+    for b in blocks:
+        got = cache.access_block(b)
+        want = naives[b % sets].access(b * 64)
+        assert got == want

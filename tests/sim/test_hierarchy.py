@@ -1,0 +1,87 @@
+"""Multi-level hierarchy simulation modes and timing model."""
+
+import pytest
+
+from repro.lang import run_program
+from repro.model import MachineConfig
+from repro.sim import HierarchySim, TimingInputs, TimingModel
+
+from tests.helpers import two_array_kernel
+
+CFG = MachineConfig.scaled_itanium2()
+
+
+class TestHierarchy:
+    def test_standalone_levels_independent(self):
+        sim = HierarchySim(CFG)
+        run_program(two_array_kernel(40, 40, True), sim)
+        totals = sim.totals()
+        assert totals["L2"] >= totals["L3"]      # L3 is bigger
+        assert totals["TLB"] > 0
+
+    def test_filtered_mode_l3_sees_fewer(self):
+        sim_s = HierarchySim(CFG, mode="standalone")
+        sim_f = HierarchySim(CFG, mode="filtered")
+        run_program(two_array_kernel(40, 40, True), sim_s)
+        run_program(two_array_kernel(40, 40, True), sim_f)
+        # In filtered mode L2 hits never reach L3 — never more misses.
+        assert sim_f.totals()["L3"] <= sim_s.totals()["L3"] + 1
+        assert sim_f.totals()["L2"] == sim_s.totals()["L2"]
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchySim(CFG, mode="bogus")
+
+    def test_per_ref_tracking(self):
+        sim = HierarchySim(CFG, track_refs=True)
+        prog = two_array_kernel(40, 40, True)
+        run_program(prog, sim)
+        per_ref = sim.misses_by_ref("L2")
+        assert sum(per_ref.values()) == sim.totals()["L2"]
+
+    def test_per_ref_requires_flag(self):
+        sim = HierarchySim(CFG)
+        with pytest.raises(RuntimeError):
+            sim.misses_by_ref("L2")
+
+    def test_misses_lookup_unknown_level(self):
+        with pytest.raises(KeyError):
+            HierarchySim(CFG).misses("L7")
+
+
+class TestTimingModel:
+    def test_non_stall_formula(self):
+        model = TimingModel(CFG)
+        breakdown = model.cycles(TimingInputs(instructions=4000, misses={}))
+        assert breakdown.non_stall == pytest.approx(
+            4000 * CFG.base_cpi / CFG.issue_width)
+        assert breakdown.memory_stall == 0
+        assert breakdown.total == breakdown.non_stall
+
+    def test_memory_stall_per_level(self):
+        model = TimingModel(CFG)
+        breakdown = model.cycles(TimingInputs(
+            instructions=0, misses={"L2": 10, "L3": 2, "TLB": 4}))
+        expected = (10 * CFG.level("L2").miss_latency
+                    + 2 * CFG.level("L3").miss_latency
+                    + 4 * CFG.level("TLB").miss_latency)
+        assert breakdown.memory_stall == expected
+
+    def test_schedule_factor_scales_non_stall(self):
+        model = TimingModel(CFG)
+        base = model.cycles(TimingInputs(instructions=1000, misses={}))
+        better = model.cycles(TimingInputs(instructions=1000, misses={},
+                                           schedule_factor=0.5))
+        assert better.non_stall == pytest.approx(base.non_stall / 2)
+
+    def test_icache_penalty_only_when_overflowing(self):
+        model = TimingModel(CFG)
+        small = model.cycles(TimingInputs(
+            instructions=100, misses={},
+            loop_body_instructions=10, insts_in_big_loop=100))
+        assert small.icache_stall == 0
+        big = model.cycles(TimingInputs(
+            instructions=100, misses={},
+            loop_body_instructions=100_000, insts_in_big_loop=100))
+        assert big.icache_stall > 0
+        assert big.icache_stall <= 100 * CFG.icache_overflow_penalty

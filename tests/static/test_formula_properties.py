@@ -1,0 +1,81 @@
+"""Property tests: recovered formulas predict the executed addresses."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    MemoryLayout, TraceRecorder, Var, load, loop, program, routine,
+    run_program, stmt,
+)
+from repro.static import StaticAnalysis
+from repro.static.formulas import SymFormula
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ci=st.integers(min_value=0, max_value=3),
+    cj=st.integers(min_value=0, max_value=3),
+    c0=st.integers(min_value=1, max_value=4),
+    step=st.integers(min_value=1, max_value=3),
+)
+def test_formula_evaluates_to_executed_addresses(ci, cj, c0, step):
+    """For affine subscripts, formula(const + coeffs · env) must equal the
+    address the executor actually emits, at every iteration."""
+    n = 4
+    extent = 3 * n * (1 + ci + cj) + c0 + 8
+    lay = MemoryLayout()
+    a = lay.array("A", extent, extent)
+    i, j = Var("i"), Var("j")
+    acc = load(a, ci * i + cj * j + c0, i + 1)
+    nest = loop("j", 1, n,
+                loop("i", 1, n, stmt(acc), step=step, name="I"),
+                name="J")
+    prog = program("p", lay, [routine("main", nest)])
+    rec = TraceRecorder()
+    run_program(prog, rec)
+
+    static = StaticAnalysis(prog)
+    formula = static.formula(0)
+    addrs = iter(rec.addresses())
+    for j_val in range(1, n + 1):
+        for i_val in range(1, n + 1, step):
+            expected = (formula.const
+                        + formula.lvars.get("i", 0) * i_val
+                        + formula.lvars.get("j", 0) * j_val)
+            assert expected == next(addrs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    consts=st.tuples(st.integers(-50, 50), st.integers(-50, 50)),
+    coeffs=st.dictionaries(st.sampled_from(["i", "j", "k"]),
+                           st.integers(-5, 5), max_size=3),
+    scale=st.integers(-4, 4),
+)
+def test_algebra_matches_pointwise_evaluation(consts, coeffs, scale):
+    """add/sub/scale on formulas == the same ops on their evaluations."""
+    env = {"i": 3, "j": -7, "k": 11}
+
+    def evaluate(f: SymFormula) -> int:
+        return f.const + sum(c * env[v] for v, c in f.lvars.items())
+
+    f1 = SymFormula(consts[0], lvars=coeffs)
+    f2 = SymFormula(consts[1], lvars={"i": 2, "k": -1})
+    assert evaluate(f1.add(f2)) == evaluate(f1) + evaluate(f2)
+    assert evaluate(f1.sub(f2)) == evaluate(f1) - evaluate(f2)
+    assert evaluate(f1.scale(scale)) == scale * evaluate(f1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    c1=st.integers(-100, 100),
+    c2=st.integers(-100, 100),
+    shared=st.dictionaries(st.sampled_from(["i", "j"]),
+                           st.integers(-5, 5).filter(bool), max_size=2),
+)
+def test_delta_const_iff_same_linear_part(c1, c2, shared):
+    f1 = SymFormula(c1, lvars=shared)
+    f2 = SymFormula(c2, lvars=shared)
+    assert f1.delta_const(f2) == c1 - c2
+    f3 = SymFormula(c2, lvars={**shared, "zz": 1})
+    assert f1.delta_const(f3) is None

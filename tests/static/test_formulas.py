@@ -1,0 +1,196 @@
+"""Symbolic formula recovery from the lowered IR."""
+
+import pytest
+
+from repro.lang import (
+    FloorDiv, MemoryLayout, Mod, Var, assign, idx, load, loop, program,
+    routine, stmt, store,
+)
+from repro.static import StaticAnalysis
+from repro.static.formulas import SymFormula
+
+
+def _analyze(build):
+    prog = build()
+    return prog, StaticAnalysis(prog)
+
+
+class TestAffineRecovery:
+    def test_2d_reference(self):
+        def build():
+            lay = MemoryLayout()
+            a = lay.array("A", 10, 10)
+            nest = loop("j", 1, 10,
+                        loop("i", 1, 10,
+                             stmt(load(a, Var("i") + 2, Var("j"))), name="I"),
+                        name="J")
+            return program("p", lay, [routine("main", nest)])
+
+        prog, sa = _analyze(build)
+        rid = 0
+        f = sa.formula(rid)
+        a = prog.layout.get("A")
+        assert f.lvars == {"i": 8, "j": 80}
+        assert f.const == a.base + 2 * 8 - 8 - 80
+        assert f.symbol == a.base
+
+    def test_strides_per_loop(self):
+        def build():
+            lay = MemoryLayout()
+            a = lay.array("A", 10, 10)
+            nest = loop("j", 1, 10,
+                        loop("i", 1, 10, stmt(load(a, Var("i"), Var("j"))),
+                             step=2, name="I"),
+                        name="J")
+            return program("p", lay, [routine("main", nest)])
+
+        prog, sa = _analyze(build)
+        i_sid = prog.scope_named("I").sid
+        j_sid = prog.scope_named("J").sid
+        assert sa.stride(0, i_sid).bytes == 16      # step 2 x 8B
+        assert sa.stride(0, j_sid).bytes == 80
+
+    def test_record_field_offset_in_formula(self):
+        def build():
+            lay = MemoryLayout()
+            z = lay.array("z", 16, fields=("a", "b", "c"))
+            nest = loop("m", 1, 16, stmt(load(z, Var("m"), field="b")),
+                        name="M")
+            return program("p", lay, [routine("main", nest)])
+
+        prog, sa = _analyze(build)
+        z = prog.layout.get("z")
+        f = sa.formula(0)
+        assert f.const == z.base + 8 - 24
+        assert f.lvars == {"m": 24}
+
+    def test_first_location_substitutes_bounds(self):
+        def build():
+            lay = MemoryLayout()
+            a = lay.array("A", 32)
+            nest = loop("i", 5, 20, stmt(load(a, Var("i"))), name="I")
+            return program("p", lay, [routine("main", nest)])
+
+        prog, sa = _analyze(build)
+        first = sa.first_loc(0)
+        a = prog.layout.get("A")
+        assert first.lvars == {}
+        assert first.const == a.base + 4 * 8     # i = 5
+
+    def test_first_location_with_outer_dependent_bound(self):
+        def build():
+            lay = MemoryLayout()
+            a = lay.array("A", 64, 64)
+            nest = loop("j", 1, 8,
+                        loop("i", Var("j"), 8,
+                             stmt(load(a, Var("i"), Var("j"))), name="I"),
+                        name="J")
+            return program("p", lay, [routine("main", nest)])
+
+        prog, sa = _analyze(build)
+        first = sa.first_loc(0)
+        # i -> j -> 1: fully resolved
+        assert first.lvars == {}
+
+
+class TestTaint:
+    def test_indirect_subscript_flagged(self):
+        def build():
+            lay = MemoryLayout()
+            ix = lay.index_array("ix", 16)
+            a = lay.array("A", 16)
+            nest = loop("m", 1, 16, stmt(store(a, idx(ix, Var("m")))),
+                        name="M")
+            return program("p", lay, [routine("main", nest)])
+
+        prog, sa = _analyze(build)
+        store_rid = next(r.rid for r in prog.refs if r.is_store)
+        m_sid = prog.scope_named("M").sid
+        s = sa.stride(store_rid, m_sid)
+        assert s.indirect
+        assert not s.is_constant
+        # ...but the index array itself is accessed with constant stride
+        ix_rid = next(r.rid for r in prog.refs if r.array == "ix")
+        assert sa.stride(ix_rid, m_sid).bytes == 8
+
+    def test_scalar_assigned_index_is_indirect(self):
+        def build():
+            lay = MemoryLayout()
+            ix = lay.index_array("ix", 16)
+            a = lay.array("A", 16)
+            nest = loop("m", 1, 16,
+                        assign("t", idx(ix, Var("m"))),
+                        stmt(store(a, Var("t"))), name="M")
+            return program("p", lay, [routine("main", nest)])
+
+        prog, sa = _analyze(build)
+        store_rid = next(r.rid for r in prog.refs if r.is_store)
+        s = sa.stride(store_rid, prog.scope_named("M").sid)
+        assert s.indirect
+
+    def test_mod_subscript_irregular(self):
+        def build():
+            lay = MemoryLayout()
+            a = lay.array("A", 16)
+            nest = loop("m", 1, 64, stmt(load(a, Mod(Var("m"), 16) + 1)),
+                        name="M")
+            return program("p", lay, [routine("main", nest)])
+
+        prog, sa = _analyze(build)
+        s = sa.stride(0, prog.scope_named("M").sid)
+        assert s.irregular
+        assert not s.indirect
+
+    def test_loop_invariant_indirection_not_indirect(self):
+        """An index loaded outside the loop gives constant stride inside."""
+        def build():
+            lay = MemoryLayout()
+            ix = lay.index_array("ix", 4)
+            ix.values[:] = [2, 0, 0, 0]
+            a = lay.array("A", 16, 16)
+            nest = [
+                assign("base", idx(ix, 1)),
+                loop("m", 1, 16, stmt(load(a, Var("m"), Var("base"))),
+                     name="M"),
+            ]
+            return program("p", lay, [routine("main", *nest)])
+
+        prog, sa = _analyze(build)
+        a_rid = next(r.rid for r in prog.refs if r.array == "A")
+        s = sa.stride(a_rid, prog.scope_named("M").sid)
+        assert s.bytes == 8
+        assert not s.indirect and not s.irregular
+
+
+class TestFormulaAlgebra:
+    def test_delta_const(self):
+        f1 = SymFormula(100, lvars={"i": 8})
+        f2 = SymFormula(60, lvars={"i": 8})
+        assert f1.delta_const(f2) == 40
+
+    def test_delta_const_mismatched_vars(self):
+        f1 = SymFormula(100, lvars={"i": 8})
+        f2 = SymFormula(60, lvars={"j": 8})
+        assert f1.delta_const(f2) is None
+
+    def test_delta_const_tainted(self):
+        f1 = SymFormula(100, irregular_vars={"i"})
+        assert f1.delta_const(SymFormula(60)) is None
+
+    def test_scale_and_combine(self):
+        f = SymFormula(3, params={"N": 2}, lvars={"i": 1})
+        g = f.scale(4)
+        assert g.const == 12 and g.params == {"N": 8} and g.lvars == {"i": 4}
+        h = g.sub(f.scale(4))
+        assert h.is_constant and h.const == 0
+
+    def test_symbol_survives_add(self):
+        f = SymFormula(1000, symbol=1000)
+        g = f.add(SymFormula(8, lvars={"i": 8}))
+        assert g.symbol == 1000
+
+    def test_substitute(self):
+        f = SymFormula(0, lvars={"i": 8, "j": 80})
+        out = f.substitute("i", SymFormula(5))
+        assert out.const == 40
+        assert out.lvars == {"j": 80}

@@ -1,0 +1,128 @@
+"""Fragmentation analysis: the paper's Fig 2 and the GTC AoS patterns."""
+
+import pytest
+
+from repro.apps.kernels import fig2_fragmentation
+from repro.lang import (
+    MemoryLayout, Var, load, loop, program, routine, run_program, stmt,
+    store, idx,
+)
+from repro.static import FragmentationAnalysis, StaticAnalysis
+
+
+def _frag(build):
+    prog = build() if callable(build) else build
+    stats = run_program(prog)
+    static = StaticAnalysis(prog)
+    return prog, FragmentationAnalysis(static, stats)
+
+
+class TestFig2:
+    """The paper's worked example: frag(A) = 0.5, frag(B) = 0."""
+
+    def test_factors(self):
+        prog, frag = _frag(fig2_fragmentation())
+        assert frag.by_array() == pytest.approx({"A": 0.5, "B": 0.0})
+
+    def test_reuse_group_split(self):
+        prog, frag = _frag(fig2_fragmentation())
+        a_info = next(i for i in frag.infos if i.group.object_name == "A")
+        assert len(a_info.reuse_groups) == 2
+        assert all(len(g) == 2 for g in a_info.reuse_groups)
+        b_info = next(i for i in frag.infos if i.group.object_name == "B")
+        assert len(b_info.reuse_groups) == 1
+        assert len(b_info.reuse_groups[0]) == 4
+
+    def test_stride_is_32_bytes(self):
+        prog, frag = _frag(fig2_fragmentation())
+        for info in frag.infos:
+            assert info.stride == 32
+        # and the chosen loop is the inner I loop
+        a_info = frag.infos[0]
+        assert prog.scope(a_info.loop_sid).name == "I"
+
+    def test_coverage_values(self):
+        prog, frag = _frag(fig2_fragmentation())
+        a_info = next(i for i in frag.infos if i.group.object_name == "A")
+        b_info = next(i for i in frag.infos if i.group.object_name == "B")
+        assert a_info.coverage == 16
+        assert b_info.coverage == 32
+
+
+class TestRecordArrays:
+    """Arrays of records: the GTC zion pattern."""
+
+    def _aos(self, fields_used):
+        lay = MemoryLayout()
+        z = lay.array("z", 64, fields=("a", "b", "c", "d", "e", "f", "g"))
+        refs = [load(z, Var("m"), field=f) for f in fields_used]
+        nest = loop("m", 1, 64, stmt(*refs), name="M")
+        return program("p", lay, [routine("main", nest)])
+
+    def test_one_of_seven_fields(self):
+        prog, frag = _frag(self._aos(["a"]))
+        assert frag.by_array()["z"] == pytest.approx(1 - 8 / 56)
+
+    def test_two_of_seven_fields(self):
+        prog, frag = _frag(self._aos(["a", "e"]))
+        assert frag.by_array()["z"] == pytest.approx(1 - 16 / 56)
+
+    def test_all_fields_no_fragmentation(self):
+        prog, frag = _frag(self._aos(list("abcdefg")))
+        assert frag.by_array()["z"] == pytest.approx(0.0)
+
+    def test_soa_has_no_fragmentation(self):
+        lay = MemoryLayout()
+        za = lay.array("z_a", 64)
+        nest = loop("m", 1, 64, stmt(load(za, Var("m"))), name="M")
+        prog, frag = _frag(program("p", lay, [routine("main", nest)]))
+        assert frag.by_array().get("z_a", 0.0) == pytest.approx(0.0)
+
+
+class TestEdgeCases:
+    def test_irregular_group_skipped(self):
+        lay = MemoryLayout()
+        ix = lay.index_array("ix", 32)
+        a = lay.array("A", 32)
+        nest = loop("m", 1, 32, stmt(load(a, idx(ix, Var("m")))), name="M")
+        prog, frag = _frag(program("p", lay, [routine("main", nest)]))
+        a_infos = [i for i in frag.infos if i.group.object_name == "A"]
+        assert a_infos[0].status == "irregular"
+        assert a_infos[0].factor == 0.0
+
+    def test_loop_invariant_reference_no_stride(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 32)
+        nest = loop("m", 1, 32, stmt(load(a, 5)), name="M")
+        prog, frag = _frag(program("p", lay, [routine("main", nest)]))
+        info = frag.infos[0]
+        assert info.status == "no-stride"
+
+    def test_factor_of_unknown_ref_is_zero(self):
+        prog, frag = _frag(fig2_fragmentation())
+        assert frag.factor_of_ref(99999) == 0.0
+
+    def test_fragmented_groups_filter(self):
+        prog, frag = _frag(fig2_fragmentation())
+        hot = frag.fragmented_groups(0.25)
+        assert all(i.factor > 0.25 for i in hot)
+        assert {i.group.object_name for i in hot} == {"A"}
+
+    def test_short_trip_counts_split_groups(self):
+        """Refs a full column apart stay in separate reuse groups when the
+        loop is too short to close the gap (step-2 interplay)."""
+        lay = MemoryLayout()
+        a = lay.array("A", 64, 8)
+        i = Var("i")
+        nest = loop("j", 1, 8,
+                    loop("i", 1, 4,   # short trip: 4 iterations of stride 8
+                         stmt(load(a, i, Var("j")),
+                              load(a, i, Var("j") + 1 - 1),  # same formula
+                              store(a, i + 32, Var("j"))),   # 32 rows apart
+                         name="I"),
+                    name="J")
+        prog, frag = _frag(program("p", lay, [routine("main", nest)]))
+        info = next(i for i in frag.infos if i.group.object_name == "A")
+        flat = sorted(tuple(sorted(g)) for g in info.reuse_groups)
+        # the +32-row store cannot be reached within 4 iterations
+        assert len(info.reuse_groups) == 2

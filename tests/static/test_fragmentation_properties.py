@@ -1,0 +1,66 @@
+"""Property tests for the fragmentation algorithm on arrays of records."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.lang import MemoryLayout, Var, load, loop, program, routine, stmt
+from repro.lang.executor import run_program
+from repro.static import FragmentationAnalysis, StaticAnalysis
+
+FIELDS = tuple(f"f{k}" for k in range(8))
+
+
+def _aos(field_indices):
+    lay = MemoryLayout()
+    z = lay.array("z", 64, fields=FIELDS)
+    refs = [load(z, Var("m"), field=FIELDS[k]) for k in field_indices]
+    nest = loop("m", 1, 64, stmt(*refs), name="M")
+    return program("p", lay, [routine("main", nest)])
+
+
+@settings(max_examples=80, deadline=None)
+@given(fields=st.sets(st.integers(0, 7), min_size=1, max_size=8))
+def test_record_factor_formula(fields):
+    """For unit-stride AoS walks, f = 1 - 8*|fields touched| / record size
+    (every touched field contributes one 8-byte chunk to the footprint)."""
+    prog = _aos(sorted(fields))
+    stats = run_program(prog)
+    frag = FragmentationAnalysis(StaticAnalysis(prog), stats)
+    record_bytes = len(FIELDS) * 8
+    expected = 1.0 - (8 * len(fields)) / record_bytes
+    assert frag.by_array()["z"] == pytest.approx(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fields_a=st.sets(st.integers(0, 7), min_size=1, max_size=8),
+    fields_b=st.sets(st.integers(0, 7), min_size=1, max_size=8),
+)
+def test_factor_monotone_in_coverage(fields_a, fields_b):
+    """Touching a superset of fields never increases the factor."""
+    if not fields_a <= fields_b:
+        fields_b = fields_a | fields_b
+
+    def factor(fields):
+        prog = _aos(sorted(fields))
+        stats = run_program(prog)
+        return FragmentationAnalysis(
+            StaticAnalysis(prog), stats).by_array()["z"]
+
+    assert factor(fields_b) <= factor(fields_a) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(step=st.integers(1, 8))
+def test_strided_plain_array_factor(step):
+    """A stride-``step`` walk over doubles covers 8 of step*8 bytes."""
+    lay = MemoryLayout()
+    a = lay.array("A", 256)
+    nest = loop("m", 1, 256, stmt(load(a, Var("m"))), step=step, name="M")
+    prog = program("p", lay, [routine("main", nest)])
+    stats = run_program(prog)
+    frag = FragmentationAnalysis(StaticAnalysis(prog), stats)
+    expected = 1.0 - 1.0 / step
+    assert frag.by_array()["A"] == pytest.approx(expected)

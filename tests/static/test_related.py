@@ -1,0 +1,92 @@
+"""Related-reference grouping and object-name recovery."""
+
+import pytest
+
+from repro.apps.kernels import fig2_fragmentation
+from repro.lang import (
+    MemoryLayout, Var, load, loop, program, routine, stmt, store,
+)
+from repro.lang.memory import DataObject
+from repro.static import StaticAnalysis
+
+
+class TestRelatedGroups:
+    def test_fig2_two_groups(self):
+        sa = StaticAnalysis(fig2_fragmentation())
+        groups = sa.related_groups()
+        names = sorted(g.object_name for g in groups)
+        assert names == ["A", "B"]
+        assert all(len(g.rids) == 4 for g in groups)
+
+    def test_different_strides_not_related(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 32, 32)
+        i, j = Var("i"), Var("j")
+        nest = loop("j", 1, 32,
+                    loop("i", 1, 32,
+                         stmt(load(a, i, j), load(a, j, i)), name="I"),
+                    name="J")
+        sa = StaticAnalysis(program("p", lay, [routine("main", nest)]))
+        groups = [g for g in sa.related_groups() if g.object_name == "A"]
+        assert len(groups) == 2
+
+    def test_different_loops_not_related(self):
+        lay = MemoryLayout()
+        a = lay.array("A", 32)
+        nest = [
+            loop("i", 1, 32, stmt(load(a, Var("i"))), name="I1"),
+            loop("i2", 1, 32, stmt(store(a, Var("i2"))), name="I2"),
+        ]
+        sa = StaticAnalysis(program("p", lay, [routine("main", *nest)]))
+        groups = [g for g in sa.related_groups() if g.object_name == "A"]
+        assert len(groups) == 2
+
+    def test_group_of_ref_covers_all(self):
+        prog = fig2_fragmentation()
+        sa = StaticAnalysis(prog)
+        mapping = sa.group_of_ref()
+        assert set(mapping) == {r.rid for r in prog.refs}
+
+
+class TestNameRecovery:
+    def test_negative_offset_still_recovers(self):
+        """A reference like A(i, j-1) at j=1 points below A's base; the
+        relocation anchor must still resolve to A — even when a previous
+        object ends flush against A's base."""
+        lay = MemoryLayout()
+        filler = lay.array("filler", 512)   # 4096 bytes: no padding gap
+        a = lay.array("A", 8, 8)
+        assert a.base == filler.base + filler.size  # flush
+        i = Var("i")
+        nest = loop("j", 2, 8,
+                    loop("i", 1, 8, stmt(load(a, i, Var("j") - 1)),
+                         name="I"),
+                    name="J")
+        sa = StaticAnalysis(program("p", lay, [routine("main", nest)]))
+        assert sa.object_of(0).name == "A"
+
+    def test_alias_resolves_to_storage_owner(self):
+        """An unregistered alias (GTC's particle_array) resolves to the
+        object that owns the storage."""
+        lay = MemoryLayout()
+        z = lay.array("zion", 16, fields=("a", "b"))
+        alias = DataObject("particle_array", (16,), fields=("a", "b"))
+        alias.base = z.base
+        nest = loop("m", 1, 16, stmt(load(alias, Var("m"), field="a")),
+                    name="M")
+        prog = program("p", lay, [routine("main", nest)])
+        sa = StaticAnalysis(prog)
+        assert sa.object_of(0).name == "zion"
+        # ...while the reference metadata keeps the alias name (Fig 9 rows)
+        assert prog.ref(0).array == "particle_array"
+
+    def test_all_refs_recover_in_apps(self):
+        from repro.apps.sweep3d import SweepParams, build_original
+        prog = build_original(SweepParams(n=4, noct=1))
+        sa = StaticAnalysis(prog)
+        for ref in prog.refs:
+            obj = sa.object_of(ref.rid)
+            assert obj is not None, f"no object for {ref!r}"
+            if ref.array != "particle_array":
+                assert obj.name == ref.array, (
+                    f"ref {ref!r}: recovered {obj.name!r}")

@@ -1,0 +1,169 @@
+"""Carried-miss metrics and the flat pattern database."""
+
+import pytest
+
+from repro.apps.kernels import fig1_interchange, stream_triad
+from repro.tools import AnalysisSession, CarriedMisses, FlatDatabase
+
+
+@pytest.fixture(scope="module")
+def fig1_session():
+    session = AnalysisSession(fig1_interchange(48, 48))
+    session.run()
+    return session
+
+
+class TestCarried:
+    def test_outer_loop_carries_spatial_reuse(self, fig1_session):
+        prog = fig1_session.program
+        carried = fig1_session.carried
+        outer = prog.scope_named("I").sid
+        assert carried.fraction("L2", outer) > 0.2
+        top_sid, _ = carried.top_scopes("L2", 1)[0]
+        assert top_sid == outer
+
+    def test_fractions_sum_below_one(self, fig1_session):
+        carried = fig1_session.carried
+        for level in ("L2", "L3", "TLB"):
+            total_frac = sum(
+                carried.fraction(level, sid)
+                for sid, _ in carried.top_scopes(level, 100)
+            )
+            assert total_frac <= 1.0 + 1e-9
+
+    def test_breakdown_by_source_sums(self, fig1_session):
+        carried = fig1_session.carried
+        top_sid, top_misses = carried.top_scopes("L2", 1)[0]
+        by_src = carried.breakdown_by_source("L2", top_sid)
+        assert sum(by_src.values()) == pytest.approx(top_misses)
+
+    def test_breakdown_by_dest_sums(self, fig1_session):
+        carried = fig1_session.carried
+        top_sid, top_misses = carried.top_scopes("L2", 1)[0]
+        by_dest = carried.breakdown_by_dest("L2", top_sid)
+        assert sum(by_dest.values()) == pytest.approx(top_misses)
+
+    def test_render_has_percent_rows(self, fig1_session):
+        text = fig1_session.render_carried(["L2"], n=3)
+        assert "carrying scope" in text
+        assert "%" in text
+
+
+class TestFlatDatabase:
+    def test_rows_cover_all_levels(self, fig1_session):
+        db = fig1_session.flatdb
+        assert db.rows
+        for row in db.rows:
+            assert set(row.misses) <= {"L2", "L3", "TLB"}
+
+    def test_top_sorted_descending(self, fig1_session):
+        db = fig1_session.flatdb
+        top = db.top("L2", 10)
+        misses = [r.miss("L2") for r in top]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_total_matches_prediction(self, fig1_session):
+        db = fig1_session.flatdb
+        assert db.total("L3") == pytest.approx(
+            fig1_session.prediction.levels["L3"].total)
+
+    def test_cold_rows_excludable(self, fig1_session):
+        db = fig1_session.flatdb
+        with_cold = db.top("L2", 100, include_cold=True)
+        without = db.top("L2", 100, include_cold=False)
+        assert len(without) < len(with_cold)
+        assert all(not r.is_cold for r in without)
+
+    def test_filters(self, fig1_session):
+        db = fig1_session.flatdb
+        for row in db.for_array("A"):
+            assert row.array == "A"
+        prog = fig1_session.program
+        inner = prog.scope_named("J").sid
+        for row in db.for_dest_scope(inner):
+            assert row.dest_sid == inner
+
+    def test_render_top(self, fig1_session):
+        text = fig1_session.render_top_patterns("L2", 5)
+        assert "carrying scope" in text
+        assert "A" in text
+
+
+class TestSessionLifecycle:
+    def test_double_run_rejected(self):
+        session = AnalysisSession(stream_triad(256, 1))
+        session.run()
+        with pytest.raises(RuntimeError):
+            session.run()
+
+    def test_results_before_run_rejected(self):
+        session = AnalysisSession(stream_triad(256, 1))
+        with pytest.raises(RuntimeError):
+            _ = session.prediction
+
+    def test_simulate_mode_collects_both(self):
+        session = AnalysisSession(stream_triad(512, 2), simulate=True)
+        session.run()
+        assert session.sim is not None
+        # FA-exact workload: prediction should track simulation closely
+        sim_l3 = session.sim.totals()["L3"]
+        pred_l3 = session.prediction.levels["L3"].total
+        assert pred_l3 == pytest.approx(sim_l3, rel=0.15, abs=8)
+
+    def test_scope_tree_render(self):
+        session = AnalysisSession(stream_triad(256, 1))
+        session.run()
+        text = session.render_scope_tree("L2")
+        assert "main" in text
+
+
+class TestXMLExport:
+    def test_export_well_formed(self, fig1_session, tmp_path):
+        import xml.etree.ElementTree as ET
+        path = tmp_path / "out.xml"
+        text = fig1_session.export_xml(str(path))
+        root = ET.fromstring(text)
+        assert root.tag == "LocalityDatabase"
+        scopes = root.find("ScopeTree")
+        assert scopes is not None and len(list(scopes.iter("Scope"))) >= 3
+        patterns = root.find("ReusePatterns")
+        assert patterns is not None and len(patterns) > 0
+        assert path.read_text() == text
+
+    def test_metrics_have_inclusive_exclusive(self, fig1_session):
+        import xml.etree.ElementTree as ET
+        root = ET.fromstring(fig1_session.export_xml())
+        metric = next(root.iter("Metric"))
+        assert "inclusive" in metric.attrib
+        assert "exclusive" in metric.attrib
+        assert "carried" in metric.attrib
+
+
+class TestSessionOptions:
+    def test_treap_engine_session_matches_default(self):
+        from repro.apps.kernels import fig1_interchange
+        default = AnalysisSession(fig1_interchange(24, 24))
+        default.run()
+        treap = AnalysisSession(fig1_interchange(24, 24), engine="treap")
+        treap.run()
+        assert default.totals() == treap.totals()
+
+    def test_run_param_overrides(self):
+        from repro.lang import (MemoryLayout, Var, load, loop, program,
+                                routine, stmt)
+        lay = MemoryLayout()
+        a = lay.array("A", 64)
+        prog = program("p", lay, [routine("main", loop(
+            "i", 1, "N", stmt(load(a, Var("i")))))], params={"N": 4})
+        session = AnalysisSession(prog)
+        session.run(N=32)
+        assert session.stats.accesses == 32
+
+    def test_fa_model_session(self):
+        from repro.apps.kernels import stream_triad
+        session = AnalysisSession(stream_triad(512, 2), miss_model="fa",
+                                  simulate=True)
+        session.run()
+        import pytest as _pytest
+        assert session.prediction.levels["L3"].total == _pytest.approx(
+            session.sim.totals()["L3"], abs=4)

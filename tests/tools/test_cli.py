@@ -1,0 +1,57 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "fig1"])
+        args_gtc = build_parser().parse_args(
+            ["analyze", "gtc", "--micell", "3", "--level", "L3"])
+        assert args.workload == "fig1"
+        assert args.level == "L2"
+        assert args_gtc.micell == 3
+        assert args_gtc.level == "L3"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "bogus"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep3d" in out and "gtc" in out
+        assert "block6+dimic" in out
+
+    def test_analyze_fig2(self, capsys):
+        assert main(["analyze", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted misses" in out
+        assert "carrying scope" in out
+        assert "fragmentation" in out
+
+    def test_analyze_with_xml(self, tmp_path, capsys):
+        xml = tmp_path / "db.xml"
+        assert main(["analyze", "fig1", "--xml", str(xml)]) == 0
+        assert xml.exists()
+        assert "<LocalityDatabase" in xml.read_text()
+
+    def test_measure_sweep3d(self, capsys):
+        assert main(["measure", "sweep3d", "--mesh", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "block6+dimic" in out
+        assert "speedup" in out
+
+    def test_measure_gtc(self, capsys):
+        assert main(["measure", "gtc", "--micell", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "+zion transpose" in out
+        assert "+pushi tiling/fusion" in out

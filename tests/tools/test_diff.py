@@ -1,0 +1,58 @@
+"""Before/after session diffs."""
+
+import pytest
+
+from repro.apps.kernels import fig1_interchange
+from repro.tools import AnalysisSession, diff_sessions
+from repro.transform import interchange
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    before = AnalysisSession(fig1_interchange(48, 48))
+    before.run()
+    after = AnalysisSession(interchange(fig1_interchange(48, 48), "I"))
+    after.run()
+    return before, after
+
+
+class TestDiff:
+    def test_total_delta_negative_after_fix(self, sessions):
+        before, after = sessions
+        diff = diff_sessions(before, after, "L2")
+        assert diff.total_delta < 0
+        assert diff.after_total < diff.before_total / 3
+
+    def test_removed_patterns_identified(self, sessions):
+        before, after = sessions
+        diff = diff_sessions(before, after, "L2")
+        removed = diff.removed()
+        assert removed
+        arrays = {key[0] for key, _delta in removed}
+        assert arrays <= {"A", "B"}
+        # the eliminated patterns were carried by the old outer I loop
+        carriers = {key[3] for key, _delta in removed}
+        assert "main:I" in carriers
+
+    def test_deltas_consistent(self, sessions):
+        before, after = sessions
+        diff = diff_sessions(before, after, "L2")
+        net_by_array = diff.delta_of(array="A") + diff.delta_of(array="B")
+        assert net_by_array == pytest.approx(diff.total_delta, abs=1.0)
+
+    def test_identity_diff_is_empty(self):
+        s1 = AnalysisSession(fig1_interchange(24, 24))
+        s1.run()
+        s2 = AnalysisSession(fig1_interchange(24, 24))
+        s2.run()
+        diff = diff_sessions(s1, s2, "L2")
+        assert diff.total_delta == pytest.approx(0.0)
+        assert not diff.removed()
+        assert not diff.introduced()
+
+    def test_render(self, sessions):
+        before, after = sessions
+        text = diff_sessions(before, after, "L2").render()
+        assert "miss diff" in text
+        assert "largest reductions" in text
+        assert "-" in text

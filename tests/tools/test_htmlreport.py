@@ -1,0 +1,71 @@
+"""Self-contained HTML report."""
+
+import re
+
+import pytest
+
+from repro.apps.kernels import fig1_interchange, fig2_fragmentation
+from repro.tools import AnalysisSession, render_html
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = AnalysisSession(fig2_fragmentation(64, 48))
+    s.run()
+    return s
+
+
+class TestHTMLReport:
+    def test_sections_present(self, session):
+        text = render_html(session)
+        for section in ("Predicted misses", "Scope tree",
+                        "Scopes carrying the most misses",
+                        "Fragmentation misses by array",
+                        "Top reuse patterns",
+                        "Recommended transformations"):
+            assert section in text
+
+    def test_wellformed_tags(self, session):
+        text = render_html(session)
+        for tag in ("table", "tr", "td", "th", "ul", "li", "h2", "body",
+                    "html"):
+            assert text.count(f"<{tag}") == text.count(f"</{tag}>"), tag
+
+    def test_escaping(self):
+        """Program and array names are HTML-escaped."""
+        from repro.lang import (MemoryLayout, Var, load, loop, program,
+                                routine, stmt)
+        lay = MemoryLayout()
+        a = lay.array("A<b>&x", 64, 64)
+        i, j = Var("i"), Var("j")
+        nest = loop("t", 1, 2,
+                    loop("j", 1, 64,
+                         loop("i", 1, 64, stmt(load(a, i, j)), name="I"),
+                         name="J"),
+                    name="T")
+        prog = program("p<script>", lay, [routine("main", nest)])
+        s = AnalysisSession(prog)
+        s.run()
+        text = render_html(s)
+        assert "<script>" not in text
+        assert "p&lt;script&gt;" in text
+        assert "A&lt;b&gt;&amp;x" in text
+        assert "A<b>" not in text
+
+    def test_fragmentation_table_lists_a(self, session):
+        text = render_html(session)
+        frag_section = text.split("Fragmentation misses by array")[1]
+        assert ">A<" in frag_section
+
+    def test_write_to_file(self, session, tmp_path):
+        path = tmp_path / "report.html"
+        text = session.export_html(str(path))
+        assert path.read_text() == text
+        assert text.startswith("<!DOCTYPE html>")
+
+    def test_cli_html_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "r.html"
+        assert main(["analyze", "fig2", "--html", str(path)]) == 0
+        assert path.exists()
+        assert "Recommended transformations" in path.read_text()

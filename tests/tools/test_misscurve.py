@@ -1,0 +1,64 @@
+"""Miss curves (the Mattson one-pass evaluation, paper reference [16])."""
+
+import pytest
+
+from repro.apps.kernels import stream_triad
+from repro.core import ReuseAnalyzer
+from repro.lang import run_program
+from repro.sim import SetAssocCache
+from repro.tools.misscurve import (
+    miss_curve, render_curve, working_set_knees,
+)
+
+
+@pytest.fixture(scope="module")
+def triad_db():
+    analyzer = ReuseAnalyzer({"line": 64})
+    run_program(stream_triad(2048, 2), analyzer)
+    return analyzer.db("line")
+
+
+class TestCurve:
+    def test_non_increasing(self, triad_db):
+        curve = miss_curve(triad_db, [2 ** k for k in range(6, 22)])
+        values = [m for _c, m in curve]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_floor_is_compulsory(self, triad_db):
+        (_c, floor) = miss_curve(triad_db, [1 << 24])[0]
+        lines = 3 * 2048 * 8 // 64
+        assert floor == pytest.approx(lines, rel=0.01)
+
+    def test_matches_fa_simulator_at_each_capacity(self, triad_db):
+        """The curve point == an actual FA-LRU simulation of that size."""
+        for capacity in (4 * 1024, 16 * 1024, 64 * 1024):
+            sim = SetAssocCache(capacity, 64, capacity // 64)
+            run_program(stream_triad(2048, 2), _SimAdapter(sim))
+            (_c, predicted) = miss_curve(triad_db, [capacity])[0]
+            assert predicted == pytest.approx(sim.misses, abs=2)
+
+    def test_knee_at_working_set(self, triad_db):
+        """Triad's working set is 3n*8 = 48KB: the curve drops there."""
+        knees = working_set_knees(triad_db)
+        assert knees
+        assert any(32 * 1024 <= k <= 128 * 1024 for k in knees)
+
+    def test_render(self, triad_db):
+        text = render_curve(triad_db, annotate={"L2": 4096, "L3": 32768})
+        assert "miss curve" in text
+        assert "<- L2" in text and "<- L3" in text
+        assert "#" in text
+
+
+class _SimAdapter:
+    def __init__(self, cache):
+        self.cache = cache
+
+    def enter_scope(self, sid):
+        pass
+
+    def exit_scope(self, sid):
+        pass
+
+    def access(self, rid, addr, is_store):
+        self.cache.access(addr)

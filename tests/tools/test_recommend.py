@@ -1,0 +1,111 @@
+"""The Table I recommendation engine: every scenario row must trigger."""
+
+import pytest
+
+from repro.apps.kernels import (
+    fig1_interchange, fig2_fragmentation, irregular_gather, stencil5,
+    stream_triad,
+)
+from repro.tools import (
+    AnalysisSession, FRAGMENTATION, FUSION, INTERCHANGE, IRREGULAR,
+    STRIP_MINE_FUSION, TIME_LOOP,
+)
+
+
+def _scenarios(prog, level="L2", top_n=10):
+    session = AnalysisSession(prog)
+    session.run()
+    recs = session.recommendations(level, top_n)
+    return {r.scenario for r in recs}, recs, session
+
+
+class TestTableIScenarios:
+    def test_interchange_row(self):
+        """Fig 1(a): spatial reuse carried by the outer loop."""
+        scenarios, recs, _ = _scenarios(fig1_interchange(48, 48))
+        assert INTERCHANGE in scenarios
+
+    def test_interchanged_version_clean(self):
+        """Fig 1(b): after interchange, no interchange recommendation for
+        the dominant patterns (reuse is inner-loop, short distance)."""
+        scenarios, recs, session = _scenarios(
+            fig1_interchange(48, 48, interchanged=True))
+        inter = [r for r in recs if r.scenario == INTERCHANGE]
+        total = session.flatdb.total("L2")
+        assert sum(r.pattern.miss("L2") for r in inter) < 0.05 * total
+
+    def test_fragmentation_row(self):
+        scenarios, recs, _ = _scenarios(fig2_fragmentation(64, 48))
+        assert FRAGMENTATION in scenarios
+        frag = next(r for r in recs if r.scenario == FRAGMENTATION)
+        assert frag.pattern.array == "A"
+        assert "split" in frag.advice
+
+    def test_irregular_row(self):
+        scenarios, recs, _ = _scenarios(irregular_gather(2048, 4096))
+        assert IRREGULAR in scenarios
+        rec = next(r for r in recs if r.scenario == IRREGULAR)
+        assert "reordering" in rec.advice
+
+    def test_time_loop_row(self):
+        scenarios, recs, _ = _scenarios(stream_triad(2048, 2), level="L3")
+        assert TIME_LOOP in scenarios
+        rec = next(r for r in recs if r.scenario == TIME_LOOP)
+        assert "time skewing" in rec.advice
+
+    def test_fusion_row(self):
+        scenarios, recs, _ = _scenarios(stencil5(72, 1))
+        assert FUSION in scenarios
+
+    def test_strip_mine_fusion_row(self):
+        """GTC's pushi/gcmotion cross-routine reuse carried by pushi."""
+        from repro.apps.gtc import GTCParams, build_gtc
+        prog = build_gtc(None, GTCParams(micell=4, timesteps=1))
+        scenarios, recs, _ = _scenarios(prog, level="L3", top_n=25)
+        assert STRIP_MINE_FUSION in scenarios
+
+    def test_cold_pattern_classification(self):
+        from repro.tools.recommend import COLD_MISSES, classify_pattern
+        from repro.tools.flatdb import PatternRow
+        from repro.core.patterns import COLD
+        prog = fig1_interchange(8, 8)
+        row = PatternRow(0, "A", 1, COLD, COLD, {"L2": 5.0})
+        recs = classify_pattern(row, prog)
+        assert recs[0].scenario == COLD_MISSES
+
+
+class TestRendering:
+    def test_render_mentions_scopes_and_percent(self):
+        prog = fig1_interchange(48, 48)
+        session = AnalysisSession(prog)
+        session.run()
+        text = session.render_recommendations("L2", 5)
+        assert "%" in text
+        assert "interchange" in text
+
+
+class TestEdgeCases:
+    def test_render_empty(self):
+        from repro.tools.recommend import render
+        prog = fig1_interchange(8, 8)
+        session = AnalysisSession(prog)
+        session.run()
+        text = render([], session.flatdb, "L2")
+        assert "recommended transformations" in text
+
+    def test_classify_without_static_info(self):
+        """The engine degrades gracefully when only dynamic data exists."""
+        from repro.tools.recommend import classify_pattern
+        session = AnalysisSession(fig1_interchange(32, 32))
+        session.run()
+        row = session.flatdb.top("L2", 1, include_cold=False)[0]
+        recs = classify_pattern(row, session.program)  # no static, no frag
+        assert recs
+        assert all(r.scenario != FRAGMENTATION for r in recs)
+
+    def test_recommendation_str(self):
+        session = AnalysisSession(fig1_interchange(32, 32))
+        session.run()
+        rec = session.recommendations("L2", 1)[0]
+        text = str(rec)
+        assert rec.scenario in text

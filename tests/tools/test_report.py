@@ -1,0 +1,66 @@
+"""Report generators: fragmentation (Fig 9), irregular, Table II views."""
+
+import pytest
+
+from repro.apps.kernels import fig2_fragmentation, irregular_gather
+from repro.tools import AnalysisSession
+from repro.tools.report import (
+    dest_breakdown, fragmentation_misses, irregular_misses, irregular_total,
+    render_fragmentation, render_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2_session():
+    session = AnalysisSession(fig2_fragmentation(64, 48))
+    session.run()
+    return session
+
+
+class TestFragmentationReport:
+    def test_only_fragmented_arrays_charged(self, fig2_session):
+        per_array = fragmentation_misses(
+            fig2_session.prediction, fig2_session.fragmentation, "L2")
+        assert "A" in per_array
+        assert per_array.get("B", 0.0) == 0.0
+
+    def test_frag_misses_half_of_a_misses(self, fig2_session):
+        """frag factor 0.5 charges half of A's misses to fragmentation."""
+        per_array = fragmentation_misses(
+            fig2_session.prediction, fig2_session.fragmentation, "L2")
+        a_total = fig2_session.prediction.levels["L2"].by_array()["A"]
+        assert per_array["A"] == pytest.approx(0.5 * a_total)
+
+    def test_render(self, fig2_session):
+        text = render_fragmentation(
+            fig2_session.prediction, fig2_session.fragmentation, "L2")
+        assert "A" in text
+        assert "0.50" in text
+
+
+class TestIrregularReport:
+    def test_gather_counted_irregular(self):
+        session = AnalysisSession(irregular_gather(2048, 4096))
+        session.run()
+        per_pair = irregular_misses(session.prediction, session.static, "L2")
+        assert per_pair
+        total = irregular_total(session.prediction, session.static, "L2")
+        # the gather loop dominates this kernel's misses
+        assert total > 0.5 * session.prediction.levels["L2"].total - \
+            session.prediction.levels["L2"].cold
+
+    def test_regular_kernel_has_none(self, fig2_session):
+        assert irregular_total(
+            fig2_session.prediction, fig2_session.static, "L2") == 0.0
+
+
+class TestTable2View:
+    def test_breakdown_rows_sorted(self, fig2_session):
+        rows = dest_breakdown(fig2_session.prediction, "L2")
+        totals = [sum(c.values()) for _sid, _arr, c in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_render_contains_all_and_carriers(self, fig2_session):
+        text = render_table2(fig2_session.prediction, "L2")
+        assert "ALL" in text
+        assert "%" in text

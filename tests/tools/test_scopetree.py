@@ -1,0 +1,100 @@
+"""Scope tree: structure, inclusive/exclusive aggregation, rendering."""
+
+import pytest
+
+from repro.lang import (
+    MemoryLayout, Var, call, load, loop, program, routine, stmt,
+)
+from repro.tools.scopetree import ROOT, ScopeTree
+
+
+def _two_routine_prog():
+    lay = MemoryLayout()
+    a = lay.array("A", 8)
+    sub = routine("sub",
+                  loop("k", 1, 8, stmt(load(a, Var("k"))), name="K"))
+    main = routine("main",
+                   loop("j", 1, 2,
+                        loop("i", 1, 4, stmt(load(a, Var("i"))), name="I"),
+                        call("sub"),
+                        name="J"))
+    return program("p", lay, [main, sub])
+
+
+class TestStructure:
+    def test_routines_under_root(self):
+        prog = _two_routine_prog()
+        tree = ScopeTree(prog)
+        tops = {tree.name(sid) for sid in tree.children[ROOT]}
+        assert tops == {"main", "sub"}
+
+    def test_loops_nested(self):
+        prog = _two_routine_prog()
+        tree = ScopeTree(prog)
+        j_sid = prog.scope_named("J").sid
+        i_sid = prog.scope_named("I").sid
+        assert i_sid in tree.children[j_sid]
+
+    def test_walk_visits_every_scope(self):
+        prog = _two_routine_prog()
+        tree = ScopeTree(prog)
+        visited = set(tree.walk())
+        assert visited >= {s.sid for s in prog.scopes}
+        # plus one synthetic file node per distinct source file
+        assert visited - {s.sid for s in prog.scopes} == set(tree.files)
+
+    def test_file_level(self):
+        prog = _two_routine_prog()
+        tree = ScopeTree(prog)
+        tops = list(tree.children[ROOT])
+        assert all(tree.is_file(t) for t in tops)
+        routine_names = {
+            tree.name(child)
+            for top in tops for child in tree.children[top]
+        }
+        assert routine_names == {"main", "sub"}
+
+    def test_file_grouping_can_be_disabled(self):
+        prog = _two_routine_prog()
+        tree = ScopeTree(prog, group_by_file=False)
+        tops = {tree.name(sid) for sid in tree.children[ROOT]}
+        assert tops == {"main", "sub"}
+        assert not tree.files
+
+
+class TestAggregation:
+    def test_inclusive_sums_descendants(self):
+        prog = _two_routine_prog()
+        tree = ScopeTree(prog)
+        i_sid = prog.scope_named("I").sid
+        j_sid = prog.scope_named("J").sid
+        main_sid = prog.scope_named("main").sid
+        exclusive = {i_sid: 10.0, j_sid: 5.0}
+        inclusive = tree.inclusive(exclusive)
+        assert inclusive[i_sid] == 10.0
+        assert inclusive[j_sid] == 15.0
+        assert inclusive[main_sid] == 15.0
+        assert inclusive[ROOT] == 15.0
+
+    def test_names(self):
+        prog = _two_routine_prog()
+        tree = ScopeTree(prog)
+        assert tree.name(ROOT) == "<program>"
+        assert tree.name(prog.scope_named("I").sid) == "main:I"
+        assert tree.name(prog.scope_named("sub").sid) == "sub"
+
+    def test_render_contains_scopes_and_values(self):
+        prog = _two_routine_prog()
+        tree = ScopeTree(prog)
+        i_sid = prog.scope_named("I").sid
+        text = tree.render({i_sid: 42.0}, title="test metric")
+        assert "test metric" in text
+        assert "main:I" in text or "I" in text
+        assert "42" in text
+
+    def test_render_min_value_filters(self):
+        prog = _two_routine_prog()
+        tree = ScopeTree(prog)
+        i_sid = prog.scope_named("I").sid
+        text = tree.render({i_sid: 1.0}, min_value=100.0)
+        assert "I" not in text.split("\n", 2)[2] if len(text.split("\n")) > 2 else True

@@ -1,0 +1,81 @@
+"""The hpcviewer-style text browser."""
+
+import pytest
+
+from repro.apps.kernels import fig1_interchange
+from repro.tools import AnalysisSession
+from repro.tools.scopetree import ROOT
+from repro.tools.viewer import Viewer
+
+
+@pytest.fixture(scope="module")
+def viewer():
+    session = AnalysisSession(fig1_interchange(48, 48))
+    session.run()
+    return session.viewer, session
+
+
+class TestMetrics:
+    def test_inclusive_root_is_total(self, viewer):
+        v, session = viewer
+        for level in v.levels():
+            assert v.inclusive(level, ROOT) == pytest.approx(
+                session.prediction.levels[level].total)
+
+    def test_inclusive_ge_exclusive(self, viewer):
+        v, session = viewer
+        for sid in v.tree.walk():
+            assert v.inclusive("L2", sid) >= v.exclusive("L2", sid) - 1e-9
+
+    def test_carried_column(self, viewer):
+        v, session = viewer
+        outer = session.program.scope_named("I").sid
+        assert v.carried_of("L2", outer) > 0
+
+    def test_hot_scopes_sorted(self, viewer):
+        v, _ = viewer
+        for view in ("exclusive", "inclusive", "carried"):
+            values = [val for _sid, val in v.hot_scopes("L2", 10, view)]
+            assert values == sorted(values, reverse=True)
+
+
+class TestRendering:
+    def test_render_tree(self, viewer):
+        v, _ = viewer
+        text = v.render("L2")
+        assert "inclusive" in text and "exclusive" in text
+        assert "main" in text
+        assert "%" in text
+
+    def test_render_respects_min_share(self, viewer):
+        v, _ = viewer
+        full = v.render("L2", min_share=0.0)
+        filtered = v.render("L2", min_share=0.99)
+        assert len(filtered.splitlines()) <= len(full.splitlines())
+
+    def test_render_max_depth(self, viewer):
+        v, _ = viewer
+        shallow = v.render("L2", max_depth=0)
+        assert "  J" not in shallow  # nested loop indented, filtered
+
+    def test_render_hot(self, viewer):
+        v, _ = viewer
+        text = v.render_hot("L2", n=3, view="carried")
+        assert "carried" in text
+        assert "main:I" in text
+
+
+class TestArraysView:
+    def test_render_arrays(self, viewer):
+        v, _ = viewer
+        text = v.render_arrays()
+        assert "A" in text and "B" in text
+        assert "L3 bytes" in text
+
+    def test_sorted_by_last_cache_level(self, viewer):
+        v, session = viewer
+        text = v.render_arrays()
+        rows = [line.split()[0] for line in text.splitlines()[3:]]
+        by_array = session.prediction.levels["L3"].by_array()
+        expected = sorted(by_array, key=lambda a: -by_array[a])
+        assert rows[:len(expected)] == expected
