@@ -1,0 +1,133 @@
+"""Ablation: throughput of the batched trace pipeline and parallel sweeps.
+
+Section VII of the paper reports the tool's slowdown relative to native
+execution; everything downstream (multi-config sweeps, scaling-model
+training sets) is gated on trace-processing throughput.  This bench
+quantifies the repo's answer to that cost:
+
+* **scalar**: the per-access `Executor` + `ReuseAnalyzer.access` path,
+* **batched**: `BatchExecutor` feeding pre-materialized address chunks to
+  `access_batch` (affine inner loops compiled once, steady-state rows
+  multiplied instead of re-walked),
+* **parallel**: the batched pipeline fanned across a mesh sweep by
+  `run_sweep` worker processes.
+
+Acceptance: batched is >= 3x scalar single-thread on Sweep3D, with a
+byte-identical pattern database (the speedup must not buy any drift).
+The headline numbers are archived to ``BENCH_throughput.json`` at the
+repo root for EXPERIMENTS.md.
+"""
+
+import json
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.apps.sweep3d import SweepParams, build_original
+from repro.core import ReuseAnalyzer
+from repro.lang import BatchExecutor, Executor
+from repro.model import MachineConfig
+from repro.tools import SweepTask, default_jobs, run_sweep
+from conftest import run_once
+
+CFG = MachineConfig.scaled_itanium2()
+PARAMS = SweepParams(n=8, mm=6, nm=3, noct=2)
+SWEEP_MESHES = (6, 7, 8, 9)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _canonical_db(analyzer):
+    """Order-independent serialization of every pattern database."""
+    state = analyzer.dump_state()
+    canon = []
+    for gran in state["grans"]:
+        raw = sorted((key, tuple(sorted(bins.items())))
+                     for key, bins in gran["raw"].items())
+        cold = tuple(sorted(gran["cold"].items()))
+        canon.append((gran["name"], gran["block_size"], tuple(raw), cold,
+                      gran["blocks"]))
+    return pickle.dumps((state["clock"], tuple(canon)))
+
+
+def _timed(executor_cls, repeats=3):
+    """Best-of-N analyzer run; returns (seconds, stats, analyzer)."""
+    best = None
+    for _ in range(repeats):
+        program = build_original(PARAMS)
+        analyzer = ReuseAnalyzer(CFG.granularities())
+        executor = executor_cls(program, analyzer)
+        t0 = time.perf_counter()
+        stats = executor.run()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best[0]:
+            best = (elapsed, stats, analyzer)
+    return best
+
+
+def _sweep_builder(n):
+    return build_original(SweepParams(n=n, mm=6, nm=3, noct=2))
+
+
+def _experiment():
+    scalar_t, scalar_stats, scalar_an = _timed(Executor)
+    batch_t, batch_stats, batch_an = _timed(BatchExecutor)
+    accesses = scalar_stats.accesses
+
+    tasks = [SweepTask(key=n, builder=_sweep_builder, args=(n,),
+                       mode="analyze", config=CFG)
+             for n in SWEEP_MESHES]
+    jobs = default_jobs(4)
+    t0 = time.perf_counter()
+    outcomes = run_sweep(tasks, jobs=jobs)
+    sweep_t = time.perf_counter() - t0
+    sweep_accesses = sum(out.stats.accesses for out in outcomes)
+
+    return {
+        "accesses": accesses,
+        "scalar_s": scalar_t,
+        "batched_s": batch_t,
+        "scalar_kps": accesses / scalar_t / 1e3,
+        "batched_kps": accesses / batch_t / 1e3,
+        "batched_speedup": scalar_t / batch_t,
+        "stats_equal": vars(scalar_stats) == vars(batch_stats),
+        "dbs_identical": _canonical_db(scalar_an) == _canonical_db(batch_an),
+        "sweep_jobs": jobs,
+        "sweep_accesses": sweep_accesses,
+        "parallel_kps": sweep_accesses / sweep_t / 1e3,
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_batch_throughput(benchmark, record):
+    r = run_once(benchmark, _experiment)
+    lines = [
+        "Ablation: trace-pipeline throughput on Sweep3D "
+        f"(n={PARAMS.n}, {r['accesses']} accesses)",
+        f"{'pipeline':<22}{'kaccesses/s':>13}{'speedup':>9}",
+        "-" * 44,
+        f"{'scalar (per-access)':<22}{r['scalar_kps']:>13.0f}"
+        f"{1.0:>8.2f}x",
+        f"{'batched':<22}{r['batched_kps']:>13.0f}"
+        f"{r['batched_speedup']:>8.2f}x",
+        f"{'sweep (%d proc)' % r['sweep_jobs']:<22}"
+        f"{r['parallel_kps']:>13.0f}"
+        f"{r['parallel_kps'] / r['scalar_kps']:>8.2f}x",
+        "",
+        f"pattern databases byte-identical: {r['dbs_identical']}",
+        f"run statistics identical: {r['stats_equal']}",
+        f"(parallel row: aggregate over meshes {SWEEP_MESHES}, "
+        f"analysis sessions in {r['sweep_jobs']} processes)",
+    ]
+    record("\n".join(lines))
+
+    with open(os.path.join(REPO_ROOT, "BENCH_throughput.json"), "w") as fh:
+        json.dump({k: round(v, 3) if isinstance(v, float) else v
+                   for k, v in r.items()}, fh, indent=2)
+        fh.write("\n")
+
+    # The speedup must not buy any drift.
+    assert r["dbs_identical"]
+    assert r["stats_equal"]
+    assert r["batched_speedup"] >= 3.0

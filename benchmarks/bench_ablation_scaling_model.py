@@ -15,43 +15,49 @@ import pytest
 
 from repro.apps.kernels import fig1_interchange, stream_triad
 from repro.apps.sweep3d import SweepParams, build_original
-from repro.core import ReuseAnalyzer
-from repro.lang import run_program
-from repro.model import MachineConfig, ScalingModel, predict
+from repro.model import MachineConfig, ScalingModel
+from repro.tools import SweepTask, default_jobs, run_sweep
 from conftest import run_once
 
 CFG = MachineConfig.scaled_itanium2()
 
 
-def _db(prog):
-    analyzer = ReuseAnalyzer(CFG.granularities())
-    run_program(prog, analyzer)
-    return analyzer
+# Module-level builders so the sweep driver can pickle them by reference.
+def _triad(n):
+    return stream_triad(n=n, timesteps=2)
+
+
+def _fig1(n):
+    return fig1_interchange(n, n)
+
+
+def _sweep3d(n):
+    return build_original(SweepParams(n=n, mm=4, nm=2, noct=1))
 
 
 CASES = [
     # (name, regular?, builder(size), train sizes, target size)
-    ("triad", True, lambda n: stream_triad(n=n, timesteps=2),
-     [256, 512, 1024, 2048], 8192),
-    ("fig1", True, lambda n: fig1_interchange(n, n),
-     [16, 24, 32, 48], 96),
-    ("sweep3d", False,
-     lambda n: build_original(SweepParams(n=n, mm=4, nm=2, noct=1)),
-     [4, 6, 8], 12),
+    ("triad", True, _triad, [256, 512, 1024, 2048], 8192),
+    ("fig1", True, _fig1, [16, 24, 32, 48], 96),
+    ("sweep3d", False, _sweep3d, [4, 6, 8], 12),
 ]
 
 
 def _experiment():
+    tasks = [SweepTask(key=(name, n), builder=build, args=(n,),
+                       mode="analyze", config=CFG)
+             for name, _regular, build, train, target in CASES
+             for n in train + [target]]
+    outcomes = {out.key: out for out in run_sweep(tasks,
+                                                  jobs=default_jobs(4))}
     rows = []
     for name, regular, build, train, target in CASES:
-        dbs = [_db(build(n)).db("line") for n in train]
+        dbs = [outcomes[(name, n)].db("line") for n in train]
         model = ScalingModel.fit(train, dbs)
-        analyzer = _db(build(target))
         for level_name in ("L2", "L3"):
             level = CFG.level(level_name)
             predicted = model.predict_misses(target, level)
-            measured = predict(analyzer, CFG,
-                               build(target)).levels[level_name].total
+            measured = outcomes[(name, target)].totals[level_name]
             error = (predicted - measured) / max(measured, 1.0)
             rows.append((name, regular, level_name, predicted, measured,
                          error))

@@ -12,21 +12,31 @@ execution time (I-cache overflow); overall: misses halve, ~1.5x speedup.
 import pytest
 
 from repro.apps.gtc import GTCParams, VARIANTS, build_gtc
-from repro.apps.harness import measure
+from repro.tools import SweepTask, default_jobs, run_sweep
 from conftest import run_once
 
 MICELLS = (2, 4, 6, 8, 10)
 
 
 def _experiment():
+    tasks = []
+    for variant in VARIANTS:
+        for micell in MICELLS:
+            params = GTCParams(micell=micell, timesteps=2)
+            fused = ("pushi", "gcmotion") if variant.pushi_tiled else ()
+            tasks.append(SweepTask(
+                key=(variant.name, micell), builder=build_gtc,
+                args=(variant, params), mode="measure",
+                measure_kwargs={"name": variant.name,
+                                "fused_routines": fused}))
+    outcomes = {out.key: out.result
+                for out in run_sweep(tasks, jobs=default_jobs(4))}
     table = {}
     for variant in VARIANTS:
         series = []
         for micell in MICELLS:
             params = GTCParams(micell=micell, timesteps=2)
-            fused = ("pushi", "gcmotion") if variant.pushi_tiled else ()
-            result = measure(build_gtc(variant, params), name=variant.name,
-                             fused_routines=fused)
+            result = outcomes[(variant.name, micell)]
             unit = micell * params.timesteps
             series.append({
                 "micell": micell,

@@ -10,20 +10,29 @@ per-cell metrics roughly flat in mesh size.
 
 import pytest
 
-from repro.apps.harness import measure
 from repro.apps.sweep3d import SweepParams, VARIANTS, build_variant
+from repro.tools import SweepTask, default_jobs, run_sweep
 from conftest import run_once
 
 MESHES = (6, 8, 10, 12)
 
 
 def _experiment():
+    tasks = []
+    for name in VARIANTS:
+        for n in MESHES:
+            params = SweepParams(n=n, mm=6, nm=3, noct=2)
+            tasks.append(SweepTask(
+                key=(name, n), builder=build_variant, args=(name, params),
+                mode="measure", measure_kwargs={"name": name}))
+    outcomes = {out.key: out.result
+                for out in run_sweep(tasks, jobs=default_jobs(4))}
     table = {}
     for name in VARIANTS:
         series = []
         for n in MESHES:
             params = SweepParams(n=n, mm=6, nm=3, noct=2)
-            result = measure(build_variant(name, params), name=name)
+            result = outcomes[(name, n)]
             unit = params.cells * params.timesteps
             series.append({
                 "n": n,

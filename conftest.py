@@ -1,0 +1,23 @@
+"""Repo-level pytest configuration.
+
+Tier-1 (`pytest` with no arguments) runs only ``tests/`` — benchmarks live
+under ``benchmarks/`` and are selected explicitly.  Tests marked ``slow``
+are skipped unless ``--runslow`` is given, so the default suite stays fast
+enough to run on every change.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--runslow", action="store_true", default=False,
+                     help="also run tests marked @pytest.mark.slow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

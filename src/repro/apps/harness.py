@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.lang.ast import Call, Loop, Program, ScalarAssign, Stmt
+from repro.lang.batch import BatchExecutor
 from repro.lang.executor import Executor, RunStats
 from repro.model.config import MachineConfig
 from repro.sim.hierarchy import HierarchySim
@@ -87,16 +88,20 @@ def measure(program: Program, config: Optional[MachineConfig] = None,
             name: Optional[str] = None,
             schedule_factor: float = 1.0,
             fused_routines: Tuple[str, ...] = (),
+            batch: bool = True,
             **params: int) -> RunResult:
     """Execute ``program`` under simulation and charge cycles.
 
     ``fused_routines`` marks routines whose bodies were fused into one big
     loop (GTC's tiled pushi + gcmotion): their static footprint feeds the
     I-cache overflow term and their dynamic instructions pay it.
+    ``batch=False`` forces the scalar executor (the batched pipeline is
+    equivalence-tested but the escape hatch stays available).
     """
     config = config or MachineConfig.scaled_itanium2()
     sim = HierarchySim(config)
-    executor = Executor(program, sim)
+    executor_cls = BatchExecutor if batch else Executor
+    executor = executor_cls(program, sim)
     stats = executor.run(**params)
     inputs = TimingInputs(
         instructions=stats.instructions,

@@ -21,7 +21,8 @@ Examples
     python -m repro analyze gtc --micell 4 --xml gtc.xml
     python -m repro analyze fig1
     python -m repro measure sweep3d --mesh 8
-    python -m repro measure gtc --micell 4
+    python -m repro measure gtc --micell 4 --jobs 4
+    python -m repro analyze sweep3d --no-cache
 """
 
 from __future__ import annotations
@@ -31,14 +32,13 @@ import sys
 from typing import Callable, Dict, Optional
 
 from repro.apps.gtc import GTCParams, VARIANTS as GTC_VARIANTS, build_gtc
-from repro.apps.harness import measure
 from repro.apps.kernels import (
     fig1_interchange, fig2_fragmentation, irregular_gather, stream_triad,
 )
 from repro.apps.sweep3d import (
     SweepParams, VARIANTS as SWEEP_VARIANTS, build_original, build_variant,
 )
-from repro.tools import AnalysisSession
+from repro.tools import AnalysisCache, AnalysisSession, SweepTask, run_sweep
 
 WORKLOADS: Dict[str, str] = {
     "fig1": "the paper's Fig 1(a) interchange example",
@@ -83,10 +83,13 @@ def cmd_list(_args) -> int:
 
 def cmd_analyze(args) -> int:
     program = _build(args.workload, args)
-    session = AnalysisSession(program)
+    cache = None if args.no_cache else AnalysisCache()
+    session = AnalysisSession(program, cache=cache)
     print(f"running {program.name} under instrumentation ...",
           file=sys.stderr)
     session.run()
+    if session.from_cache:
+        print("(restored from analysis cache)", file=sys.stderr)
     print(session.config)
     print()
     totals = {k: round(v) for k, v in session.totals().items()}
@@ -110,25 +113,30 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_measure(args) -> int:
-    rows = []
+    tasks = []
     if args.app == "sweep3d":
         params = SweepParams(n=args.mesh)
         unit = params.cells * params.timesteps
         unit_name = "cell"
         for name in SWEEP_VARIANTS:
-            rows.append((name, measure(build_variant(name, params),
-                                       name=name)))
+            tasks.append(SweepTask(key=name, builder=build_variant,
+                                   args=(name, params), mode="measure",
+                                   measure_kwargs={"name": name}))
     elif args.app == "gtc":
         params = GTCParams(micell=args.micell)
         unit = params.micell * params.timesteps
         unit_name = "micell"
         for variant in GTC_VARIANTS:
             fused = ("pushi", "gcmotion") if variant.pushi_tiled else ()
-            rows.append((variant.name,
-                         measure(build_gtc(variant, params),
-                                 name=variant.name, fused_routines=fused)))
+            tasks.append(SweepTask(
+                key=variant.name, builder=build_gtc, args=(variant, params),
+                mode="measure",
+                measure_kwargs={"name": variant.name,
+                                "fused_routines": fused}))
     else:
         raise SystemExit(f"unknown app {args.app!r}; use sweep3d or gtc")
+    rows = [(out.key, out.result)
+            for out in run_sweep(tasks, jobs=args.jobs)]
     print(f"{'variant':<24}{'L2/' + unit_name:>10}{'L3/' + unit_name:>10}"
           f"{'TLB/' + unit_name:>11}{'cycles/' + unit_name:>14}")
     print("-" * 69)
@@ -168,11 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also export the XML database")
     analyze.add_argument("--html", metavar="PATH",
                          help="also write a self-contained HTML report")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="skip the on-disk analysis cache")
 
     meas = sub.add_parser("measure", help="measure app variants (Fig 8/11)")
     meas.add_argument("app", choices=("sweep3d", "gtc"))
     meas.add_argument("--mesh", type=int, default=8)
     meas.add_argument("--micell", type=int, default=6)
+    meas.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the variant sweep")
 
     return parser
 

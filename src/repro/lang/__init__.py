@@ -18,18 +18,22 @@ from repro.lang.builder import (
 from repro.lang.events import EventHandler, Tee, TraceRecorder
 from repro.lang.trace import TraceWriter, record, replay
 from repro.lang.executor import Executor, RunStats, run_program
+from repro.lang.batch import (
+    BatchExecutor, LoopBatchPlan, compile_loop, run_program_batched,
+)
 from repro.lang.memory import (
     DOUBLE, INT, DataObject, MemoryLayout, SymbolTable,
     column_major_strides, row_major_strides,
 )
 
 __all__ = [
-    "Access", "Add", "Call", "Const", "DOUBLE", "DataObject", "EventHandler",
-    "Executor", "Expr", "FloorDiv", "INT", "Load", "Loop", "Max",
-    "MemoryLayout", "Min", "Mod", "Mul", "Program", "RefInfo", "Routine",
-    "RunStats", "ScalarAssign", "ScopeInfo", "Stmt", "Sub", "SymbolTable",
-    "Tee", "TraceRecorder", "TraceWriter", "Var", "as_expr", "assign",
-    "call", "column_major_strides", "idx", "load", "loop", "program",
-    "record", "replay", "routine", "row_major_strides", "run_program",
-    "stmt", "store",
+    "Access", "Add", "BatchExecutor", "Call", "Const", "DOUBLE",
+    "DataObject", "EventHandler", "Executor", "Expr", "FloorDiv", "INT",
+    "Load", "Loop", "LoopBatchPlan", "Max", "MemoryLayout", "Min", "Mod",
+    "Mul", "Program", "RefInfo", "Routine", "RunStats", "ScalarAssign",
+    "ScopeInfo", "Stmt", "Sub", "SymbolTable", "Tee", "TraceRecorder",
+    "TraceWriter", "Var", "as_expr", "assign", "call",
+    "column_major_strides", "compile_loop", "idx", "load", "loop",
+    "program", "record", "replay", "routine", "row_major_strides",
+    "run_program", "run_program_batched", "stmt", "store",
 ]

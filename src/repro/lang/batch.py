@@ -1,0 +1,245 @@
+"""Batched trace pipeline: compile affine inner loops into access chunks.
+
+The scalar :class:`~repro.lang.executor.Executor` crosses a Python call
+boundary per memory access (``addr_fn(env)`` + ``handler.access``), which
+dominates analysis cost.  For the loops that matter — innermost bodies made
+only of :class:`~repro.lang.ast.Stmt` nodes whose subscripts are affine in
+the loop variable — the whole iteration space is predictable: every
+reference walks an arithmetic address sequence.  :class:`BatchExecutor`
+detects such loops, materializes their address streams as ``range`` objects
+(C-level iteration), and hands whole chunks to the handler's
+``access_batch(rids, addrs, stores, period)`` entry point in one call.
+
+``period`` is the number of accesses per loop iteration: chunks always hold
+a whole number of iterations, so row-aware handlers (the analyzer's
+specialized Fenwick path) can exploit the iteration structure.  Handlers
+without ``access_batch`` get a per-access fallback loop, so any event
+consumer works unmodified and sees the identical event stream.
+
+Loops that do not qualify — indirect (``Load``) subscripts, scalar
+assignments, nested loops, calls — fall back to the scalar walk, statement
+by statement.  The two paths are semantically identical: same events in the
+same order, same :class:`~repro.lang.executor.RunStats`; the test suite
+cross-checks both against each other.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, repeat
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lang.ast import (
+    Add, Const, Expr, FloorDiv, Load, Loop, Max, Min, Mod, Mul, Program,
+    Stmt, Sub, Var,
+)
+from repro.lang.executor import Executor, RunStats
+from repro.lang.events import EventHandler
+
+#: Target accesses per access_batch call; chunks are rounded to whole
+#: iterations.  Large enough to amortize per-chunk setup, small enough to
+#: keep the materialized address list cache-resident.
+CHUNK_ACCESSES = 1 << 16
+
+#: Sentinel distinguishing "not yet compiled" from "not batchable".
+_UNCOMPILED = object()
+
+
+class LoopBatchPlan:
+    """Compiled batch schedule for one affine innermost loop."""
+
+    __slots__ = ("addr_fns", "rids", "stores", "k", "ops", "n_loads",
+                 "n_stores")
+
+    def __init__(self, addr_fns: List[Callable], rids: Tuple[int, ...],
+                 stores: Tuple[bool, ...], ops: int) -> None:
+        self.addr_fns = addr_fns
+        self.rids = rids
+        self.stores = stores
+        self.k = len(rids)
+        self.ops = ops
+        self.n_stores = sum(1 for s in stores if s)
+        self.n_loads = self.k - self.n_stores
+
+
+# ---------------------------------------------------------------------------
+# Affinity analysis
+# ---------------------------------------------------------------------------
+
+def _var_free(expr: Expr, var: str) -> bool:
+    """True if ``expr`` never reads ``var`` and performs no Load."""
+    cls = expr.__class__
+    if cls is Const:
+        return True
+    if cls is Var:
+        return expr.name != var
+    if cls in (Add, Sub, Mul, FloorDiv, Mod):
+        return _var_free(expr.left, var) and _var_free(expr.right, var)
+    if cls in (Min, Max):
+        return all(_var_free(a, var) for a in expr.args)
+    return False  # Load (an access of its own) or an unknown node
+
+
+def _affine_in(expr: Expr, var: str) -> bool:
+    """True if ``expr`` is degree <= 1 in ``var`` with Load-free terms.
+
+    Affine subscripts make the byte address an exact arithmetic sequence
+    over the iteration space, so a two-point probe recovers the stride.
+    """
+    cls = expr.__class__
+    if cls is Const or cls is Var:
+        return True
+    if cls in (Add, Sub):
+        return _affine_in(expr.left, var) and _affine_in(expr.right, var)
+    if cls is Mul:
+        left_free = _var_free(expr.left, var)
+        right_free = _var_free(expr.right, var)
+        if left_free and right_free:
+            return True
+        if left_free:
+            return _affine_in(expr.right, var)
+        if right_free:
+            return _affine_in(expr.left, var)
+        return False  # var * var: quadratic
+    if cls in (FloorDiv, Mod, Min, Max):
+        # Non-linear operators are fine only when the whole subtree is
+        # iteration-invariant (an env constant for this loop).
+        return _var_free(expr, var)
+    return False  # Load: data-dependent address
+
+
+def compile_loop(loop: Loop) -> Optional[LoopBatchPlan]:
+    """Return a batch plan for ``loop``, or None if it is not batchable.
+
+    Batchable means: every body node is a plain :class:`Stmt`, no subscript
+    carries a :class:`Load` (the plan would interleave extra data-dependent
+    accesses), and every subscript is affine in the loop variable.
+    """
+    var = loop.var
+    addr_fns: List[Callable] = []
+    rids: List[int] = []
+    stores: List[bool] = []
+    ops = 0
+    for node in loop.body:
+        if node.__class__ is not Stmt:
+            return None
+        if len(node.plan) != len(node.accesses):
+            return None  # subscript Loads present: extra plan entries
+        for acc in node.accesses:
+            for ix in acc.indices:
+                if not _affine_in(ix, var):
+                    return None
+        for rid, addr_fn, is_store in node.plan:
+            addr_fns.append(addr_fn)
+            rids.append(rid)
+            stores.append(is_store)
+        ops += node.ops
+    if not addr_fns:
+        return None  # nothing to batch
+    return LoopBatchPlan(addr_fns, tuple(rids), tuple(stores), ops)
+
+
+# ---------------------------------------------------------------------------
+# Batched execution
+# ---------------------------------------------------------------------------
+
+class BatchExecutor(Executor):
+    """Executor that batches affine innermost loops through access_batch.
+
+    Drop-in replacement for :class:`Executor`: identical event semantics
+    and statistics, ~an order of magnitude fewer Python-level call
+    boundaries on loop-dominated kernels.
+    """
+
+    def __init__(self, program: Program,
+                 handler: Optional[EventHandler] = None,
+                 *extra_handlers: EventHandler,
+                 chunk_accesses: int = CHUNK_ACCESSES) -> None:
+        super().__init__(program, handler, *extra_handlers)
+        self._chunk = max(1, chunk_accesses)
+        batch = getattr(self.handler, "access_batch", None)
+        if batch is None:
+            access = self.handler.access
+
+            def batch(rids, addrs, stores, period=0, _access=access):
+                for i, rid in enumerate(rids):
+                    _access(rid, addrs[i], stores[i])
+
+        self._access_batch = batch
+        # Batch plans are a property of the (finalized) program, shared by
+        # every executor that runs it.
+        self._plans: Dict[int, object] = program.__dict__.setdefault(
+            "_batch_plans", {})
+
+    def _run_loop(self, loop: Loop, env: Dict[str, int]) -> None:
+        plan = self._plans.get(loop.sid, _UNCOMPILED)
+        if plan is _UNCOMPILED:
+            plan = compile_loop(loop)
+            self._plans[loop.sid] = plan
+        if plan is None:
+            Executor._run_loop(self, loop, env)
+            return
+
+        stats = self.stats
+        sid = loop.sid
+        lo = loop._lo_fn(env)
+        hi = loop._hi_fn(env)
+        step = loop.step
+        if step > 0:
+            rng = range(lo, hi + 1, step)
+        else:
+            rng = range(lo, hi - 1, step)
+        trips = len(rng)
+        self._enter(sid)
+        stats.loop_entries[sid] = stats.loop_entries.get(sid, 0) + 1
+        stats.loop_iters[sid] = stats.loop_iters.get(sid, 0) + trips
+        if trips:
+            var = loop.var
+            k = plan.k
+            env[var] = lo
+            bases = [fn(env) for fn in plan.addr_fns]
+            if trips == 1:
+                strides = [0] * k
+            else:
+                env[var] = lo + step
+                strides = [fn(env) - base
+                           for fn, base in zip(plan.addr_fns, bases)]
+            rows_per_chunk = max(1, self._chunk // k)
+            batch = self._access_batch
+            rids = plan.rids
+            stores = plan.stores
+            done = 0
+            while done < trips:
+                m = min(rows_per_chunk, trips - done)
+                cols = []
+                for base, st in zip(bases, strides):
+                    start = base + done * st
+                    if st:
+                        cols.append(range(start, start + st * m, st))
+                    else:
+                        cols.append(repeat(start, m))
+                if k == 1:
+                    addrs = list(cols[0])
+                else:
+                    # Iteration-major interleave: the scalar event order.
+                    addrs = list(chain.from_iterable(zip(*cols)))
+                batch(rids * m, addrs, stores * m, k)
+                done += m
+            env[var] = rng[-1]  # the value the scalar loop leaves behind
+            stats.accesses += trips * k
+            stats.loads += trips * plan.n_loads
+            stats.stores += trips * plan.n_stores
+            stats.ops += trips * plan.ops
+            stats.scope_insts[sid] = (
+                stats.scope_insts.get(sid, 0) + trips * (k + plan.ops)
+            )
+        self._exit(sid)
+
+
+def run_program_batched(program: Program, *handlers: EventHandler,
+                        **param_overrides: int) -> RunStats:
+    """Convenience wrapper: execute ``program`` through the batch pipeline."""
+    if handlers:
+        executor = BatchExecutor(program, handlers[0], *handlers[1:])
+    else:
+        executor = BatchExecutor(program)
+    return executor.run(**param_overrides)

@@ -9,11 +9,28 @@ executor produces the identical event stream.  A handler implements:
 
 Handlers are deliberately plain (no inheritance required): the executor only
 looks up these three attributes, and binds them once for speed.
+
+Handlers may additionally implement
+``access_batch(rids, addrs, stores, period=0)``: a whole chunk of accesses
+delivered in one call by the batched pipeline (:mod:`repro.lang.batch`).
+The base class provides a loop over ``access``, so deriving from
+:class:`EventHandler` is enough; duck-typed handlers without the method get
+the same fallback from the batch executor itself.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
+
+
+def _batch_fallback(access):
+    """Wrap a scalar ``access`` into the access_batch signature."""
+
+    def access_batch(rids, addrs, stores, period=0, _access=access):
+        for i, rid in enumerate(rids):
+            _access(rid, addrs[i], stores[i])
+
+    return access_batch
 
 
 class EventHandler:
@@ -28,6 +45,13 @@ class EventHandler:
     def access(self, rid: int, addr: int, is_store: bool) -> None:  # pragma: no cover
         pass
 
+    def access_batch(self, rids: Sequence[int], addrs: Sequence[int],
+                     stores: Sequence[bool], period: int = 0) -> None:
+        """Chunked delivery; semantically a loop over :meth:`access`."""
+        access = self.access
+        for i, rid in enumerate(rids):
+            access(rid, addrs[i], stores[i])
+
 
 class Tee(EventHandler):
     """Fan one event stream out to several handlers."""
@@ -37,6 +61,10 @@ class Tee(EventHandler):
         self._enter = [h.enter_scope for h in handlers]
         self._exit = [h.exit_scope for h in handlers]
         self._access = [h.access for h in handlers]
+        self._access_batch = [
+            getattr(h, "access_batch", None) or _batch_fallback(h.access)
+            for h in handlers
+        ]
 
     def enter_scope(self, sid: int) -> None:
         for fn in self._enter:
@@ -49,6 +77,11 @@ class Tee(EventHandler):
     def access(self, rid: int, addr: int, is_store: bool) -> None:
         for fn in self._access:
             fn(rid, addr, is_store)
+
+    def access_batch(self, rids: Sequence[int], addrs: Sequence[int],
+                     stores: Sequence[bool], period: int = 0) -> None:
+        for fn in self._access_batch:
+            fn(rids, addrs, stores, period)
 
 
 class TraceRecorder(EventHandler):

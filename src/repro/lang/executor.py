@@ -104,7 +104,10 @@ class Executor:
             elif cls is ScalarAssign:
                 for rid, addr_fn, is_store in node.plan:
                     access(rid, addr_fn(env), is_store)
-                    stats.loads += 1
+                    if is_store:
+                        stats.stores += 1
+                    else:
+                        stats.loads += 1
                 n = len(node.plan)
                 stats.accesses += n
                 stats.ops += 1

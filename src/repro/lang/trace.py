@@ -49,6 +49,13 @@ class TraceWriter(EventHandler):
         self._addrs.append(addr)
         self._stores.append(is_store)
 
+    def access_batch(self, rids, addrs, stores, period: int = 0) -> None:
+        n = len(rids)
+        self._kinds.extend([_ACCESS] * n)
+        self._ids.extend(rids)
+        self._addrs.extend(addrs)
+        self._stores.extend(stores)
+
     def __len__(self) -> int:
         return len(self._kinds)
 

@@ -1,5 +1,6 @@
 """User-facing toolkit: sessions, reports, flat database, recommendations."""
 
+from repro.tools.cache import AnalysisCache, program_fingerprint
 from repro.tools.carried import CarriedMisses
 from repro.tools.diff import SessionDiff, diff_sessions
 from repro.tools.htmlreport import render_html, write_html
@@ -15,13 +16,15 @@ from repro.tools.report import (
 )
 from repro.tools.scopetree import ROOT, ScopeTree
 from repro.tools.session import AnalysisSession, analyze
+from repro.tools.sweep import SweepOutcome, SweepTask, default_jobs, run_sweep
 from repro.tools.viewer import Viewer
 from repro.tools.xmlout import export as export_xml
 
 __all__ = [
-    "AnalysisSession", "CarriedMisses", "FRAGMENTATION", "FUSION",
-    "SessionDiff", "diff_sessions", "miss_curve", "render_html", "write_html",
-    "render_curve", "working_set_knees",
+    "AnalysisCache", "AnalysisSession", "CarriedMisses", "FRAGMENTATION",
+    "FUSION", "SessionDiff", "SweepOutcome", "SweepTask", "default_jobs",
+    "diff_sessions", "miss_curve", "program_fingerprint", "render_html",
+    "run_sweep", "write_html", "render_curve", "working_set_knees",
     "FlatDatabase", "INTERCHANGE", "IRREGULAR", "PatternRow", "ROOT",
     "Recommendation", "STRIP_MINE_FUSION", "ScopeTree", "TIME_LOOP", "Viewer",
     "analyze", "classify_pattern", "dest_breakdown", "export_xml",

@@ -1,0 +1,183 @@
+"""On-disk analysis cache: content-addressed reuse-analysis results.
+
+Reuse-distance analysis is deterministic: the pattern databases depend only
+on the program (its AST, data layout, and index-array contents), the run
+parameters, the machine configuration's granularities, and the analysis
+knobs.  Hashing all of those yields a content address under which the
+serialized analyzer state (plus run statistics) is stored, so repeat runs —
+re-invocations of the CLI, sweep drivers re-spanning overlapping grids —
+short-circuit to a file read.
+
+Invalidation is purely structural: any change to the kernel body, array
+placement or backing values, parameters, machine config, miss model, engine
+selection, or the schema version produces a different key.  Nothing is ever
+looked up by name alone, so stale hits are impossible; stale *entries* are
+merely unreferenced files.
+
+Layout: ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) /
+``<key[:2]>/<key>.pkl``, written atomically (temp file + ``os.replace``) so
+concurrent sweep workers never observe partial entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Iterable, Optional
+
+from repro.lang.ast import Call, Loop, Program, ScalarAssign, Stmt
+
+#: Bump when the serialized payload layout or fingerprint recipe changes.
+SCHEMA_VERSION = 1
+
+
+def _walk_body(body: Iterable, emit) -> None:
+    for node in body:
+        if isinstance(node, Loop):
+            emit(f"|loop:{node.var}:{node.lo!r}:{node.hi!r}:{node.step}"
+                 f":{node.name}")
+            _walk_body(node.body, emit)
+            emit("|endloop")
+        elif isinstance(node, Stmt):
+            emit(f"|stmt:{node.ops}")
+            for acc in node.accesses:
+                emit(f"|acc:{acc!r}")
+        elif isinstance(node, ScalarAssign):
+            emit(f"|assign:{node.var}:{node.expr!r}")
+        elif isinstance(node, Call):
+            emit(f"|call:{node.callee}")
+        else:  # pragma: no cover - defensive
+            emit(f"|node:{node!r}")
+
+
+def program_fingerprint(program: Program) -> str:
+    """Deterministic digest of everything that shapes the event stream.
+
+    Covers the routine bodies (expression reprs are deterministic), the
+    data layout (names, bases, shapes, strides, element sizes, fields),
+    index-array backing values, program parameters, and the entry point.
+    """
+    h = hashlib.sha256()
+
+    def emit(text: str) -> None:
+        h.update(text.encode())
+
+    emit(f"repro-fingerprint:{SCHEMA_VERSION}")
+    emit(f"|name:{program.name}|entry:{program.entry}")
+    emit(f"|params:{sorted(program.params.items())!r}")
+    for obj in program.layout.symtab.objects():
+        emit(f"|obj:{obj.name}:{obj.base}:{obj.shape}:{obj.strides}"
+             f":{obj.elem_size}:{obj.origin}:{obj.fields}")
+        if obj.values is not None:
+            values = obj.values
+            if hasattr(values, "tobytes"):
+                h.update(values.tobytes())
+            else:  # pragma: no cover - plain-sequence backing store
+                emit(repr(list(values)))
+    for name in sorted(program.routines):
+        emit(f"|routine:{name}")
+        _walk_body(program.routines[name].body, emit)
+    return h.hexdigest()
+
+
+class AnalysisCache:
+    """Content-addressed store for serialized analysis results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory.  Defaults to ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro``.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+                os.path.expanduser("~"), ".cache", "repro")
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------
+
+    def key_for(self, program: Program, params: Dict[str, int],
+                config, miss_model: str, engine: str,
+                kind: str = "analysis") -> str:
+        """Content address for one analysis run."""
+        h = hashlib.sha256()
+        h.update(repr((
+            SCHEMA_VERSION,
+            kind,
+            program_fingerprint(program),
+            sorted(params.items()),
+            repr(config),
+            miss_model,
+            engine,
+        )).encode())
+        return h.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    # -- storage --------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the stored payload, or None (corrupt entries count as
+        misses and are left for the next put to overwrite)."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any) -> str:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for f in filenames if f.endswith(".pkl")
+                         and not f.startswith(".tmp-"))
+        return count
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for fname in filenames:
+                if fname.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(dirpath, fname))
+                        removed += 1
+                    except OSError:  # pragma: no cover - races
+                        pass
+        return removed
+
+    def __repr__(self) -> str:
+        return (f"AnalysisCache({self.root!r}, hits={self.hits}, "
+                f"misses={self.misses})")

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.core.analyzer import ReuseAnalyzer
 from repro.lang.ast import Program
+from repro.lang.batch import BatchExecutor
 from repro.lang.executor import Executor, RunStats
 from repro.model.config import MachineConfig
 from repro.model.predictor import Prediction, predict
@@ -38,18 +39,23 @@ class AnalysisSession:
                  config: Optional[MachineConfig] = None,
                  miss_model: str = "sa",
                  engine: str = "fenwick",
-                 simulate: bool = False) -> None:
+                 simulate: bool = False,
+                 cache=None,
+                 batch: bool = True) -> None:
         self.program = program
         self.config = config or MachineConfig.scaled_itanium2()
         self.miss_model = miss_model
         self.engine = engine
         self.simulate = simulate
+        self.cache = cache
+        self.batch = batch
         self.analyzer = ReuseAnalyzer(self.config.granularities(),
                                       engine=engine)
         self.sim: Optional[HierarchySim] = (
             HierarchySim(self.config) if simulate else None
         )
         self.stats: Optional[RunStats] = None
+        self.from_cache = False
         self._static: Optional[StaticAnalysis] = None
         self._frag: Optional[FragmentationAnalysis] = None
         self._prediction: Optional[Prediction] = None
@@ -58,15 +64,35 @@ class AnalysisSession:
     # -- pipeline ----------------------------------------------------------
 
     def run(self, **params: int) -> "AnalysisSession":
-        """Execute the program once under instrumentation."""
+        """Execute the program once under instrumentation.
+
+        With a :class:`~repro.tools.cache.AnalysisCache` attached (and no
+        simulator, whose LRU state is not serialized), a previous identical
+        run is restored from disk instead of re-executing the program.
+        """
         if self._ran:
             raise RuntimeError("AnalysisSession.run() may only be called once")
+        key = None
+        if self.cache is not None and self.sim is None:
+            key = self.cache.key_for(self.program, params, self.config,
+                                     self.miss_model, self.engine)
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.analyzer.load_state(payload["analyzer_state"])
+                self.stats = payload["stats"]
+                self.from_cache = True
+                self._ran = True
+                return self
         handlers = [self.analyzer]
         if self.sim is not None:
             handlers.append(self.sim)
-        executor = Executor(self.program, *handlers)
+        executor_cls = BatchExecutor if self.batch else Executor
+        executor = executor_cls(self.program, *handlers)
         self.stats = executor.run(**params)
         self._ran = True
+        if key is not None:
+            self.cache.put(key, {"analyzer_state": self.analyzer.dump_state(),
+                                 "stats": self.stats})
         return self
 
     def _require_run(self) -> None:

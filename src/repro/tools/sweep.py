@@ -1,0 +1,140 @@
+"""Parallel sweep driver: run many independent analyses across processes.
+
+Parameter sweeps (Fig 8's mesh scaling, Fig 11's micell scaling, the
+ablation grids) are embarrassingly parallel: each point builds its own
+program, runs its own analyzer or simulator, and reports totals.  The only
+obstacle to ``multiprocessing`` is that :class:`~repro.lang.ast.Program`
+objects are not picklable (their compiled address plans are closures), so a
+:class:`SweepTask` ships the *recipe* — a module-level builder callable plus
+its arguments, both picklable by reference — and each worker rebuilds the
+program on its side of the fork.  Results come back as
+:class:`SweepOutcome`, which carries only plain data (totals dicts, the
+analyzer's :meth:`~repro.core.analyzer.ReuseAnalyzer.dump_state` payload,
+run statistics, or a full :class:`~repro.apps.harness.RunResult`).
+
+Combined with the per-task :class:`~repro.tools.cache.AnalysisCache`,
+repeated sweeps over overlapping grids run at file-read speed.
+
+    tasks = [SweepTask(key=n, builder=build_original,
+                       args=(SweepParams(n=n),)) for n in (6, 8, 10)]
+    for out in run_sweep(tasks, jobs=3):
+        print(out.key, out.totals)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.model.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One point of a sweep: a program recipe plus how to run it.
+
+    ``builder`` must be a module-level callable (picklable by reference);
+    it receives ``*args, **kwargs`` and returns a Program.  ``mode`` selects
+    the pipeline: ``"analyze"`` runs an
+    :class:`~repro.tools.session.AnalysisSession` (reuse analysis +
+    prediction), ``"measure"`` runs the simulator + timing harness.
+    """
+
+    key: Any
+    builder: Callable
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    mode: str = "analyze"
+    config: Optional[MachineConfig] = None
+    miss_model: str = "sa"
+    engine: str = "fenwick"
+    #: run-time program parameters forwarded to run()/measure()
+    params: Dict[str, int] = field(default_factory=dict)
+    #: extra keyword arguments for measure() (name, fused_routines, ...)
+    measure_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: cache directory for analyze mode; None disables caching
+    cache_dir: Optional[str] = None
+    batch: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("analyze", "measure"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
+
+
+@dataclass
+class SweepOutcome:
+    """Plain-data result of one sweep task (safe to send across processes)."""
+
+    key: Any
+    mode: str
+    #: predicted (analyze) or simulated (measure) misses per level
+    totals: Dict[str, float] = field(default_factory=dict)
+    #: analyzer dump_state payload (analyze mode only)
+    state: Optional[Dict[str, Any]] = None
+    stats: Any = None
+    #: full RunResult (measure mode only)
+    result: Any = None
+    from_cache: bool = False
+
+    def analyzer(self):
+        """Rehydrate a results-only ReuseAnalyzer from the dumped state."""
+        if self.state is None:
+            raise RuntimeError("no analyzer state (measure-mode outcome?)")
+        from repro.core.analyzer import ReuseAnalyzer
+        return ReuseAnalyzer.from_state(self.state)
+
+    def db(self, granularity: str):
+        """Pattern database at one granularity, from the dumped state."""
+        return self.analyzer().db(granularity)
+
+
+def _run_task(task: SweepTask) -> SweepOutcome:
+    """Worker body: rebuild the program and run one pipeline point."""
+    program = task.builder(*task.args, **task.kwargs)
+    if task.mode == "measure":
+        from repro.apps.harness import measure
+        result = measure(program, config=task.config, batch=task.batch,
+                         **task.measure_kwargs, **task.params)
+        return SweepOutcome(key=task.key, mode="measure",
+                            totals=dict(result.misses), stats=result.stats,
+                            result=result)
+    from repro.tools.cache import AnalysisCache
+    from repro.tools.session import AnalysisSession
+    cache = AnalysisCache(task.cache_dir) if task.cache_dir else None
+    session = AnalysisSession(program, config=task.config,
+                              miss_model=task.miss_model, engine=task.engine,
+                              cache=cache, batch=task.batch)
+    session.run(**task.params)
+    return SweepOutcome(key=task.key, mode="analyze",
+                        totals=session.totals(),
+                        state=session.analyzer.dump_state(),
+                        stats=session.stats,
+                        from_cache=session.from_cache)
+
+
+def default_jobs(limit: int = 8) -> int:
+    """A sensible worker count: CPU count capped at ``limit``."""
+    return max(1, min(limit, os.cpu_count() or 1))
+
+
+def run_sweep(tasks: Sequence[SweepTask],
+              jobs: Optional[int] = None) -> List[SweepOutcome]:
+    """Run every task, in order, across ``jobs`` worker processes.
+
+    ``jobs=None`` or ``jobs=1`` (or a single task) runs inline — no
+    processes, easiest to debug, and what the test suite exercises by
+    default.  Outcomes are returned in task order regardless of worker
+    scheduling.
+    """
+    tasks = list(tasks)
+    if jobs is None:
+        jobs = 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(tasks) <= 1:
+        return [_run_task(task) for task in tasks]
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(min(jobs, len(tasks))) as pool:
+        return pool.map(_run_task, tasks, chunksize=1)

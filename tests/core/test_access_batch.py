@@ -1,0 +1,195 @@
+"""Equivalence of ``access_batch`` against the scalar ``access`` path.
+
+The batched pipeline's contract is exact: for any chunking of any access
+stream — flat or row-periodic, with or without the specialized
+Fenwick/flat closure — the resulting pattern databases, cold counts,
+footprints, and clock must be byte-identical to feeding the same stream
+one access at a time.
+"""
+
+import random
+
+import pytest
+
+from repro.core import ReuseAnalyzer
+
+GRANS_ONE = {"line": 64}
+GRANS_TWO = {"line": 64, "page": 512}
+
+
+def _random_trace(seed, n_chunks=30, periodic=False):
+    """Scope events interleaved with access chunks.
+
+    Returns a list of ("scope", [(sid, enter?)...]) and
+    ("chunk", rids, addrs, stores, period) entries.  Addresses live in a
+    small block universe so reuses, duplicate blocks inside one row, and
+    steady-state repeated rows (runs) all occur; chunk boundaries land
+    mid-run so runs cross access_batch calls.
+    """
+    rng = random.Random(seed)
+    events = []
+    depth = 0
+    sid = 0
+    for _ in range(n_chunks):
+        scope_ops = []
+        for _ in range(rng.randrange(3)):
+            if depth and rng.random() < 0.5:
+                scope_ops.append((sid, False))
+                depth -= 1
+            else:
+                sid += 1
+                scope_ops.append((sid, True))
+                depth += 1
+        if scope_ops:
+            events.append(("scope", scope_ops))
+        if periodic:
+            k = rng.choice((1, 2, 3, 4))
+            rows = rng.randrange(1, 12)
+            rids = [rng.randrange(6) for _ in range(k)]
+            stores = [rng.random() < 0.3 for _ in range(k)]
+            # A handful of base rows; repeating one produces runs.  Small
+            # strides make several positions alias to one block (duplicate
+            # blocks within a row), zero strides repeat blocks exactly.
+            base = [rng.randrange(0, 4096, 8) for _ in range(k)]
+            stride = [rng.choice((0, 8, 8, 64, 512)) for _ in range(k)]
+            addrs = []
+            row_i = 0
+            while len(addrs) < rows * k:
+                repeatrow = rng.randrange(1, 6)
+                for _ in range(repeatrow):
+                    if len(addrs) >= rows * k:
+                        break
+                    addrs.extend(base[p] + row_i * stride[p]
+                                 for p in range(k))
+                row_i += 1
+            events.append(("chunk", rids * rows, addrs,
+                           stores * rows, k))
+        else:
+            m = rng.randrange(1, 40)
+            rids = [rng.randrange(6) for _ in range(m)]
+            addrs = [rng.randrange(0, 4096, 8) for _ in range(m)]
+            stores = [rng.random() < 0.3 for _ in range(m)]
+            events.append(("chunk", rids, addrs, stores, 0))
+    while depth:
+        events.append(("scope", [(0, False)]))
+        depth -= 1
+    return events
+
+
+def _feed_scalar(analyzer, events):
+    for kind, *payload in events:
+        if kind == "scope":
+            for sid, enter in payload[0]:
+                if enter:
+                    analyzer.enter_scope(sid)
+                else:
+                    analyzer.exit_scope(sid)
+        else:
+            rids, addrs, stores, _period = payload
+            for i, rid in enumerate(rids):
+                analyzer.access(rid, addrs[i], stores[i])
+
+
+def _feed_batched(analyzer, events, split=False):
+    rng = random.Random(99)
+    for kind, *payload in events:
+        if kind == "scope":
+            for sid, enter in payload[0]:
+                if enter:
+                    analyzer.enter_scope(sid)
+                else:
+                    analyzer.exit_scope(sid)
+        else:
+            rids, addrs, stores, period = payload
+            if split and len(rids) > period > 0:
+                # Deliver in two row-aligned calls: runs cross the seam.
+                cut = period * rng.randrange(1, len(rids) // period + 1)
+                analyzer.access_batch(rids[:cut], addrs[:cut],
+                                      stores[:cut], period)
+                analyzer.access_batch(rids[cut:], addrs[cut:],
+                                      stores[cut:], period)
+            else:
+                analyzer.access_batch(rids, addrs, stores, period)
+
+
+@pytest.mark.parametrize("grans", [GRANS_ONE, GRANS_TWO],
+                         ids=["1gran", "2grans"])
+@pytest.mark.parametrize("engine,table", [
+    ("fenwick", "flat"),          # specialized batch closure
+    ("fenwick", "hierarchical"),  # generic batch fallback
+    ("treap", "flat"),            # generic batch fallback
+], ids=["fenwick-flat", "fenwick-hier", "treap-flat"])
+@pytest.mark.parametrize("periodic", [False, True],
+                         ids=["flat-chunks", "row-chunks"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batch_equals_scalar(grans, engine, table, periodic, seed):
+    events = _random_trace(seed, periodic=periodic)
+    scalar = ReuseAnalyzer(dict(grans), engine=engine, table=table)
+    batched = ReuseAnalyzer(dict(grans), engine=engine, table=table)
+    _feed_scalar(scalar, events)
+    _feed_batched(batched, events, split=periodic)
+    assert batched.clock == scalar.clock
+    assert batched.dump_state() == scalar.dump_state()
+
+
+def test_specialized_closure_installed_only_for_fenwick_flat():
+    spec = ReuseAnalyzer(dict(GRANS_TWO))
+    assert "access_batch" in spec.__dict__
+    for kwargs in ({"engine": "treap"}, {"table": "hierarchical"}):
+        generic = ReuseAnalyzer(dict(GRANS_TWO), **kwargs)
+        assert "access_batch" not in generic.__dict__
+
+
+def test_period_zero_disables_row_mode():
+    # Same stream once with the row hint, once without: identical results.
+    events = _random_trace(7, periodic=True)
+    hinted = ReuseAnalyzer(dict(GRANS_TWO))
+    unhinted = ReuseAnalyzer(dict(GRANS_TWO))
+    _feed_batched(hinted, events)
+    _feed_batched(unhinted, [
+        (kind, *payload[:-1], 0) if kind == "chunk" else (kind, *payload)
+        for kind, *payload in events
+    ])
+    assert hinted.dump_state() == unhinted.dump_state()
+
+
+def test_reuse_predating_batch():
+    # t_prev earlier than every scope entry on the stack: the bisect
+    # fallback path inside the batch closure.
+    analyzer = ReuseAnalyzer(dict(GRANS_ONE))
+    scalar = ReuseAnalyzer(dict(GRANS_ONE))
+    addr = 0x1000
+    for an in (analyzer, scalar):
+        an.access(0, addr, False)        # touch before any scope exists
+        an.enter_scope(1)
+        an.enter_scope(2)
+    analyzer.access_batch([0, 0], [addr, addr + 8], [False, False], 0)
+    scalar.access(0, addr, False)
+    scalar.access(0, addr + 8, False)
+    assert analyzer.dump_state() == scalar.dump_state()
+
+
+def test_empty_batch_is_noop():
+    analyzer = ReuseAnalyzer(dict(GRANS_TWO))
+    analyzer.access_batch([], [], [], 4)
+    assert analyzer.clock == 0
+    assert analyzer.dump_state()["grans"][0]["raw"] == {}
+
+
+def test_long_run_multiplication_exact():
+    # One row repeated many times: bins must accumulate run_len exactly
+    # and the footprint/clock must advance as if walked per access.
+    k, reps = 3, 50
+    addrs_row = [0x2000, 0x2008, 0x2040]   # two lines, duplicate block
+    rids_row = [1, 2, 3]
+    batched = ReuseAnalyzer(dict(GRANS_TWO))
+    scalar = ReuseAnalyzer(dict(GRANS_TWO))
+    for an in (batched, scalar):
+        an.enter_scope(5)
+    batched.access_batch(rids_row * reps, addrs_row * reps,
+                         [False] * (k * reps), k)
+    for _ in range(reps):
+        for rid, addr in zip(rids_row, addrs_row):
+            scalar.access(rid, addr, False)
+    assert batched.dump_state() == scalar.dump_state()
+    assert batched.clock == k * reps

@@ -1,0 +1,152 @@
+"""Batched trace pipeline: affinity detection and executor equivalence."""
+
+import pytest
+
+from repro.apps.sweep3d import SweepParams, build_variant
+from repro.core import ReuseAnalyzer
+from repro.lang import (
+    BatchExecutor, Executor, FloorDiv, MemoryLayout, TraceRecorder, Var,
+    assign, compile_loop, idx, load, loop, program, routine, run_program,
+    run_program_batched, stmt, store,
+)
+
+
+def _finalized_loop(body_builder):
+    """Build a one-routine program around a loop and return the Loop node."""
+    lay = MemoryLayout()
+    nest = body_builder(lay)
+    prog = program("p", lay, [routine("main", nest)])
+    return prog.routines["main"].body[0], prog
+
+
+class TestAffinity:
+    def test_affine_subscripts_batchable(self):
+        i = Var("i")
+        lp, _ = _finalized_loop(lambda lay: loop(
+            "i", 1, 8,
+            stmt(load(lay.array("A", 16), i),
+                 store(lay.array("B", 16, 4), i + 2, 3), ops=2)))
+        plan = compile_loop(lp)
+        assert plan is not None
+        assert plan.k == 2
+        assert plan.stores == (False, True)
+        assert plan.n_loads == 1 and plan.n_stores == 1
+        assert plan.ops == 2
+
+    def test_indirect_subscript_not_batchable(self):
+        i = Var("i")
+        lp, _ = _finalized_loop(lambda lay: loop(
+            "i", 1, 8,
+            stmt(load(lay.array("A", 64),
+                      idx(lay.index_array("P", 8), i)))))
+        assert compile_loop(lp) is None
+
+    def test_quadratic_subscript_not_batchable(self):
+        i = Var("i")
+        lp, _ = _finalized_loop(lambda lay: loop(
+            "i", 1, 4, stmt(load(lay.array("A", 32), i * i))))
+        assert compile_loop(lp) is None
+
+    def test_scalar_assign_body_not_batchable(self):
+        lp, _ = _finalized_loop(lambda lay: loop(
+            "i", 1, 4, assign("t", Var("i")),
+            stmt(load(lay.array("A", 8), Var("t")))))
+        assert compile_loop(lp) is None
+
+    def test_nested_loop_not_batchable(self):
+        lp, _ = _finalized_loop(lambda lay: loop(
+            "i", 1, 4, loop("j", 1, 4,
+                            stmt(load(lay.array("A", 8, 8),
+                                      Var("i"), Var("j"))))))
+        assert compile_loop(lp) is None
+        # ... but its innermost loop is.
+        assert compile_loop(lp.body[0]) is not None
+
+    def test_floordiv_of_loop_var_not_batchable(self):
+        i = Var("i")
+        lp, _ = _finalized_loop(lambda lay: loop(
+            "i", 1, 8, stmt(load(lay.array("A", 8),
+                                 FloorDiv(i, 2) + 1))))
+        assert compile_loop(lp) is None
+
+    def test_env_invariant_floordiv_batchable(self):
+        i, b = Var("i"), Var("blk")
+        lp, prog = _finalized_loop(lambda lay: loop(
+            "i", 1, 8, stmt(load(lay.array("A", 64),
+                                 i + FloorDiv(b, 2)))))
+        prog.params["blk"] = 4
+        assert compile_loop(lp) is not None
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("variant", ["original", "block2",
+                                         "block6+dimic"])
+    def test_sweep3d_identical_analysis(self, variant):
+        params = SweepParams(n=5, mm=6, nm=2, noct=1)
+        a1 = ReuseAnalyzer({"line": 64, "page": 512})
+        s1 = Executor(build_variant(variant, params), a1).run()
+        a2 = ReuseAnalyzer({"line": 64, "page": 512})
+        s2 = BatchExecutor(build_variant(variant, params), a2).run()
+        assert a2.dump_state() == a1.dump_state()
+        assert vars(s2) == vars(s1)
+
+    def test_event_stream_identical(self):
+        params = SweepParams(n=4, mm=3, nm=2, noct=1)
+        r1, r2 = TraceRecorder(), TraceRecorder()
+        run_program(build_variant("original", params), r1)
+        run_program_batched(build_variant("original", params), r2)
+        assert r2.events == r1.events
+
+    def test_negative_step_and_env_restore(self):
+        def build(lay):
+            a = lay.array("A", 16)
+            return loop("i", 10, 2, stmt(load(a, Var("i"))), step=-2)
+        _, prog = _finalized_loop(build)
+
+        def build2(lay):
+            a = lay.array("A", 16)
+            return loop("i", 10, 2, stmt(load(a, Var("i"))), step=-2)
+        _, prog2 = _finalized_loop(build2)
+        r1, r2 = TraceRecorder(), TraceRecorder()
+        assert vars(run_program(prog, r1)) == vars(
+            run_program_batched(prog2, r2))
+        assert r2.events == r1.events
+
+    def test_zero_trip_loop_events_only(self):
+        def build(lay):
+            a = lay.array("A", 8)
+            return loop("i", 5, 4, stmt(load(a, Var("i"))))
+        _, prog = _finalized_loop(build)
+        rec = TraceRecorder()
+        stats = run_program_batched(prog, rec)
+        assert stats.accesses == 0
+        assert [e[0] for e in rec.events] == ["enter", "enter", "exit",
+                                              "exit"]
+
+    def test_chunking_preserves_results(self):
+        params = SweepParams(n=4, mm=3, nm=2, noct=1)
+        a1 = ReuseAnalyzer({"line": 64})
+        BatchExecutor(build_variant("original", params), a1).run()
+        a2 = ReuseAnalyzer({"line": 64})
+        BatchExecutor(build_variant("original", params), a2,
+                      chunk_accesses=7).run()
+        assert a2.dump_state() == a1.dump_state()
+
+    @pytest.mark.slow
+    def test_sweep3d_production_mesh_equivalence(self):
+        params = SweepParams(n=8, mm=6, nm=3, noct=2)
+        a1 = ReuseAnalyzer({"line": 64, "page": 512})
+        s1 = Executor(build_variant("original", params), a1).run()
+        a2 = ReuseAnalyzer({"line": 64, "page": 512})
+        s2 = BatchExecutor(build_variant("original", params), a2).run()
+        assert a2.dump_state() == a1.dump_state()
+        assert vars(s2) == vars(s1)
+
+    def test_plan_cache_shared_per_program(self):
+        params = SweepParams(n=4, mm=3, nm=2, noct=1)
+        prog = build_variant("original", params)
+        ex1 = BatchExecutor(prog, TraceRecorder())
+        ex1.run()
+        assert ex1._plans  # populated during the first run
+        ex2 = BatchExecutor(prog, TraceRecorder())
+        assert ex2._plans is ex1._plans

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -55,3 +57,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "+zion transpose" in out
         assert "+pushi tiling/fusion" in out
+
+    def test_measure_parallel_jobs(self, capsys):
+        assert main(["measure", "sweep3d", "--mesh", "4", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["measure", "sweep3d", "--mesh", "4", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial  # workers change nothing but wall clock
+
+    def test_analyze_cache_roundtrip(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["analyze", "fig1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["analyze", "fig1"]) == 0   # cache hit
+        second = capsys.readouterr().out
+        assert second == first
+        assert any(f.endswith(".pkl") for _, _, fs in os.walk(str(tmp_path))
+                   for f in fs)
+
+    def test_analyze_no_cache_writes_nothing(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["analyze", "fig1", "--no-cache"]) == 0
+        assert "predicted misses" in capsys.readouterr().out
+        assert not any(fs for _, _, fs in os.walk(str(tmp_path)))

@@ -1,0 +1,92 @@
+"""Parallel sweep driver: worker processes must change nothing but speed."""
+
+import pytest
+
+from repro.apps.harness import measure
+from repro.apps.sweep3d import SweepParams, build_original, build_variant
+from repro.tools import (
+    AnalysisSession, SweepOutcome, SweepTask, default_jobs, run_sweep,
+)
+
+
+def _measure_tasks(meshes=(4, 5)):
+    return [SweepTask(key=n, builder=build_original,
+                      args=(SweepParams(n=n, mm=3, nm=2, noct=1),),
+                      mode="measure", measure_kwargs={"name": f"s{n}"})
+            for n in meshes]
+
+
+def _analyze_tasks(meshes=(4, 5)):
+    return [SweepTask(key=n, builder=build_original,
+                      args=(SweepParams(n=n, mm=3, nm=2, noct=1),),
+                      mode="analyze")
+            for n in meshes]
+
+
+class TestRunSweep:
+    def test_measure_matches_direct_call(self):
+        outcomes = run_sweep(_measure_tasks((4,)))
+        direct = measure(build_original(SweepParams(n=4, mm=3, nm=2,
+                                                    noct=1)), name="s4")
+        assert outcomes[0].totals == direct.misses
+        assert outcomes[0].result.total_cycles == direct.total_cycles
+
+    def test_analyze_matches_direct_session(self):
+        out = run_sweep(_analyze_tasks((4,)))[0]
+        session = AnalysisSession(
+            build_original(SweepParams(n=4, mm=3, nm=2, noct=1)))
+        session.run()
+        assert out.totals == session.totals()
+        assert out.state == session.analyzer.dump_state()
+        assert vars(out.stats) == vars(session.stats)
+
+    def test_parallel_identical_to_inline(self):
+        tasks = _measure_tasks() + _analyze_tasks()
+        inline = run_sweep(tasks, jobs=1)
+        parallel = run_sweep(tasks, jobs=2)
+        assert [o.key for o in parallel] == [o.key for o in inline]
+        for a, b in zip(inline, parallel):
+            assert b.mode == a.mode
+            assert b.totals == a.totals
+            assert b.state == a.state
+
+    def test_outcome_rehydrates_analyzer(self):
+        out = run_sweep(_analyze_tasks((4,)))[0]
+        analyzer = out.analyzer()
+        assert analyzer.clock == out.state["clock"]
+        assert out.db("line").raw == out.state["grans"][0]["raw"]
+
+    def test_measure_outcome_has_no_analyzer(self):
+        out = run_sweep(_measure_tasks((4,)))[0]
+        with pytest.raises(RuntimeError):
+            out.analyzer()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SweepTask(key=0, builder=build_original, mode="simulate")
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(_measure_tasks((4,)), jobs=0)
+
+    def test_default_jobs_bounds(self):
+        assert 1 <= default_jobs(4) <= 4
+
+    def test_cached_analyze_task(self, tmp_path):
+        task = SweepTask(key=4, builder=build_original,
+                         args=(SweepParams(n=4, mm=3, nm=2, noct=1),),
+                         mode="analyze", cache_dir=str(tmp_path))
+        first = run_sweep([task])[0]
+        second = run_sweep([task])[0]
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.totals == first.totals
+        assert second.state == first.state
+
+    def test_variant_builder_with_args(self):
+        params = SweepParams(n=4, mm=4, nm=2, noct=1)
+        out = run_sweep([SweepTask(key="b2", builder=build_variant,
+                                   args=("block2", params), mode="measure",
+                                   measure_kwargs={"name": "b2"})])[0]
+        assert out.result.name == "b2"
+        assert set(out.totals) == {"L2", "L3", "TLB"}
