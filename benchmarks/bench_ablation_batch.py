@@ -12,8 +12,15 @@ quantifies the repo's answer to that cost:
 * **parallel**: the batched pipeline fanned across a mesh sweep by
   `run_sweep` worker processes.
 
+A fourth pipeline, **batched+obs**, re-runs the batched path with the
+observability subsystem enabled (metrics registry + trace spans), to
+bound the cost of instrumentation: chunk-granularity counters must stay
+under 3% of batched runtime, and must not perturb a single histogram
+bin.
+
 Acceptance: batched is >= 3x scalar single-thread on Sweep3D, with a
-byte-identical pattern database (the speedup must not buy any drift).
+byte-identical pattern database (the speedup must not buy any drift),
+and obs-on overhead is < 3% with the same byte-identical database.
 The headline numbers are archived to ``BENCH_throughput.json`` at the
 repo root for EXPERIMENTS.md.
 """
@@ -29,6 +36,7 @@ from repro.apps.sweep3d import SweepParams, build_original
 from repro.core import ReuseAnalyzer
 from repro.lang import BatchExecutor, Executor
 from repro.model import MachineConfig
+from repro.obs import metrics as obs_metrics
 from repro.tools import SweepTask, default_jobs, run_sweep
 from conftest import run_once
 
@@ -75,6 +83,18 @@ def _experiment():
     batch_t, batch_stats, batch_an = _timed(BatchExecutor)
     accesses = scalar_stats.accesses
 
+    # Batched again with observability on: counters, spans, and a scoped
+    # registry all live; analyzers constructed inside the enabled window
+    # bind real (not null) metric objects.
+    obs_metrics.set_enabled(True)
+    try:
+        with obs_metrics.scoped() as reg:
+            obs_t, obs_stats, obs_an = _timed(BatchExecutor)
+            obs_events = reg.counter("analyzer.batch_events").value
+    finally:
+        obs_metrics.set_enabled(False)
+    obs_overhead_pct = (obs_t / batch_t - 1.0) * 100.0
+
     tasks = [SweepTask(key=n, builder=_sweep_builder, args=(n,),
                        mode="analyze", config=CFG)
              for n in SWEEP_MESHES]
@@ -88,11 +108,16 @@ def _experiment():
         "accesses": accesses,
         "scalar_s": scalar_t,
         "batched_s": batch_t,
+        "batched_obs_s": obs_t,
+        "obs_overhead_pct": obs_overhead_pct,
+        "obs_events_counted": obs_events,
         "scalar_kps": accesses / scalar_t / 1e3,
         "batched_kps": accesses / batch_t / 1e3,
         "batched_speedup": scalar_t / batch_t,
-        "stats_equal": vars(scalar_stats) == vars(batch_stats),
-        "dbs_identical": _canonical_db(scalar_an) == _canonical_db(batch_an),
+        "stats_equal": (vars(scalar_stats) == vars(batch_stats)
+                        == vars(obs_stats)),
+        "dbs_identical": (_canonical_db(scalar_an) == _canonical_db(batch_an)
+                          == _canonical_db(obs_an)),
         "sweep_jobs": jobs,
         "sweep_accesses": sweep_accesses,
         "parallel_kps": sweep_accesses / sweep_t / 1e3,
@@ -111,12 +136,18 @@ def test_ablation_batch_throughput(benchmark, record):
         f"{1.0:>8.2f}x",
         f"{'batched':<22}{r['batched_kps']:>13.0f}"
         f"{r['batched_speedup']:>8.2f}x",
+        f"{'batched + obs':<22}"
+        f"{r['accesses'] / r['batched_obs_s'] / 1e3:>13.0f}"
+        f"{r['scalar_s'] / r['batched_obs_s']:>8.2f}x",
         f"{'sweep (%d proc)' % r['sweep_jobs']:<22}"
         f"{r['parallel_kps']:>13.0f}"
         f"{r['parallel_kps'] / r['scalar_kps']:>8.2f}x",
         "",
-        f"pattern databases byte-identical: {r['dbs_identical']}",
+        f"pattern databases byte-identical: {r['dbs_identical']} "
+        "(scalar = batched = batched+obs)",
         f"run statistics identical: {r['stats_equal']}",
+        f"obs overhead: {r['obs_overhead_pct']:+.2f}% "
+        f"({r['obs_events_counted']} events metered)",
         f"(parallel row: aggregate over meshes {SWEEP_MESHES}, "
         f"analysis sessions in {r['sweep_jobs']} processes)",
     ]
@@ -131,3 +162,6 @@ def test_ablation_batch_throughput(benchmark, record):
     assert r["dbs_identical"]
     assert r["stats_equal"]
     assert r["batched_speedup"] >= 3.0
+    # Observability must be near-free: every access metered, <3% slower.
+    assert r["obs_events_counted"] > 0
+    assert r["obs_overhead_pct"] < 3.0

@@ -9,6 +9,25 @@ enough to run on every change.
 import pytest
 
 
+@pytest.fixture
+def obs_on():
+    """Enable observability against a fresh scoped registry + tracer.
+
+    Restores the disabled default afterwards, so obs tests cannot leak
+    metrics (or the enabled flag) into unrelated tests.
+    """
+    from repro.obs import metrics, trace
+
+    metrics.set_enabled(True)
+    trace.reset()
+    with metrics.scoped() as registry:
+        try:
+            yield registry
+        finally:
+            metrics.set_enabled(False)
+            trace.reset()
+
+
 def pytest_addoption(parser):
     parser.addoption("--runslow", action="store_true", default=False,
                      help="also run tests marked @pytest.mark.slow")

@@ -16,6 +16,7 @@ Public API highlights
   transformation.
 """
 
+from repro import obs
 from repro.core import ReuseAnalyzer
 from repro.model import MachineConfig, Prediction, predict
 from repro.sim import HierarchySim, TimingModel
@@ -27,5 +28,5 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisSession", "FragmentationAnalysis", "HierarchySim",
     "MachineConfig", "Prediction", "ReuseAnalyzer", "StaticAnalysis",
-    "TimingModel", "analyze", "predict", "__version__",
+    "TimingModel", "analyze", "obs", "predict", "__version__",
 ]

@@ -9,8 +9,15 @@ Commands
 ``measure <app>``
     Measure every variant of an application under the simulator + timing
     model (the Fig 8 / Fig 11 harness).
+``stats <manifest.json>``
+    Pretty-print a run manifest saved by ``analyze --manifest-out``.
 ``list``
     Show the available workloads and variants.
+
+Observability: ``analyze --profile`` prints the run's phase/metric
+summary, ``--trace-out FILE`` writes the JSONL span log,
+``--manifest-out FILE`` saves the run manifest; ``-v``/``-q`` raise or
+lower ``repro`` logger verbosity for any command.
 
 Examples
 --------
@@ -23,6 +30,8 @@ Examples
     python -m repro measure sweep3d --mesh 8
     python -m repro measure gtc --micell 4 --jobs 4
     python -m repro analyze sweep3d --no-cache
+    python -m repro analyze sweep3d --profile --manifest-out run.json
+    python -m repro stats run.json
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional
 
+from repro import obs
 from repro.apps.gtc import GTCParams, VARIANTS as GTC_VARIANTS, build_gtc
 from repro.apps.kernels import (
     fig1_interchange, fig2_fragmentation, irregular_gather, stream_triad,
@@ -38,6 +48,7 @@ from repro.apps.kernels import (
 from repro.apps.sweep3d import (
     SweepParams, VARIANTS as SWEEP_VARIANTS, build_original, build_variant,
 )
+from repro.obs.manifest import RunManifest
 from repro.tools import AnalysisCache, AnalysisSession, SweepTask, run_sweep
 
 WORKLOADS: Dict[str, str] = {
@@ -82,6 +93,8 @@ def cmd_list(_args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    if args.profile or args.trace_out or args.manifest_out:
+        obs.set_enabled(True)
     program = _build(args.workload, args)
     cache = None if args.no_cache else AnalysisCache()
     session = AnalysisSession(program, cache=cache)
@@ -109,6 +122,22 @@ def cmd_analyze(args) -> int:
     if args.html:
         session.export_html(args.html)
         print(f"HTML report written to {args.html}")
+    if args.profile:
+        print()
+        print(session.manifest.render())
+    if args.manifest_out:
+        session.manifest.save(args.manifest_out)
+        print(f"run manifest written to {args.manifest_out}",
+              file=sys.stderr)
+    if args.trace_out:
+        obs.tracer().write_jsonl(args.trace_out)
+        print(f"trace spans written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    manifest = RunManifest.load(args.file)
+    print(manifest.render())
     return 0
 
 
@@ -159,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reuse-distance locality analysis toolkit "
                     "(Marin & Mellor-Crummey, ISPASS 2008 reproduction)",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more logging (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less logging (errors only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and variants")
@@ -178,6 +211,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write a self-contained HTML report")
     analyze.add_argument("--no-cache", action="store_true",
                          help="skip the on-disk analysis cache")
+    analyze.add_argument("--profile", action="store_true",
+                         help="print the run's phase/metric summary")
+    analyze.add_argument("--trace-out", metavar="PATH",
+                         help="write the JSONL trace-span log")
+    analyze.add_argument("--manifest-out", metavar="PATH",
+                         help="save the run manifest as JSON")
 
     meas = sub.add_parser("measure", help="measure app variants (Fig 8/11)")
     meas.add_argument("app", choices=("sweep3d", "gtc"))
@@ -186,13 +225,19 @@ def build_parser() -> argparse.ArgumentParser:
     meas.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes for the variant sweep")
 
+    stats = sub.add_parser("stats", help="pretty-print a saved run manifest")
+    stats.add_argument("file", metavar="MANIFEST",
+                       help="JSON file from `analyze --manifest-out`")
+
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    obs.configure_logging(args.verbose - args.quiet)
     handlers: Dict[str, Callable] = {
         "list": cmd_list, "analyze": cmd_analyze, "measure": cmd_measure,
+        "stats": cmd_stats,
     }
     return handlers[args.command](args)
 

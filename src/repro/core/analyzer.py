@@ -28,6 +28,7 @@ from repro.core.fenwick import FenwickEngine
 from repro.core.patterns import PatternDB
 from repro.core.scopestack import ScopeStack
 from repro.core.treap import TreapEngine
+from repro.obs import metrics as _obs
 
 #: Exact-bin limit, mirrored from repro.core.histogram for the inlined
 #: binning in the hot loop.
@@ -107,6 +108,11 @@ class ReuseAnalyzer:
                 (g.block_bits, tget, tset, g.engine.first, g.engine.reuse,
                  g.db.raw, g.db.cold)
             )
+        # Observability: chunk-granularity counters only — the per-access
+        # paths stay untouched, and while obs is disabled these are shared
+        # no-op objects (see repro.obs.metrics).
+        self._obs_batch_calls = _obs.counter("analyzer.batch_calls")
+        self._obs_batch_events = _obs.counter("analyzer.batch_events")
         # Specialized closure hot path (fenwick + flat only): inlines the
         # Fenwick traversals and histogram binning, ~2x faster in CPython.
         if (engine == "fenwick" and table == "flat"
@@ -169,6 +175,8 @@ class ReuseAnalyzer:
         (installed in ``__init__``) exploits it.  Semantically identical
         to calling :meth:`access` per element.
         """
+        self._obs_batch_calls.inc()
+        self._obs_batch_events.inc(len(addrs))
         access = self.access
         for i, rid in enumerate(rids):
             access(rid, addrs[i], stores[i])
@@ -469,12 +477,17 @@ def _specialized_access_batch(analyzer: "ReuseAnalyzer"):
         grans.append((g.block_bits, g.table.raw, g.engine, g.db.raw,
                       g.db.cold))
     state = analyzer
+    obs_calls = analyzer._obs_batch_calls
+    obs_events = analyzer._obs_batch_events
+    obs_runs = _obs.counter("analyzer.runs_fastforwarded")
 
     def access_batch(rids, addrs, stores, period=0,
                      _grans=tuple(grans), _bisect=bisect_left):
         n = len(addrs)
         if not n:
             return
+        obs_calls.inc()
+        obs_events.inc(n)
         clock0 = state.clock
         end = clock0 + n
         cur_sid = stack_sids[-1] if stack_sids else -1
@@ -505,6 +518,7 @@ def _specialized_access_batch(analyzer: "ReuseAnalyzer"):
                     if run_len:
                         _apply_run(run_row, row_rids, run_len, k, cur_sid,
                                    tree, cap, table, raw)
+                        obs_runs.inc()
                         clk += run_len * k
                         run_len = 0
                     for block, rid in zip(row_blocks, row_rids):
@@ -567,6 +581,7 @@ def _specialized_access_batch(analyzer: "ReuseAnalyzer"):
                 if run_len:
                     _apply_run(run_row, row_rids, run_len, k, cur_sid,
                                tree, cap, table, raw)
+                    obs_runs.inc()
                     clk += run_len * k
             else:
                 for rid, addr in zip(rids, addrs):

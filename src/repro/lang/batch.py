@@ -34,6 +34,7 @@ from repro.lang.ast import (
 )
 from repro.lang.executor import Executor, RunStats
 from repro.lang.events import EventHandler
+from repro.obs import metrics as _obs
 
 #: Target accesses per access_batch call; chunks are rounded to whole
 #: iterations.  Large enough to amortize per-chunk setup, small enough to
@@ -169,13 +170,21 @@ class BatchExecutor(Executor):
         # every executor that runs it.
         self._plans: Dict[int, object] = program.__dict__.setdefault(
             "_batch_plans", {})
+        # Obs counters: loop-entry / chunk granularity, no-ops when
+        # observability is disabled.
+        self._obs_compiled = _obs.counter("batch.plans_compiled")
+        self._obs_fallbacks = _obs.counter("batch.fallback_loops")
+        self._obs_chunks = _obs.counter("batch.chunks")
 
     def _run_loop(self, loop: Loop, env: Dict[str, int]) -> None:
         plan = self._plans.get(loop.sid, _UNCOMPILED)
         if plan is _UNCOMPILED:
             plan = compile_loop(loop)
             self._plans[loop.sid] = plan
+            if plan is not None:
+                self._obs_compiled.inc()
         if plan is None:
+            self._obs_fallbacks.inc()
             Executor._run_loop(self, loop, env)
             return
 
@@ -223,6 +232,7 @@ class BatchExecutor(Executor):
                     # Iteration-major interleave: the scalar event order.
                     addrs = list(chain.from_iterable(zip(*cols)))
                 batch(rids * m, addrs, stores * m, k)
+                self._obs_chunks.inc()
                 done += m
             env[var] = rng[-1]  # the value the scalar loop leaves behind
             stats.accesses += trips * k

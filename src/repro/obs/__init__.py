@@ -1,0 +1,76 @@
+"""Observability subsystem: metrics, trace spans, run manifests, logging.
+
+The analysis pipeline attributes reuse metrics to program scopes; this
+package does the same for the pipeline's *own* runtime behavior:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
+  timers, and histograms with near-zero overhead while disabled (null
+  objects, chunk-granularity instrumentation only);
+* :mod:`repro.obs.trace` — nested wall/CPU-timed spans emitted as JSONL;
+* :mod:`repro.obs.manifest` — a JSON run manifest per
+  :class:`~repro.tools.session.AnalysisSession` run (fingerprint, config,
+  engine, cache hit/miss, event totals, phase timings, metric deltas);
+* stdlib ``logging`` under the ``repro`` root logger, configured by
+  :func:`configure_logging` (the CLI's ``--verbose``/``-q``).
+
+Everything here observes and never steers: with observability on or off,
+pattern databases, XML exports, and reports are byte-identical.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+from repro.obs.manifest import MANIFEST_VERSION, RunManifest
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, Timer, counter, delta,
+    gauge, histogram, is_enabled, registry, scoped, set_enabled, snapshot,
+    timer,
+)
+from repro.obs.trace import Span, Tracer, span, tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MANIFEST_VERSION", "MetricsRegistry",
+    "RunManifest", "Span", "Timer", "Tracer", "configure_logging",
+    "counter", "delta", "gauge", "get_logger", "histogram", "is_enabled",
+    "registry", "scoped", "set_enabled", "snapshot", "span", "timer",
+    "tracer",
+]
+
+#: Verbosity (``-v`` count minus ``-q`` count) to logging level.
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO,
+           2: logging.DEBUG}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A child of the ``repro`` root logger (or the root itself)."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")
+
+
+def configure_logging(verbosity: int = 0,
+                      stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger.
+
+    ``verbosity`` follows the CLI convention: ``-1`` (``-q``) shows only
+    errors, ``0`` warnings (default), ``1`` (``-v``) info, ``2+``
+    (``-vv``) debug.  Re-invocation replaces the handler rather than
+    stacking duplicates, so tests and embedders can call it freely.
+    """
+    logger = logging.getLogger("repro")
+    level = _LEVELS.get(max(-1, min(2, verbosity)), logging.WARNING)
+    logger.setLevel(level)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    return logger
+
+
+def logging_level() -> Optional[int]:
+    """The configured ``repro`` logger level (None if unconfigured)."""
+    logger = logging.getLogger("repro")
+    return logger.level if logger.handlers else None

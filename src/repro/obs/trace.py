@@ -1,0 +1,170 @@
+"""Trace spans: wall/CPU-timed regions of a run, serialized as JSONL.
+
+A span covers one phase of the pipeline (cache lookup, instrumented
+execution, prediction, a sweep task) and records wall time, CPU time
+(``time.process_time``), nesting, and free-form attributes (event counts,
+cache keys, task ids).  Spans nest through a stack, so the JSONL log
+reconstructs the phase tree: each line is one finished span with its
+``id`` and ``parent`` id.
+
+Like :mod:`repro.obs.metrics`, the module-level :func:`span` helper is a
+no-op while observability is disabled; enabling it (``--profile`` /
+``--trace-out`` on the CLI, or :func:`repro.obs.set_enabled`) routes
+through the process-wide :class:`Tracer`.
+
+    with span("execute", program="sweep3d") as sp:
+        stats = executor.run()
+        sp.set(accesses=stats.accesses)
+    tracer().write_jsonl("run.trace.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+
+
+class Span:
+    """One timed region; finished spans are plain data."""
+
+    __slots__ = ("name", "id", "parent", "start_s", "wall_s", "cpu_s",
+                 "attrs", "_t0", "_c0")
+
+    def __init__(self, name: str, sid: int, parent: Optional[int],
+                 attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.id = sid
+        self.parent = parent
+        self.start_s = time.time()
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.attrs = dict(attrs)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span (event counts, keys, ...)."""
+        self.attrs.update(attrs)
+
+    def _finish(self) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._c0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "id": self.id,
+            "parent": self.parent,
+            "start_s": round(self.start_s, 6),
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, wall={self.wall_s:.6f}s)"
+
+
+class _SpanContext:
+    """Context manager pushing/popping one span on a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._span._finish()
+        self._tracer._pop(self._span)
+
+
+class _NullSpan:
+    __slots__ = ()
+    name = ""
+    wall_s = 0.0
+    cpu_s = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans in completion order."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        parent = self._stack[-1].id if self._stack else None
+        sp = Span(name, self._next_id, parent, attrs)
+        self._next_id += 1
+        self._stack.append(sp)
+        return _SpanContext(self, sp)
+
+    def _pop(self, sp: Span) -> None:
+        # Tolerate exception-driven unwinding: pop through to this span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is sp:
+                break
+        self.spans.append(sp)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in span-completion order."""
+        return "\n".join(json.dumps(sp.to_dict(), sort_keys=True)
+                         for sp in self.spans)
+
+    def write_jsonl(self, path: str) -> str:
+        with open(path, "w") as handle:
+            text = self.to_jsonl()
+            if text:
+                handle.write(text + "\n")
+        return path
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.spans)} spans, depth={len(self._stack)})"
+
+
+_tracer = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer (always available; empty while disabled)."""
+    return _tracer
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the global tracer; no-op while obs is disabled."""
+    if not _metrics.is_enabled():
+        return _NULL_SPAN
+    return _tracer.span(name, **attrs)
+
+
+def reset() -> None:
+    _tracer.reset()

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.model.config import MachineConfig, MemoryLevel
+from repro.obs import metrics as _obs
 from repro.sim.cache import SetAssocCache
 
 
@@ -47,6 +48,9 @@ class HierarchySim:
         self.track_refs = track_refs
         #: per (level name, rid) miss counts, when track_refs is set
         self.ref_misses: Dict[Tuple[str, int], int] = {}
+        # Chunk-granularity obs counters (no-ops while obs is disabled).
+        self._obs_batch_calls = _obs.counter("sim.batch_calls")
+        self._obs_batch_events = _obs.counter("sim.batch_events")
 
     # -- event handler protocol -------------------------------------------
 
@@ -102,6 +106,8 @@ class HierarchySim:
         per-access path, far fewer attribute lookups.  Filtered mode
         couples the levels per access and falls back to the scalar loop.
         """
+        self._obs_batch_calls.inc()
+        self._obs_batch_events.inc(len(addrs))
         if self.mode == "filtered":
             access = self.access
             for i, rid in enumerate(rids):

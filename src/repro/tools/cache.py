@@ -22,12 +22,24 @@ concurrent sweep workers never observe partial entries.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
 from typing import Any, Dict, Iterable, Optional
 
 from repro.lang.ast import Call, Loop, Program, ScalarAssign, Stmt
+from repro.obs import metrics as _obs
+
+logger = logging.getLogger("repro.tools.cache")
+
+#: Exceptions that mean "this entry is damaged or unreadable", as opposed
+#: to FileNotFoundError ("this entry was never written").  Unpickling a
+#: truncated or garbage file raises UnpicklingError/EOFError/ValueError
+#: (and, for mangled class references, AttributeError/ImportError/
+#: IndexError); any other OSError is an I/O-level failure of the entry.
+_CORRUPT_ERRORS = (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                   AttributeError, ImportError, IndexError)
 
 #: Bump when the serialized payload layout or fingerprint recipe changes.
 SCHEMA_VERSION = 1
@@ -99,6 +111,11 @@ class AnalysisCache:
         self.root = str(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self._obs_hits = _obs.counter("cache.hits")
+        self._obs_misses = _obs.counter("cache.misses")
+        self._obs_corrupt = _obs.counter("cache.corrupt")
+        self._obs_evictions = _obs.counter("cache.evictions")
 
     # -- keys -----------------------------------------------------------
 
@@ -124,16 +141,32 @@ class AnalysisCache:
     # -- storage --------------------------------------------------------
 
     def get(self, key: str) -> Optional[Any]:
-        """Return the stored payload, or None (corrupt entries count as
-        misses and are left for the next put to overwrite)."""
+        """Return the stored payload, or None on a miss.
+
+        A missing file is a plain miss.  A damaged entry (truncated
+        write, garbage bytes, unresolvable pickle) also degrades to a
+        miss — the next put overwrites it — but is counted separately
+        (``self.corrupt``, obs counter ``cache.corrupt``) and logged, so
+        corruption is never silent.
+        """
         try:
             with open(self._path(key), "rb") as handle:
                 payload = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+        except FileNotFoundError:
             self.misses += 1
+            self._obs_misses.inc()
+            return None
+        except _CORRUPT_ERRORS as exc:
+            self.corrupt += 1
+            self.misses += 1
+            self._obs_corrupt.inc()
+            self._obs_misses.inc()
+            logger.warning("corrupt cache entry %s (%s: %s); "
+                           "degrading to a miss", key[:12],
+                           type(exc).__name__, exc)
             return None
         self.hits += 1
+        self._obs_hits.inc()
         return payload
 
     def put(self, key: str, payload: Any) -> str:
@@ -147,7 +180,9 @@ class AnalysisCache:
                 pickle.dump(payload, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-        except BaseException:
+        except Exception as exc:
+            logger.warning("failed to write cache entry %s (%s: %s)",
+                           key[:12], type(exc).__name__, exc)
             try:
                 os.unlink(tmp)
             except OSError:
@@ -176,8 +211,10 @@ class AnalysisCache:
                         removed += 1
                     except OSError:  # pragma: no cover - races
                         pass
+        self._obs_evictions.inc(removed)
+        logger.info("cleared %d cache entries under %s", removed, self.root)
         return removed
 
     def __repr__(self) -> str:
         return (f"AnalysisCache({self.root!r}, hits={self.hits}, "
-                f"misses={self.misses})")
+                f"misses={self.misses}, corrupt={self.corrupt})")

@@ -12,6 +12,8 @@ fragmentation → per-level miss prediction → reports and recommendations.
 
 from __future__ import annotations
 
+import logging
+import time
 from typing import Dict, List, Optional
 
 from repro.core.analyzer import ReuseAnalyzer
@@ -20,10 +22,15 @@ from repro.lang.batch import BatchExecutor
 from repro.lang.executor import Executor, RunStats
 from repro.model.config import MachineConfig
 from repro.model.predictor import Prediction, predict
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+from repro.obs.manifest import RunManifest
 from repro.sim.hierarchy import HierarchySim
 from repro.static.fragmentation import FragmentationAnalysis
 from repro.static.related import StaticAnalysis
 import repro.tools.report as report_mod
+
+logger = logging.getLogger("repro.tools.session")
 from repro.tools.recommend import recommend as _recommend
 from repro.tools.recommend import render as _render_recommendations
 from repro.tools.carried import CarriedMisses
@@ -56,6 +63,7 @@ class AnalysisSession:
         )
         self.stats: Optional[RunStats] = None
         self.from_cache = False
+        self.manifest: Optional[RunManifest] = None
         self._static: Optional[StaticAnalysis] = None
         self._frag: Optional[FragmentationAnalysis] = None
         self._prediction: Optional[Prediction] = None
@@ -69,31 +77,85 @@ class AnalysisSession:
         With a :class:`~repro.tools.cache.AnalysisCache` attached (and no
         simulator, whose LRU state is not serialized), a previous identical
         run is restored from disk instead of re-executing the program.
+
+        Every run leaves a :class:`~repro.obs.manifest.RunManifest` in
+        :attr:`manifest` (phase wall times, event totals, cache outcome;
+        plus this run's metric delta when observability is enabled).
         """
         if self._ran:
             raise RuntimeError("AnalysisSession.run() may only be called once")
-        key = None
-        if self.cache is not None and self.sim is None:
-            key = self.cache.key_for(self.program, params, self.config,
-                                     self.miss_model, self.engine)
-            payload = self.cache.get(key)
+        phases: Dict[str, float] = {}
+        obs_before = _obs.snapshot() if _obs.is_enabled() else None
+        with _trace.span("session.run", program=self.program.name) as sp:
+            key = None
+            payload = None
+            if self.cache is not None and self.sim is None:
+                t0 = time.perf_counter()
+                with _trace.span("cache.lookup"):
+                    key = self.cache.key_for(self.program, params,
+                                             self.config, self.miss_model,
+                                             self.engine)
+                    payload = self.cache.get(key)
+                phases["cache_lookup"] = time.perf_counter() - t0
             if payload is not None:
                 self.analyzer.load_state(payload["analyzer_state"])
                 self.stats = payload["stats"]
                 self.from_cache = True
                 self._ran = True
-                return self
-        handlers = [self.analyzer]
-        if self.sim is not None:
-            handlers.append(self.sim)
-        executor_cls = BatchExecutor if self.batch else Executor
-        executor = executor_cls(self.program, *handlers)
-        self.stats = executor.run(**params)
-        self._ran = True
-        if key is not None:
-            self.cache.put(key, {"analyzer_state": self.analyzer.dump_state(),
-                                 "stats": self.stats})
+                logger.info("%s restored from analysis cache",
+                            self.program.name)
+                sp.set(from_cache=True)
+            else:
+                handlers = [self.analyzer]
+                if self.sim is not None:
+                    handlers.append(self.sim)
+                executor_cls = BatchExecutor if self.batch else Executor
+                executor = executor_cls(self.program, *handlers)
+                t0 = time.perf_counter()
+                with _trace.span("execute",
+                                 executor=executor_cls.__name__) as esp:
+                    self.stats = executor.run(**params)
+                    esp.set(accesses=self.stats.accesses)
+                phases["execute"] = time.perf_counter() - t0
+                self._ran = True
+                logger.info("%s executed: %d accesses",
+                            self.program.name, self.stats.accesses)
+                if key is not None:
+                    t0 = time.perf_counter()
+                    with _trace.span("cache.store"):
+                        self.cache.put(
+                            key, {"analyzer_state":
+                                  self.analyzer.dump_state(),
+                                  "stats": self.stats})
+                    phases["cache_store"] = time.perf_counter() - t0
+            sp.set(accesses=self.stats.accesses)
+        self._build_manifest(params, phases, obs_before)
         return self
+
+    def _build_manifest(self, params: Dict[str, int],
+                        phases: Dict[str, float], obs_before) -> None:
+        from repro.tools.cache import program_fingerprint
+        stats = self.stats
+        run_metrics: Dict = {}
+        if obs_before is not None:
+            run_metrics = _obs.delta(obs_before, _obs.snapshot())
+        self.manifest = RunManifest(
+            program=self.program.name,
+            fingerprint=program_fingerprint(self.program),
+            params=dict(params),
+            config=repr(self.config),
+            engine=self.engine,
+            executor="batch" if self.batch else "scalar",
+            miss_model=self.miss_model,
+            simulate=self.simulate,
+            cache_attached=self.cache is not None,
+            from_cache=self.from_cache,
+            events={"accesses": stats.accesses, "loads": stats.loads,
+                    "stores": stats.stores, "ops": stats.ops,
+                    "clock": self.analyzer.clock},
+            phases=phases,
+            metrics=run_metrics,
+        )
 
     def _require_run(self) -> None:
         if not self._ran:
@@ -116,8 +178,13 @@ class AnalysisSession:
     def prediction(self) -> Prediction:
         if self._prediction is None:
             self._require_run()
-            self._prediction = predict(self.analyzer, self.config,
-                                       self.program, model=self.miss_model)
+            t0 = time.perf_counter()
+            with _trace.span("predict", model=self.miss_model):
+                self._prediction = predict(self.analyzer, self.config,
+                                           self.program,
+                                           model=self.miss_model)
+            if self.manifest is not None:
+                self.manifest.phases["predict"] = time.perf_counter() - t0
         return self._prediction
 
     @property

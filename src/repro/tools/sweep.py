@@ -23,12 +23,18 @@ repeated sweeps over overlapping grids run at file-read speed.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.model.config import MachineConfig
+from repro.obs import metrics as _obs
+
+logger = logging.getLogger("repro.tools.sweep")
 
 
 @dataclass(frozen=True)
@@ -77,9 +83,19 @@ class SweepOutcome:
     #: full RunResult (measure mode only)
     result: Any = None
     from_cache: bool = False
+    #: "ExcType: message\n<traceback>" when the task failed; None on success
+    error: Optional[str] = None
+    #: worker-side metrics snapshot for this task (obs enabled only)
+    metrics: Optional[Dict[str, Any]] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     def analyzer(self):
         """Rehydrate a results-only ReuseAnalyzer from the dumped state."""
+        if self.error is not None:
+            raise RuntimeError(f"task {self.key!r} failed: {self.error}")
         if self.state is None:
             raise RuntimeError("no analyzer state (measure-mode outcome?)")
         from repro.core.analyzer import ReuseAnalyzer
@@ -90,8 +106,8 @@ class SweepOutcome:
         return self.analyzer().db(granularity)
 
 
-def _run_task(task: SweepTask) -> SweepOutcome:
-    """Worker body: rebuild the program and run one pipeline point."""
+def _execute_task(task: SweepTask) -> SweepOutcome:
+    """Rebuild the program and run one pipeline point."""
     program = task.builder(*task.args, **task.kwargs)
     if task.mode == "measure":
         from repro.apps.harness import measure
@@ -114,6 +130,54 @@ def _run_task(task: SweepTask) -> SweepOutcome:
                         from_cache=session.from_cache)
 
 
+def _run_task(task: SweepTask) -> SweepOutcome:
+    """Worker body: one task, fault-isolated and (optionally) metered.
+
+    A raising builder or pipeline must not poison the pool: the exception
+    is captured into :attr:`SweepOutcome.error` (with traceback), counted
+    under ``sweep.worker_failures``, and logged.  With observability on,
+    the task runs under a scoped registry whose snapshot travels back in
+    :attr:`SweepOutcome.metrics` for the parent to merge.
+    """
+    if not _obs.is_enabled():
+        try:
+            return _execute_task(task)
+        except Exception as exc:
+            logger.warning("sweep task %r failed: %s: %s",
+                           task.key, type(exc).__name__, exc)
+            return SweepOutcome(
+                key=task.key, mode=task.mode,
+                error=f"{type(exc).__name__}: {exc}\n"
+                      f"{traceback.format_exc()}")
+    with _obs.scoped() as reg:
+        reg.counter("sweep.tasks").inc()
+        t0 = time.perf_counter()
+        try:
+            outcome = _execute_task(task)
+        except Exception as exc:
+            logger.warning("sweep task %r failed: %s: %s",
+                           task.key, type(exc).__name__, exc)
+            reg.counter("sweep.worker_failures").inc()
+            outcome = SweepOutcome(
+                key=task.key, mode=task.mode,
+                error=f"{type(exc).__name__}: {exc}\n"
+                      f"{traceback.format_exc()}")
+        reg.timer("sweep.task_latency").observe(time.perf_counter() - t0)
+        outcome.metrics = reg.snapshot()
+    return outcome
+
+
+def _init_worker(obs_enabled: bool, log_level: Optional[int]) -> None:
+    """Pool initializer: propagate parent obs/logging state to workers.
+
+    Matters for spawn/forkserver start methods, where module globals set
+    after import (the obs enabled flag, logger levels) are not inherited.
+    """
+    _obs.set_enabled(obs_enabled)
+    if log_level is not None:
+        logging.getLogger("repro").setLevel(log_level)
+
+
 def default_jobs(limit: int = 8) -> int:
     """A sensible worker count: CPU count capped at ``limit``."""
     return max(1, min(limit, os.cpu_count() or 1))
@@ -126,7 +190,10 @@ def run_sweep(tasks: Sequence[SweepTask],
     ``jobs=None`` or ``jobs=1`` (or a single task) runs inline — no
     processes, easiest to debug, and what the test suite exercises by
     default.  Outcomes are returned in task order regardless of worker
-    scheduling.
+    scheduling.  A failing task never aborts the sweep: its outcome
+    carries :attr:`SweepOutcome.error` and empty results.  With
+    observability enabled, per-task worker metrics are merged back into
+    the parent's registry before returning.
     """
     tasks = list(tasks)
     if jobs is None:
@@ -134,7 +201,21 @@ def run_sweep(tasks: Sequence[SweepTask],
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1 or len(tasks) <= 1:
-        return [_run_task(task) for task in tasks]
-    ctx = multiprocessing.get_context()
-    with ctx.Pool(min(jobs, len(tasks))) as pool:
-        return pool.map(_run_task, tasks, chunksize=1)
+        outcomes = [_run_task(task) for task in tasks]
+    else:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(min(jobs, len(tasks)), initializer=_init_worker,
+                      initargs=(_obs.is_enabled(),
+                                logging.getLogger("repro").level or None)
+                      ) as pool:
+            outcomes = pool.map(_run_task, tasks, chunksize=1)
+    if _obs.is_enabled():
+        registry = _obs.registry()
+        for out in outcomes:
+            if out.metrics:
+                registry.merge(out.metrics)
+    failures = sum(1 for out in outcomes if out.error is not None)
+    if failures:
+        logger.warning("sweep finished with %d/%d failed tasks",
+                       failures, len(outcomes))
+    return outcomes

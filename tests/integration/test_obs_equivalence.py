@@ -1,0 +1,72 @@
+"""Observability must observe, never steer.
+
+Acceptance gate for the obs subsystem: with metrics, spans, and manifests
+enabled, every analysis product — pattern databases, XML exports, rendered
+reports — is byte-identical to a run with observability off.  Exercised on
+the Sweep3D kernel, the workload the paper's headline figures use.
+"""
+
+from repro.apps.sweep3d import SweepParams, build_original
+from repro.obs import metrics, trace
+from repro.tools import AnalysisSession
+
+PARAMS = SweepParams(n=6, mm=3, nm=2, noct=1)
+
+
+def _run_session():
+    session = AnalysisSession(build_original(PARAMS))
+    session.run()
+    return session
+
+
+def _products(session):
+    return {
+        "state": session.analyzer.dump_state(),
+        "xml": session.export_xml(),
+        "totals": session.totals(),
+        "carried": session.render_carried(n=6),
+        "table2": session.render_table2("L2", top_scopes=5),
+        "fragmentation": session.render_fragmentation("L3", n=6),
+        "patterns": session.render_top_patterns("L2", n=10),
+        "recommendations": session.render_recommendations("L2", top_n=6),
+    }
+
+
+class TestObsEquivalence:
+    def test_sweep3d_products_byte_identical(self, obs_on):
+        # obs OFF first (the fixture enabled it: flip around each run)
+        metrics.set_enabled(False)
+        off = _products(_run_session())
+        metrics.set_enabled(True)
+        on_session = _run_session()
+        on = _products(on_session)
+        assert on == off
+        # and the observed run actually observed something
+        counters = on_session.manifest.metrics["counters"]
+        assert counters["analyzer.batch_events"] > 0
+        assert on_session.manifest.phases["execute"] > 0
+
+    def test_simulator_totals_identical(self, obs_on):
+        metrics.set_enabled(False)
+        s_off = AnalysisSession(build_original(PARAMS), simulate=True)
+        s_off.run()
+        metrics.set_enabled(True)
+        s_on = AnalysisSession(build_original(PARAMS), simulate=True)
+        s_on.run()
+        assert s_on.sim.totals() == s_off.sim.totals()
+        assert metrics.snapshot()["counters"]["sim.batch_events"] > 0
+
+    def test_tracer_collects_session_spans(self, obs_on):
+        _run_session()
+        names = [sp.name for sp in trace.tracer().spans]
+        assert "execute" in names
+        assert "session.run" in names
+
+    def test_scalar_path_identical_with_obs_on(self, obs_on):
+        metrics.set_enabled(False)
+        off = AnalysisSession(build_original(PARAMS), batch=False)
+        off.run()
+        metrics.set_enabled(True)
+        on = AnalysisSession(build_original(PARAMS), batch=False)
+        on.run()
+        assert on.analyzer.dump_state() == off.analyzer.dump_state()

@@ -1,0 +1,155 @@
+"""Metrics registry: counters, timers, histograms, merge, null objects."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry, delta
+
+
+class TestMetricObjects:
+    def test_counter(self):
+        c = metrics.Counter("x")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_gauge(self):
+        g = metrics.Gauge("x")
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_timer_observe(self):
+        t = metrics.Timer("x")
+        t.observe(0.5)
+        t.observe(1.5)
+        assert t.count == 2
+        assert t.total_s == 2.0
+        assert t.min_s == 0.5 and t.max_s == 1.5
+        assert t.mean_s == 1.0
+
+    def test_timer_context_manager(self):
+        t = metrics.Timer("x")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.total_s >= 0.0
+
+    def test_histogram_log2_bins(self):
+        h = metrics.Histogram("x")
+        for v in (0, 1, 2, 3, 1024):
+            h.observe(v)
+        assert h.count == 5
+        assert h.bins[-1] == 1      # 0
+        assert h.bins[0] == 1       # 1
+        assert h.bins[1] == 2       # 2, 3
+        assert h.bins[10] == 1      # 1024
+
+
+class TestRegistry:
+    def test_get_or_create_memoizes(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.timer("a")
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.timer("t").observe(0.25)
+        reg.histogram("h").observe(7)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["histograms"]["h"] == {"2": 1}
+
+    def test_merge_aggregates(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for reg in (a, b):
+            reg.counter("c").inc(2)
+            reg.timer("t").observe(1.0)
+            reg.histogram("h").observe(4)
+        b.timer("t").observe(3.0)
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 4
+        t = a.timer("t")
+        assert t.count == 3 and t.total_s == 5.0
+        assert t.min_s == 1.0 and t.max_s == 3.0
+        assert a.histogram("h").bins[2] == 2
+
+    def test_merge_empty_timer_ignored(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        b.timer("t")
+        a.merge(b.snapshot())
+        assert a.timer("t").count == 0
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestDelta:
+    def test_counters_subtract_and_zero_drops(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.counter("b").inc(1)
+        before = reg.snapshot()
+        reg.counter("a").inc(2)
+        d = delta(before, reg.snapshot())
+        assert d["counters"] == {"a": 2}
+
+    def test_timer_delta(self):
+        reg = MetricsRegistry()
+        reg.timer("t").observe(1.0)
+        before = reg.snapshot()
+        reg.timer("t").observe(2.0)
+        d = delta(before, reg.snapshot())
+        assert d["timers"]["t"]["count"] == 1
+        assert d["timers"]["t"]["total_s"] == pytest.approx(2.0)
+
+    def test_new_metric_passes_through(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.counter("fresh").inc(3)
+        assert delta(before, reg.snapshot())["counters"] == {"fresh": 3}
+
+
+class TestModuleSwitch:
+    def test_disabled_returns_null_objects(self):
+        assert not metrics.is_enabled()
+        c = metrics.counter("nothing")
+        c.inc(100)
+        assert c.value == 0
+        t = metrics.timer("nothing")
+        with t.time():
+            pass
+        assert t.count == 0
+        metrics.histogram("nothing").observe(4)
+        metrics.gauge("nothing").set(9)
+        # none of these registered anything
+        assert "nothing" not in metrics.snapshot()["counters"]
+
+    def test_enabled_records(self, obs_on):
+        metrics.counter("real").inc(2)
+        assert obs_on.counter("real").value == 2
+        assert metrics.snapshot()["counters"]["real"] == 2
+
+    def test_scoped_isolates_and_restores(self, obs_on):
+        metrics.counter("outer").inc()
+        with metrics.scoped() as inner:
+            metrics.counter("inner").inc()
+            assert "outer" not in metrics.snapshot()["counters"]
+        assert inner.counter("inner").value == 1
+        assert metrics.snapshot()["counters"] == {"outer": 1}

@@ -1,0 +1,79 @@
+"""Trace spans: nesting, timing, JSONL serialization, disabled no-ops."""
+
+import json
+
+from repro.obs import trace
+from repro.obs.trace import Tracer
+
+
+class TestTracer:
+    def test_span_records_timing(self):
+        tracer = Tracer()
+        with tracer.span("work") as sp:
+            sum(range(1000))
+        assert len(tracer) == 1
+        assert sp.wall_s >= 0.0
+        assert sp.cpu_s >= 0.0
+        assert sp.parent is None
+
+    def test_nesting_sets_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent == outer.id
+        # completion order: inner finishes first
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_attrs_via_set(self):
+        tracer = Tracer()
+        with tracer.span("s", program="x") as sp:
+            sp.set(accesses=7)
+        assert tracer.spans[0].attrs == {"program": "x", "accesses": 7}
+
+    def test_exception_unwinds_stack(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        with tracer.span("after") as sp:
+            pass
+        assert sp.parent is None
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", key=1):
+            with tracer.span("b"):
+                pass
+        path = tracer.write_jsonl(str(tmp_path / "trace.jsonl"))
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        assert [d["name"] for d in lines] == ["b", "a"]
+        assert lines[1]["attrs"] == {"key": 1}
+        assert lines[0]["parent"] == lines[1]["id"]
+        assert all("wall_s" in d and "cpu_s" in d for d in lines)
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+
+
+class TestGlobalSpan:
+    def test_disabled_is_noop(self):
+        trace.reset()
+        with trace.span("ignored") as sp:
+            sp.set(anything=1)
+        assert len(trace.tracer()) == 0
+
+    def test_enabled_records_on_global_tracer(self, obs_on):
+        with trace.span("real") as sp:
+            sp.set(n=3)
+        assert len(trace.tracer()) == 1
+        assert trace.tracer().spans[0].attrs == {"n": 3}

@@ -61,6 +61,43 @@ class TestAnalysisCache:
             fh.write(b"not a pickle")
         assert cache.get(key) is None
 
+    def test_truncated_entry_counts_corrupt_and_warns(self, tmp_path,
+                                                      caplog, obs_on):
+        cache = AnalysisCache(str(tmp_path))
+        key = "ab" + "0" * 62
+        cache.put(key, {"payload": list(range(1000))})
+        path = cache._path(key)
+        with open(path, "rb") as fh:
+            whole = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(whole[: len(whole) // 2])
+        with caplog.at_level("WARNING", logger="repro.tools.cache"):
+            assert cache.get(key) is None  # degrades to a miss
+        assert cache.corrupt == 1
+        assert cache.misses == 1
+        assert obs_on.counter("cache.corrupt").value == 1
+        assert obs_on.counter("cache.misses").value == 1
+        assert any("corrupt cache entry" in r.message
+                   for r in caplog.records)
+        # the next put repairs the slot
+        cache.put(key, {"ok": 1})
+        assert cache.get(key) == {"ok": 1}
+        assert cache.hits == 1
+
+    def test_plain_miss_is_not_corrupt(self, tmp_path, obs_on):
+        cache = AnalysisCache(str(tmp_path))
+        assert cache.get("ab" + "0" * 62) is None
+        assert cache.corrupt == 0
+        assert obs_on.counter("cache.corrupt").value == 0
+        assert obs_on.counter("cache.misses").value == 1
+
+    def test_clear_counts_evictions(self, tmp_path, obs_on):
+        cache = AnalysisCache(str(tmp_path))
+        cache.put("ab" + "0" * 62, 1)
+        cache.put("cd" + "0" * 62, 2)
+        assert cache.clear() == 2
+        assert obs_on.counter("cache.evictions").value == 2
+
     def test_clear(self, tmp_path):
         cache = AnalysisCache(str(tmp_path))
         cache.put("ab" + "0" * 62, 1)

@@ -1,10 +1,22 @@
 """Command-line interface."""
 
+import json
+import logging
 import os
 
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def reset_obs():
+    """Restore the obs-disabled default after CLI runs that enable it."""
+    yield
+    obs.set_enabled(False)
+    obs.registry().reset()
+    obs.tracer().reset()
 
 
 class TestParser:
@@ -81,3 +93,71 @@ class TestCommands:
         assert main(["analyze", "fig1", "--no-cache"]) == 0
         assert "predicted misses" in capsys.readouterr().out
         assert not any(fs for _, _, fs in os.walk(str(tmp_path)))
+
+
+class TestObservability:
+    def test_analyze_profile_prints_manifest(self, capsys, reset_obs):
+        assert main(["analyze", "fig1", "--no-cache", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest: fig1a" in out
+        assert "execute" in out
+        assert "accesses=" in out
+        assert "analyzer.batch_events" in out
+        assert "batch.fallback_loops" in out
+
+    def test_profile_with_cache_shows_hit_miss(self, tmp_path, monkeypatch,
+                                               capsys, reset_obs):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["analyze", "fig1", "--profile"]) == 0
+        assert "cache: miss" in capsys.readouterr().out
+        assert main(["analyze", "fig1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: hit" in out
+        assert "cache.hits" in out
+
+    def test_manifest_out_and_stats_roundtrip(self, tmp_path, capsys,
+                                              reset_obs):
+        path = str(tmp_path / "run.json")
+        assert main(["analyze", "fig1", "--no-cache",
+                     "--manifest-out", path]) == 0
+        capsys.readouterr()
+        data = json.load(open(path))
+        assert data["program"] == "fig1a"
+        assert data["events"]["accesses"] > 0
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest: fig1a" in out
+        assert "execute" in out
+
+    def test_trace_out_writes_jsonl_spans(self, tmp_path, capsys,
+                                          reset_obs):
+        path = str(tmp_path / "run.trace.jsonl")
+        assert main(["analyze", "fig1", "--no-cache",
+                     "--trace-out", path]) == 0
+        spans = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        names = [s["name"] for s in spans]
+        assert "session.run" in names
+        assert "execute" in names
+
+    def test_profile_output_identical_reports(self, tmp_path, monkeypatch,
+                                              capsys, reset_obs):
+        # reports themselves must not change when obs is on
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c1"))
+        assert main(["analyze", "fig2"]) == 0
+        plain = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c2"))
+        assert main(["analyze", "fig2", "--profile"]) == 0
+        profiled = capsys.readouterr().out
+        assert profiled.startswith(plain)
+        assert "run manifest" in profiled[len(plain):]
+
+    def test_verbosity_flags_set_logger_level(self, reset_obs):
+        assert main(["-v", "list"]) == 0
+        assert logging.getLogger("repro").level == logging.INFO
+        assert main(["-vv", "list"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        assert main(["-q", "list"]) == 0
+        assert logging.getLogger("repro").level == logging.ERROR
+        assert main(["list"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING

@@ -9,6 +9,10 @@ from repro.tools import (
 )
 
 
+def _boom_builder(*_args, **_kwargs):
+    raise ValueError("builder exploded")
+
+
 def _measure_tasks(meshes=(4, 5)):
     return [SweepTask(key=n, builder=build_original,
                       args=(SweepParams(n=n, mm=3, nm=2, noct=1),),
@@ -82,6 +86,48 @@ class TestRunSweep:
         assert second.from_cache
         assert second.totals == first.totals
         assert second.state == first.state
+
+    def test_failing_builder_surfaces_error(self, caplog):
+        tasks = _analyze_tasks((4,)) + [
+            SweepTask(key="bad", builder=_boom_builder, mode="analyze")]
+        with caplog.at_level("WARNING", logger="repro.tools.sweep"):
+            outcomes = run_sweep(tasks)
+        good, bad = outcomes
+        assert not good.failed and good.totals
+        assert bad.failed
+        assert "ValueError: builder exploded" in bad.error
+        assert "builder exploded" in bad.error  # traceback included
+        assert bad.totals == {} and bad.state is None
+        with pytest.raises(RuntimeError):
+            bad.analyzer()
+        assert any("failed" in r.message for r in caplog.records)
+
+    def test_failing_task_does_not_poison_the_pool(self):
+        tasks = [SweepTask(key="bad", builder=_boom_builder,
+                           mode="analyze")] + _analyze_tasks((4, 5))
+        outcomes = run_sweep(tasks, jobs=2)
+        assert [o.key for o in outcomes] == ["bad", 4, 5]
+        assert outcomes[0].failed
+        assert not outcomes[1].failed and not outcomes[2].failed
+        assert outcomes[1].totals and outcomes[2].totals
+
+    def test_failure_counted_under_obs(self, obs_on):
+        run_sweep([SweepTask(key="bad", builder=_boom_builder,
+                             mode="analyze")] + _analyze_tasks((4,)))
+        snap = obs_on.snapshot()
+        assert snap["counters"]["sweep.worker_failures"] == 1
+        assert snap["counters"]["sweep.tasks"] == 2
+        assert snap["timers"]["sweep.task_latency"]["count"] == 2
+
+    def test_parallel_worker_metrics_merge_to_parent(self, obs_on):
+        outcomes = run_sweep(_analyze_tasks((4, 5)), jobs=2)
+        assert all(out.metrics for out in outcomes)
+        snap = obs_on.snapshot()
+        assert snap["counters"]["sweep.tasks"] == 2
+        # most (not all) accesses flow through the batched path; the rest
+        # take the scalar fallback for non-affine loops
+        total = sum(out.stats.accesses for out in outcomes)
+        assert 0 < snap["counters"]["analyzer.batch_events"] <= total
 
     def test_variant_builder_with_args(self):
         params = SweepParams(n=4, mm=4, nm=2, noct=1)
