@@ -31,6 +31,10 @@ def obs_on():
 def pytest_addoption(parser):
     parser.addoption("--runslow", action="store_true", default=False,
                      help="also run tests marked @pytest.mark.slow")
+    parser.addoption("--smoke", action="store_true", default=False,
+                     help="benchmarks: miniature inputs, equivalence "
+                          "assertions only (no perf thresholds, no "
+                          "archived JSON)")
 
 
 def pytest_collection_modifyitems(config, items):

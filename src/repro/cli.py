@@ -30,6 +30,7 @@ Examples
     python -m repro measure sweep3d --mesh 8
     python -m repro measure gtc --micell 4 --jobs 4
     python -m repro analyze sweep3d --no-cache
+    python -m repro analyze sweep3d --engine numpy
     python -m repro analyze sweep3d --profile --manifest-out run.json
     python -m repro stats run.json
 """
@@ -97,7 +98,7 @@ def cmd_analyze(args) -> int:
         obs.set_enabled(True)
     program = _build(args.workload, args)
     cache = None if args.no_cache else AnalysisCache()
-    session = AnalysisSession(program, cache=cache)
+    session = AnalysisSession(program, cache=cache, engine=args.engine)
     print(f"running {program.name} under instrumentation ...",
           file=sys.stderr)
     session.run()
@@ -205,6 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--level", default="L2",
                          choices=("L2", "L3", "TLB"),
                          help="level for the detailed reports")
+    analyze.add_argument("--engine", default="fenwick",
+                         choices=("fenwick", "treap", "numpy"),
+                         help="reuse-distance engine (numpy = buffered "
+                              "array path; results are identical)")
     analyze.add_argument("--xml", metavar="PATH",
                          help="also export the XML database")
     analyze.add_argument("--html", metavar="PATH",

@@ -36,6 +36,9 @@ _EXACT_LIMIT = 256
 _EXACT_BITS = 8
 _SUBBINS = 4
 
+#: Serialization layout version for dump_state/load_state snapshots.
+STATE_VERSION = 1
+
 
 class GranularityState:
     """Per-block-size analysis state."""
@@ -67,8 +70,10 @@ class ReuseAnalyzer:
         Mapping of granularity name to block size in bytes (must be powers
         of two), e.g. ``{"line": 64, "page": 512}``.
     engine:
-        ``"fenwick"`` (default, fast) or ``"treap"`` (the paper's balanced
-        tree).  Both produce identical distances.
+        ``"fenwick"`` (default, fast), ``"treap"`` (the paper's balanced
+        tree), or ``"numpy"`` (buffered array engine, see
+        :mod:`repro.core.npengine`).  All three produce identical
+        results.
     table:
         ``"flat"`` (default, dict) or ``"hierarchical"`` (the paper's
         three-level block table).  Both produce identical results.
@@ -82,10 +87,16 @@ class ReuseAnalyzer:
     ) -> None:
         if granularities is None:
             granularities = {"line": 64, "page": 512}
-        if engine not in ("fenwick", "treap"):
+        if engine not in ("fenwick", "treap", "numpy"):
             raise ValueError(f"unknown engine {engine!r}")
         if table not in ("flat", "hierarchical"):
             raise ValueError(f"unknown table {table!r}")
+        if engine == "numpy":
+            try:
+                from repro.core import npengine as _npengine
+            except ImportError as exc:  # pragma: no cover - numpy present in CI
+                raise ValueError(
+                    "engine='numpy' requires the numpy package") from exc
         self.stack = ScopeStack()
         self.clock = 0
         self.grans: List[GranularityState] = []
@@ -93,7 +104,12 @@ class ReuseAnalyzer:
             if size & (size - 1):
                 raise ValueError(f"block size must be a power of two: {size}")
             tbl = FlatBlockTable() if table == "flat" else HierarchicalBlockTable()
-            eng = FenwickEngine() if engine == "fenwick" else TreapEngine()
+            if engine == "fenwick":
+                eng = FenwickEngine()
+            elif engine == "treap":
+                eng = TreapEngine()
+            else:
+                eng = _npengine.NumpyFenwickEngine()
             self.grans.append(
                 GranularityState(name, size.bit_length() - 1, tbl, eng)
             )
@@ -119,6 +135,38 @@ class ReuseAnalyzer:
                 and len(self.grans) in (1, 2)):
             self.access = _specialized_access(self)
             self.access_batch = _specialized_access_batch(self)
+        elif engine == "numpy":
+            # Buffered array path: accesses accumulate across calls and
+            # scope events; the clock advances eagerly on append, results
+            # are resolved in vectorised flushes (see repro.core.npengine).
+            state = _npengine.NumpyBatchState(self)
+            self._np_state = state
+            self._flush = state.flush
+            self.access = state.scalar_access
+            self.access_batch = state.append_batch
+            self.access_rows = state.append_rows
+            stack = self.stack
+
+            # Scope events invalidate the state's cached stack snapshot
+            # and close any open scalar segment (inlined from
+            # NumpyBatchState.on_scope_event: these run once per loop
+            # entry/exit, a measurable share of the batched hot path).
+            def enter_scope(sid, _stack=stack, _state=state, _self=self):
+                if _state._open_addrs is not None:
+                    _state._close_open()
+                _state._cur_snap = -1
+                _stack._sids.append(sid)
+                _stack._clocks.append(_self.clock)
+
+            def exit_scope(sid, _stack=stack, _state=state):
+                if _state._open_addrs is not None:
+                    _state._close_open()
+                _state._cur_snap = -1
+                _stack._sids.pop()
+                _stack._clocks.pop()
+
+            self.enter_scope = enter_scope
+            self.exit_scope = exit_scope
 
     # -- event handler protocol -------------------------------------------
 
@@ -183,7 +231,15 @@ class ReuseAnalyzer:
 
     # -- results -------------------------------------------------------------
 
+    def _flush(self) -> None:
+        """Resolve buffered work before a result read (no-op by default).
+
+        The numpy engine replaces this with its buffer flush in
+        ``__init__``; the per-access engines have nothing pending.
+        """
+
     def granularity(self, name: str) -> GranularityState:
+        self._flush()
         for g in self.grans:
             if g.name == name:
                 return g
@@ -208,8 +264,9 @@ class ReuseAnalyzer:
         deliberately excluded: a restored analyzer answers result queries
         but cannot resume the event stream.
         """
+        self._flush()
         return {
-            "version": 1,
+            "version": STATE_VERSION,
             "clock": self.clock,
             "grans": [
                 {
@@ -229,6 +286,15 @@ class ReuseAnalyzer:
         Granularity names and block sizes must match.  Pattern dicts are
         mutated in place so the specialized closures stay valid.
         """
+        self._flush()
+        version = state.get("version")
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"analyzer state version {version!r} does not match this "
+                f"build (expected {STATE_VERSION}); the snapshot was "
+                "written by an incompatible layout — re-run the analysis "
+                "instead of restoring it"
+            )
         gran_states = state["grans"]
         if len(gran_states) != len(self.grans) or any(
             gs["name"] != g.name or gs["block_size"] != g.block_size
@@ -255,6 +321,7 @@ class ReuseAnalyzer:
         return analyzer.load_state(state)
 
     def __repr__(self) -> str:
+        self._flush()
         parts = ", ".join(
             f"{g.name}:{g.block_size}B×{len(g.table)}" for g in self.grans
         )

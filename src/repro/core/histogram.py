@@ -50,6 +50,27 @@ def bin_mid(index: int) -> float:
     return (lo + hi) / 2.0
 
 
+def bin_of_array(distances):
+    """Vectorised :func:`bin_of` over a NumPy integer array.
+
+    Used by the array engine (:mod:`repro.core.npengine`) to bin a whole
+    flush worth of distances at once.  The high bit comes from the
+    float64 exponent, exact for any distance below 2**53 — far beyond
+    any logical clock this tool can reach.
+    """
+    import numpy as np
+
+    d = np.asarray(distances, dtype=np.int64)
+    bins = d.copy()
+    big = d >= EXACT_LIMIT
+    if big.any():
+        db = d[big]
+        hb = np.frexp(db.astype(np.float64))[1].astype(np.int64) - 1
+        bins[big] = (EXACT_LIMIT + (hb - _EXACT_BITS) * SUBBINS
+                     + ((db >> (hb - 2)) & 3))
+    return bins
+
+
 class Histogram:
     """A reuse-distance histogram over the bins above.
 

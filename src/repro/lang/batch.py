@@ -166,6 +166,14 @@ class BatchExecutor(Executor):
                     _access(rid, addrs[i], stores[i])
 
         self._access_batch = batch
+        # Row-aware handlers (the analyzer's array engine) can take the
+        # affine row description itself — reference pattern, per-reference
+        # base/stride, iteration count — instead of a materialized address
+        # list, skipping the per-chunk interleave entirely.  Semantically
+        # identical: access_rows(rids, stores, bases, strides, m) covers
+        # exactly the accesses of access_batch(rids*m, addrs, stores*m, k)
+        # in the same order.
+        self._access_rows = getattr(self.handler, "access_rows", None)
         # Batch plans are a property of the (finalized) program, shared by
         # every executor that runs it.
         self._plans: Dict[int, object] = program.__dict__.setdefault(
@@ -214,24 +222,33 @@ class BatchExecutor(Executor):
                            for fn, base in zip(plan.addr_fns, bases)]
             rows_per_chunk = max(1, self._chunk // k)
             batch = self._access_batch
+            rows_fn = self._access_rows
             rids = plan.rids
             stores = plan.stores
             done = 0
             while done < trips:
                 m = min(rows_per_chunk, trips - done)
-                cols = []
-                for base, st in zip(bases, strides):
-                    start = base + done * st
-                    if st:
-                        cols.append(range(start, start + st * m, st))
+                if rows_fn is not None:
+                    if done:
+                        chunk_bases = [base + done * st
+                                       for base, st in zip(bases, strides)]
                     else:
-                        cols.append(repeat(start, m))
-                if k == 1:
-                    addrs = list(cols[0])
+                        chunk_bases = bases
+                    rows_fn(rids, stores, chunk_bases, strides, m)
                 else:
-                    # Iteration-major interleave: the scalar event order.
-                    addrs = list(chain.from_iterable(zip(*cols)))
-                batch(rids * m, addrs, stores * m, k)
+                    cols = []
+                    for base, st in zip(bases, strides):
+                        start = base + done * st
+                        if st:
+                            cols.append(range(start, start + st * m, st))
+                        else:
+                            cols.append(repeat(start, m))
+                    if k == 1:
+                        addrs = list(cols[0])
+                    else:
+                        # Iteration-major interleave: the scalar event order.
+                        addrs = list(chain.from_iterable(zip(*cols)))
+                    batch(rids * m, addrs, stores * m, k)
                 self._obs_chunks.inc()
                 done += m
             env[var] = rng[-1]  # the value the scalar loop leaves behind

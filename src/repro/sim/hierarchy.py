@@ -25,6 +25,14 @@ from repro.model.config import MachineConfig, MemoryLevel
 from repro.obs import metrics as _obs
 from repro.sim.cache import SetAssocCache
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+#: Chunks at least this long precompute their block ids vectorised.
+_NP_MIN_CHUNK = 512
+
 
 class HierarchySim:
     """Simulate all levels of a :class:`MachineConfig` at once."""
@@ -115,6 +123,12 @@ class HierarchySim:
             return
         track = self.track_refs
         ref_misses = self.ref_misses
+        # Long chunks: one vectorised shift per level replaces a Python
+        # shift per access (block ids come back as a plain list, so the
+        # LRU walk below is untouched).
+        addr_arr = None
+        if _np is not None and len(addrs) >= _NP_MIN_CHUNK:
+            addr_arr = _np.asarray(addrs, dtype=_np.int64)
         for cache in self.caches + self.tlbs:
             block_bits = cache.block_bits
             sets = cache._sets
@@ -123,8 +137,11 @@ class HierarchySim:
             name = cache.name
             hits = 0
             misses = 0
-            for i, addr in enumerate(addrs):
-                block = addr >> block_bits
+            if addr_arr is not None:
+                blocks = (addr_arr >> block_bits).tolist()
+            else:
+                blocks = [addr >> block_bits for addr in addrs]
+            for i, block in enumerate(blocks):
                 line = sets[block % num_sets]
                 if block in line:
                     if line[-1] != block:

@@ -16,13 +16,16 @@ from repro.tools.report import (
 )
 from repro.tools.scopetree import ROOT, ScopeTree
 from repro.tools.session import AnalysisSession, analyze
-from repro.tools.sweep import SweepOutcome, SweepTask, default_jobs, run_sweep
+from repro.tools.sweep import (
+    SweepOutcome, SweepTask, build_sweep_manifest, default_jobs, run_sweep,
+)
 from repro.tools.viewer import Viewer
 from repro.tools.xmlout import export as export_xml
 
 __all__ = [
     "AnalysisCache", "AnalysisSession", "CarriedMisses", "FRAGMENTATION",
-    "FUSION", "SessionDiff", "SweepOutcome", "SweepTask", "default_jobs",
+    "FUSION", "SessionDiff", "SweepOutcome", "SweepTask",
+    "build_sweep_manifest", "default_jobs",
     "diff_sessions", "miss_curve", "program_fingerprint", "render_html",
     "run_sweep", "write_html", "render_curve", "working_set_knees",
     "FlatDatabase", "INTERCHANGE", "IRREGULAR", "PatternRow", "ROOT",

@@ -23,6 +23,7 @@ repeated sweeps over overlapping grids run at file-read speed.
 
 from __future__ import annotations
 
+import json
 import logging
 import multiprocessing
 import os
@@ -183,8 +184,67 @@ def default_jobs(limit: int = 8) -> int:
     return max(1, min(limit, os.cpu_count() or 1))
 
 
+def build_sweep_manifest(outcomes: Sequence[SweepOutcome],
+                         wall_time: Optional[float] = None
+                         ) -> Dict[str, Any]:
+    """Roll a finished sweep up into one plain-data summary.
+
+    The sweep-level counterpart of :class:`~repro.obs.manifest.RunManifest`:
+    totalled event counts across every task, the analysis-cache hit rate,
+    per-task one-line summaries, and — when observability was enabled
+    during the sweep — the merged worker metric deltas.  Everything is
+    JSON-serialisable.
+    """
+    events = {"accesses": 0, "loads": 0, "stores": 0, "ops": 0}
+    cacheable = 0
+    cache_hits = 0
+    failures = 0
+    task_rows: List[Dict[str, Any]] = []
+    merged = _obs.MetricsRegistry()
+    have_metrics = False
+    for out in outcomes:
+        row: Dict[str, Any] = {"key": out.key, "mode": out.mode,
+                               "from_cache": out.from_cache}
+        if out.error is not None:
+            failures += 1
+            row["error"] = out.error.splitlines()[0]
+        stats = out.stats
+        if stats is not None:
+            row["accesses"] = stats.accesses
+            events["accesses"] += stats.accesses
+            events["loads"] += stats.loads
+            events["stores"] += stats.stores
+            events["ops"] += stats.ops
+        if out.mode == "analyze" and out.error is None:
+            cacheable += 1
+            cache_hits += bool(out.from_cache)
+        if out.metrics:
+            merged.merge(out.metrics)
+            have_metrics = True
+        task_rows.append(row)
+    manifest: Dict[str, Any] = {
+        "kind": "sweep",
+        "created": time.time(),
+        "tasks": len(task_rows),
+        "failures": failures,
+        "events": events,
+        "cache": {
+            "eligible": cacheable,
+            "hits": cache_hits,
+            "hit_rate": (cache_hits / cacheable) if cacheable else 0.0,
+        },
+        "task_summaries": task_rows,
+    }
+    if wall_time is not None:
+        manifest["wall_time_s"] = wall_time
+    if have_metrics:
+        manifest["metrics"] = merged.snapshot()
+    return manifest
+
+
 def run_sweep(tasks: Sequence[SweepTask],
-              jobs: Optional[int] = None) -> List[SweepOutcome]:
+              jobs: Optional[int] = None,
+              manifest_out: Optional[str] = None) -> List[SweepOutcome]:
     """Run every task, in order, across ``jobs`` worker processes.
 
     ``jobs=None`` or ``jobs=1`` (or a single task) runs inline — no
@@ -194,7 +254,11 @@ def run_sweep(tasks: Sequence[SweepTask],
     carries :attr:`SweepOutcome.error` and empty results.  With
     observability enabled, per-task worker metrics are merged back into
     the parent's registry before returning.
+
+    ``manifest_out`` writes a sweep-level roll-up JSON (see
+    :func:`build_sweep_manifest`) after the sweep completes.
     """
+    t_start = time.perf_counter()
     tasks = list(tasks)
     if jobs is None:
         jobs = 1
@@ -218,4 +282,10 @@ def run_sweep(tasks: Sequence[SweepTask],
     if failures:
         logger.warning("sweep finished with %d/%d failed tasks",
                        failures, len(outcomes))
+    if manifest_out:
+        manifest = build_sweep_manifest(
+            outcomes, wall_time=time.perf_counter() - t_start)
+        with open(manifest_out, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, default=str)
+        logger.info("sweep manifest written to %s", manifest_out)
     return outcomes

@@ -120,7 +120,7 @@ class Viewer:
         traffic = self.prediction.levels[sort_level].traffic_by_array()
         arrays = sorted(
             {a for vals in per_level.values() for a in vals},
-            key=lambda a: -per_level[sort_level].get(a, 0.0),
+            key=lambda a: (-per_level[sort_level].get(a, 0.0), a),
         )[:n]
         header = f"{'array':<18}" + "".join(
             f"{name + ' misses':>14}" for name in levels)

@@ -118,7 +118,10 @@ def _feed_batched(analyzer, events, split=False):
     ("fenwick", "flat"),          # specialized batch closure
     ("fenwick", "hierarchical"),  # generic batch fallback
     ("treap", "flat"),            # generic batch fallback
-], ids=["fenwick-flat", "fenwick-hier", "treap-flat"])
+    ("numpy", "flat"),            # buffered array engine
+    ("numpy", "hierarchical"),    # buffered array engine, 3-level table
+], ids=["fenwick-flat", "fenwick-hier", "treap-flat", "numpy-flat",
+        "numpy-hier"])
 @pytest.mark.parametrize("periodic", [False, True],
                          ids=["flat-chunks", "row-chunks"])
 @pytest.mark.parametrize("seed", [0, 1, 2])
@@ -130,6 +133,58 @@ def test_batch_equals_scalar(grans, engine, table, periodic, seed):
     _feed_batched(batched, events, split=periodic)
     assert batched.clock == scalar.clock
     assert batched.dump_state() == scalar.dump_state()
+
+
+@pytest.mark.parametrize("flush_threshold", [7, 64, None],
+                         ids=["flush7", "flush64", "flush-default"])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_three_way_engine_equivalence(seed, flush_threshold):
+    """fenwick, treap, and numpy produce byte-identical pattern databases.
+
+    The numpy analyzer is additionally driven at a tiny flush threshold so
+    buffered windows end mid-run, mid-scope, and mid-chunk — every seam the
+    array engine's cross-buffer distance logic has to stitch.
+    """
+    events = _random_trace(seed, periodic=bool(seed % 2))
+    dumps = {}
+    for engine in ("fenwick", "treap", "numpy"):
+        analyzer = ReuseAnalyzer(dict(GRANS_TWO), engine=engine)
+        if engine == "numpy" and flush_threshold is not None:
+            analyzer._np_state.flush_threshold = flush_threshold
+        _feed_batched(analyzer, events, split=True)
+        dumps[engine] = analyzer.dump_state()
+    assert dumps["treap"] == dumps["fenwick"]
+    assert dumps["numpy"] == dumps["fenwick"]
+
+
+@pytest.mark.parametrize("chunk", [1, 3, 17, 1000])
+def test_numpy_chunk_boundaries_are_invisible(chunk):
+    """One stream, many chunkings: identical databases regardless of where
+    access_batch calls split it (including splits inside steady-state runs
+    and straddling internal flushes)."""
+    rng = random.Random(42)
+    rids, addrs, stores = [], [], []
+    row = [(0x4000 + 64 * b, rng.randrange(4)) for b in range(3)]
+    for _ in range(40):
+        if rng.random() < 0.3:   # repeated rows -> runs
+            for _ in range(rng.randrange(2, 6)):
+                for addr, rid in row:
+                    rids.append(rid)
+                    addrs.append(addr)
+                    stores.append(False)
+        else:
+            rids.append(rng.randrange(4))
+            addrs.append(rng.randrange(0, 2048, 8))
+            stores.append(rng.random() < 0.5)
+    reference = ReuseAnalyzer(dict(GRANS_TWO), engine="numpy")
+    reference.access_batch(rids, addrs, stores, 0)
+    expected = reference.dump_state()
+    analyzer = ReuseAnalyzer(dict(GRANS_TWO), engine="numpy")
+    analyzer._np_state.flush_threshold = 29   # force mid-stream flushes
+    for lo in range(0, len(rids), chunk):
+        hi = lo + chunk
+        analyzer.access_batch(rids[lo:hi], addrs[lo:hi], stores[lo:hi], 0)
+    assert analyzer.dump_state() == expected
 
 
 def test_specialized_closure_installed_only_for_fenwick_flat():

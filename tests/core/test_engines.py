@@ -1,10 +1,11 @@
-"""Distance engines (Fenwick, treap) against the naive LRU-stack oracle."""
+"""Distance engines (Fenwick, treap, numpy) against the LRU-stack oracle."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.fenwick import FenwickEngine
+from repro.core.npengine import NumpyFenwickEngine
 from repro.core.treap import TreapEngine
 
 from tests.helpers import NaiveReuseDistance
@@ -32,7 +33,7 @@ def _naive(addresses):
     return [oracle.access(a) for a in addresses]
 
 
-ENGINES = [FenwickEngine, TreapEngine]
+ENGINES = [FenwickEngine, TreapEngine, NumpyFenwickEngine]
 
 
 @pytest.mark.parametrize("engine_cls", ENGINES)
@@ -86,12 +87,76 @@ def test_treap_matches_naive(stream):
     assert _drive(TreapEngine(), stream) == _naive(stream)
 
 
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30),
+                min_size=1, max_size=120))
+def test_numpy_fenwick_matches_naive(stream):
+    # Tiny capacity so the ndarray tree grows several times mid-stream.
+    assert (_drive(NumpyFenwickEngine(initial_capacity=8), stream)
+            == _naive(stream))
+
+
 @settings(max_examples=100, deadline=None)
 @given(st.lists(st.integers(min_value=0, max_value=200),
                 min_size=1, max_size=300))
 def test_engines_agree(stream):
-    assert (_drive(FenwickEngine(initial_capacity=4), stream)
-            == _drive(TreapEngine(), stream))
+    reference = _drive(FenwickEngine(initial_capacity=4), stream)
+    assert _drive(TreapEngine(), stream) == reference
+    assert _drive(NumpyFenwickEngine(initial_capacity=4), stream) == reference
+
+
+class TestNumpyFenwickGrowth:
+    def test_growth_preserves_marks(self):
+        engine = NumpyFenwickEngine(initial_capacity=8)
+        stream = [k % 5 for k in range(100)]
+        assert _drive(engine, stream) == _naive(stream)
+
+    def test_ensure_idempotent(self):
+        engine = NumpyFenwickEngine(initial_capacity=8)
+        engine.first(1)
+        engine.ensure(1000)
+        engine.ensure(1000)
+        assert engine.reuse(1, 999) == 0
+
+    def test_midstream_ensure_matches_fenwick(self):
+        # Pre-grow far past the clock in the middle of a stream: the bulk
+        # and scalar trees must agree on every later distance.
+        streams = ([3, 1, 4, 1, 5], [9, 2, 6, 5, 3, 5, 8, 9, 7, 9])
+        np_eng = NumpyFenwickEngine(initial_capacity=8)
+        fw_eng = FenwickEngine(initial_capacity=8)
+        table = {}
+        clock = 0
+        for part in streams:
+            for addr in part:
+                clock += 1
+                prev = table.get(addr)
+                if prev is None:
+                    np_eng.first(clock)
+                    fw_eng.first(clock)
+                else:
+                    assert (np_eng.reuse(prev, clock)
+                            == fw_eng.reuse(prev, clock))
+                table[addr] = clock
+            np_eng.ensure(clock + 500)
+            fw_eng.ensure(clock + 500)
+        assert np_eng.active_blocks == fw_eng.active_blocks
+
+    def test_bulk_ops_match_scalar(self):
+        import numpy as np
+
+        engine = NumpyFenwickEngine(initial_capacity=8)
+        for t in range(1, 40):
+            engine.first(t)
+        times = np.arange(1, 40, 3, dtype=np.int64)
+        engine.bulk_add(times, -1)
+        scalar = NumpyFenwickEngine(initial_capacity=8)
+        for t in range(1, 40):
+            scalar.first(t)
+        for t in times:
+            scalar._add(int(t), -1)
+        queries = np.arange(1, 40, dtype=np.int64)
+        expected = [scalar._prefix(int(t)) for t in queries]
+        assert engine.bulk_prefix(queries).tolist() == expected
 
 
 class TestTreapStructure:

@@ -1,11 +1,14 @@
 """Parallel sweep driver: worker processes must change nothing but speed."""
 
+import json
+
 import pytest
 
 from repro.apps.harness import measure
 from repro.apps.sweep3d import SweepParams, build_original, build_variant
 from repro.tools import (
-    AnalysisSession, SweepOutcome, SweepTask, default_jobs, run_sweep,
+    AnalysisSession, SweepOutcome, SweepTask, build_sweep_manifest,
+    default_jobs, run_sweep,
 )
 
 
@@ -129,6 +132,54 @@ class TestRunSweep:
         total = sum(out.stats.accesses for out in outcomes)
         assert 0 < snap["counters"]["analyzer.batch_events"] <= total
 
+class TestSweepManifest:
+    def test_rollup_totals_and_cache_rate(self, tmp_path):
+        task = SweepTask(key=4, builder=build_original,
+                         args=(SweepParams(n=4, mm=3, nm=2, noct=1),),
+                         mode="analyze", cache_dir=str(tmp_path))
+        outcomes = run_sweep([task]) + run_sweep([task])  # miss then hit
+        manifest = build_sweep_manifest(outcomes)
+        assert manifest["kind"] == "sweep"
+        assert manifest["tasks"] == 2 and manifest["failures"] == 0
+        assert (manifest["events"]["accesses"]
+                == sum(out.stats.accesses for out in outcomes) > 0)
+        assert manifest["events"]["accesses"] == (
+            manifest["events"]["loads"] + manifest["events"]["stores"])
+        assert manifest["cache"] == {"eligible": 2, "hits": 1,
+                                     "hit_rate": 0.5}
+        rows = manifest["task_summaries"]
+        assert [row["from_cache"] for row in rows] == [False, True]
+
+    def test_failures_counted_with_first_error_line(self):
+        outcomes = run_sweep(_analyze_tasks((4,)) + [
+            SweepTask(key="bad", builder=_boom_builder, mode="analyze")])
+        manifest = build_sweep_manifest(outcomes, wall_time=1.5)
+        assert manifest["failures"] == 1
+        assert manifest["wall_time_s"] == 1.5
+        bad_row = manifest["task_summaries"][1]
+        assert bad_row["error"] == "ValueError: builder exploded"
+        assert "\n" not in bad_row["error"]
+
+    def test_manifest_out_written_and_json_clean(self, tmp_path):
+        path = tmp_path / "sweep_manifest.json"
+        outcomes = run_sweep(_analyze_tasks((4,)), manifest_out=str(path))
+        manifest = json.loads(path.read_text())
+        assert manifest["tasks"] == 1
+        assert manifest["wall_time_s"] > 0
+        assert (manifest["events"]["accesses"]
+                == outcomes[0].stats.accesses)
+        assert "metrics" not in manifest  # obs was disabled
+
+    def test_manifest_merges_worker_metrics(self, obs_on, tmp_path):
+        path = tmp_path / "sweep_manifest.json"
+        run_sweep(_analyze_tasks((4, 5)), jobs=2, manifest_out=str(path))
+        manifest = json.loads(path.read_text())
+        counters = manifest["metrics"]["counters"]
+        assert counters["sweep.tasks"] == 2
+        assert counters["analyzer.batch_events"] > 0
+
+
+class TestVariantBuilder:
     def test_variant_builder_with_args(self):
         params = SweepParams(n=4, mm=4, nm=2, noct=1)
         out = run_sweep([SweepTask(key="b2", builder=build_variant,
