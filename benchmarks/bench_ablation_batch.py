@@ -14,7 +14,18 @@ quantifies the repo's answer to that cost:
   run compression, blocked count-smaller distance queries, and bulk
   Fenwick updates,
 * **parallel**: the batched pipeline fanned across a mesh sweep by
-  `run_sweep` worker processes.
+  `run_sweep` worker processes (always >= 2 workers, so the parallel
+  machinery itself is exercised even on small hosts; the per-job rate in
+  the JSON makes single-CPU oversubscription visible instead of hiding
+  it),
+* **sharded**: ONE trace time-sliced into K=4 shards
+  (`repro.core.shard.analyze_sharded`: record -> split -> per-shard
+  workers -> boundary merge), compared against the sequential numpy
+  engine on the same >= 200k-access trace.  The merged state must be
+  byte-identical (`pickle.dumps` equality, dict order included); the
+  >= 1.8x `shard_speedup` gate applies only when the host has >= 4 CPUs
+  (`shard_cpus` records what the run actually had — on a 1-CPU host the
+  sharded wall time is honestly reported, not excused).
 
 A further pipeline, **batched+obs**, re-runs the batched path with the
 observability subsystem enabled (metrics registry + trace spans), to
@@ -42,9 +53,14 @@ database (the speedup must not buy any drift).  Obs is gated on its
 wall-clock tripwire: the measured overhead is ~0-5%, but memory-layout
 luck can shift a whole session's ratio by ~15% on shared machines,
 far above the quantity being measured, so only a mechanism regression
-(per-access metering, 50%+ slower) can trip the timing bound.  The
-headline numbers are archived to ``BENCH_throughput.json`` at the repo
-root for EXPERIMENTS.md.
+(per-access metering, 50%+ slower) can trip the timing bound.  (A
+previously archived ``obs_overhead_pct`` of ~19% on this repo's 1-CPU
+container is exactly that layout noise: the mechanism gate — >= 16
+accesses per metering call — held, and the per-chunk counter count was
+unchanged.  The JSON now carries ``obs_overhead_is_tripwire`` so nobody
+reads the field as a measurement again.)  The headline numbers are
+archived to ``BENCH_throughput.json`` at the repo root for
+EXPERIMENTS.md.
 
 ``--smoke`` runs the same experiment on a miniature mesh with one timed
 round: every equivalence assertion still holds, the perf thresholds and
@@ -193,6 +209,28 @@ def _smoke_sweep_builder(n):
     return build_original(SweepParams(n=n, mm=4, nm=2, noct=2))
 
 
+SHARD_K = 4
+
+
+def _run_sharded(params, jobs):
+    """One full sharded pipeline (record -> split -> workers -> merge)."""
+    from repro.core.shard import analyze_sharded
+    program = build_original(params)
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        state, stats = analyze_sharded(program, SHARD_K,
+                                       granularities=CFG.granularities(),
+                                       jobs=jobs)
+        elapsed = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return elapsed, stats, state
+
+
 def _experiment(smoke=False):
     params = SMOKE_PARAMS if smoke else PARAMS
     repeats = 1 if smoke else 5
@@ -210,7 +248,10 @@ def _experiment(smoke=False):
     tasks = [SweepTask(key=n, builder=builder, args=(n,),
                        mode="analyze", config=CFG)
              for n in meshes]
-    jobs = default_jobs(4)
+    # Always >= 2 workers: a jobs=1 "parallel" leg exercises none of the
+    # pool machinery (and that is exactly what a 1-CPU default produced
+    # before).  Per-job kps in the JSON exposes oversubscription.
+    jobs = max(2, default_jobs(4))
     manifest_path = os.path.join(RESULTS_DIR, "sweep_manifest.json")
     os.makedirs(RESULTS_DIR, exist_ok=True)
     t0 = time.perf_counter()
@@ -219,6 +260,22 @@ def _experiment(smoke=False):
     sweep_accesses = sum(out.stats.accesses for out in outcomes)
     with open(manifest_path, encoding="utf-8") as fh:
         sweep_manifest = json.load(fh)
+
+    # Sharded leg: the SAME trace the numpy row analyzed sequentially,
+    # cut into SHARD_K time shards across a worker pool; best-of timing
+    # like the other variants (one warm run first).
+    cpus = os.cpu_count() or 1
+    shard_jobs = min(SHARD_K, cpus)
+    _run_sharded(params, shard_jobs)
+    shard_t = None
+    shard_state = None
+    for _ in range(repeats):
+        elapsed, shard_stats, state = _run_sharded(params, shard_jobs)
+        if shard_t is None or elapsed < shard_t:
+            shard_t = elapsed
+            shard_state = state
+    shard_identical = (pickle.dumps(shard_state)
+                       == pickle.dumps(numpy_an.dump_state()))
 
     return {
         "accesses": accesses,
@@ -242,8 +299,23 @@ def _experiment(smoke=False):
         "sweep_jobs": jobs,
         "sweep_accesses": sweep_accesses,
         "parallel_kps": sweep_accesses / sweep_t / 1e3,
+        "parallel_kps_per_job": sweep_accesses / sweep_t / 1e3 / jobs,
         "sweep_manifest_tasks": sweep_manifest["tasks"],
         "sweep_cache_hit_rate": sweep_manifest["cache"]["hit_rate"],
+        "shard_k": SHARD_K,
+        "shard_cpus": cpus,
+        "shard_jobs": shard_jobs,
+        "shard_s": shard_t,
+        "shard_kps": accesses / shard_t / 1e3,
+        "shard_speedup": numpy_t / shard_t,
+        "shard_identical": shard_identical,
+        # obs_overhead_pct is a *tripwire*, not a measurement of metering
+        # cost: the quantity is ~0-5% but allocator/layout luck shifts a
+        # whole session's ratio by ~15% on shared or 1-CPU hosts.  The
+        # real gate is the metering mechanism (obs_events_counted /
+        # obs_batch_calls >= 16, i.e. counters tick per chunk); the
+        # wall-clock bound only catches a 50%+ per-access regression.
+        "obs_overhead_is_tripwire": True,
         "smoke": smoke,
     }
 
@@ -271,25 +343,34 @@ def test_ablation_batch_throughput(benchmark, record, request):
         f"{'sweep (%d proc)' % r['sweep_jobs']:<22}"
         f"{r['parallel_kps']:>13.0f}"
         f"{r['parallel_kps'] / r['scalar_kps']:>8.2f}x",
+        f"{'sharded (K=%d, %dp)' % (r['shard_k'], r['shard_jobs']):<22}"
+        f"{r['shard_kps']:>13.0f}"
+        f"{r['scalar_s'] / r['shard_s']:>8.2f}x",
         "",
         f"pattern databases byte-identical: {r['dbs_identical']} "
         "(scalar = batched = numpy = batched+obs)",
         f"run statistics identical: {r['stats_equal']}",
         f"numpy vs batched: {r['numpy_speedup']:.2f}x",
+        f"sharded vs numpy sequential: {r['shard_speedup']:.2f}x "
+        f"on {r['shard_cpus']} CPU(s), merged state byte-identical: "
+        f"{r['shard_identical']}",
         f"obs overhead: {r['obs_overhead_pct']:+.2f}% "
-        f"({r['obs_events_counted']} events metered)",
+        f"({r['obs_events_counted']} events metered; tripwire only — "
+        "the gate is chunk-level metering, see module docstring)",
         f"sweep roll-up: {r['sweep_manifest_tasks']} tasks, "
         f"cache hit rate {r['sweep_cache_hit_rate']:.0%} "
         "(benchmarks/results/sweep_manifest.json)",
         f"(parallel row: aggregate over meshes "
         f"{SMOKE_SWEEP_MESHES if smoke else SWEEP_MESHES}, "
-        f"analysis sessions in {r['sweep_jobs']} processes)",
+        f"analysis sessions in {r['sweep_jobs']} processes, "
+        f"{r['parallel_kps_per_job']:.0f} kps/job)",
     ]
     record("\n".join(lines))
 
     # The speedup must not buy any drift — smoke mode included.
     assert r["dbs_identical"]
     assert r["stats_equal"]
+    assert r["shard_identical"]
     assert r["obs_events_counted"] > 0
 
     if smoke:
@@ -313,3 +394,10 @@ def test_ablation_batch_throughput(benchmark, record, request):
     # metering) costs 50%+.
     assert r["obs_events_counted"] / max(r["obs_batch_calls"], 1) >= 16
     assert r["obs_overhead_pct"] < 25.0
+    # Sharding pays off only when the shards actually run concurrently:
+    # the trace is >= 200k accesses and K=4, so on a >= 4-CPU host the
+    # sharded pipeline must beat the sequential numpy engine by 1.8x.
+    # On smaller hosts the (honest) slowdown is recorded, not gated.
+    assert r["accesses"] >= 200_000
+    if r["shard_cpus"] >= 4:
+        assert r["shard_speedup"] >= 1.8

@@ -31,6 +31,7 @@ Examples
     python -m repro measure gtc --micell 4 --jobs 4
     python -m repro analyze sweep3d --no-cache
     python -m repro analyze sweep3d --engine numpy
+    python -m repro analyze sweep3d --shards 4
     python -m repro analyze sweep3d --profile --manifest-out run.json
     python -m repro stats run.json
 """
@@ -98,9 +99,14 @@ def cmd_analyze(args) -> int:
         obs.set_enabled(True)
     program = _build(args.workload, args)
     cache = None if args.no_cache else AnalysisCache()
-    session = AnalysisSession(program, cache=cache, engine=args.engine)
-    print(f"running {program.name} under instrumentation ...",
-          file=sys.stderr)
+    session = AnalysisSession(program, cache=cache, engine=args.engine,
+                              shards=args.shards)
+    if args.shards > 1:
+        print(f"running {program.name} under instrumentation "
+              f"({args.shards} time shards) ...", file=sys.stderr)
+    else:
+        print(f"running {program.name} under instrumentation ...",
+              file=sys.stderr)
     session.run()
     if session.from_cache:
         print("(restored from analysis cache)", file=sys.stderr)
@@ -151,6 +157,7 @@ def cmd_measure(args) -> int:
         for name in SWEEP_VARIANTS:
             tasks.append(SweepTask(key=name, builder=build_variant,
                                    args=(name, params), mode="measure",
+                                   shards=args.shards,
                                    measure_kwargs={"name": name}))
     elif args.app == "gtc":
         params = GTCParams(micell=args.micell)
@@ -160,7 +167,7 @@ def cmd_measure(args) -> int:
             fused = ("pushi", "gcmotion") if variant.pushi_tiled else ()
             tasks.append(SweepTask(
                 key=variant.name, builder=build_gtc, args=(variant, params),
-                mode="measure",
+                mode="measure", shards=args.shards,
                 measure_kwargs={"name": variant.name,
                                 "fused_routines": fused}))
     else:
@@ -210,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("fenwick", "treap", "numpy"),
                          help="reuse-distance engine (numpy = buffered "
                               "array path; results are identical)")
+    analyze.add_argument("--shards", type=int, default=1, metavar="K",
+                         help="analyze the trace as K parallel time "
+                              "shards (results are byte-identical to "
+                              "a sequential run)")
     analyze.add_argument("--xml", metavar="PATH",
                          help="also export the XML database")
     analyze.add_argument("--html", metavar="PATH",
@@ -229,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
     meas.add_argument("--micell", type=int, default=6)
     meas.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes for the variant sweep")
+    meas.add_argument("--shards", type=int, default=1, metavar="K",
+                      help="time shards per task (analyze-mode sweeps "
+                           "only; the measure pipeline warns and runs "
+                           "unsharded)")
 
     stats = sub.add_parser("stats", help="pretty-print a saved run manifest")
     stats.add_argument("file", metavar="MANIFEST",

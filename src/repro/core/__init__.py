@@ -16,12 +16,19 @@ from repro.core.histogram import (
 )
 from repro.core.patterns import COLD, PatternDB, PatternKey, ReusePattern
 from repro.core.scopestack import ScopeStack
+from repro.core.shard import (
+    RecordedTrace, ShardResult, ShardSlice, analyze_sharded,
+    analyze_trace_sharded, merge_shard_results, record_trace, split_trace,
+)
 from repro.core.treap import TreapEngine
 
 __all__ = [
     "COLD", "CallingContextTree", "ContextReuseAnalyzer", "EXACT_LIMIT",
     "FenwickEngine", "FlatBlockTable", "GranularityState",
     "HierarchicalBlockTable", "Histogram", "PatternDB", "PatternKey",
-    "ReuseAnalyzer", "ReusePattern", "SUBBINS", "ScopeStack", "TreapEngine",
-    "bin_mid", "bin_of", "bin_range", "for_program", "from_raw",
+    "RecordedTrace", "ReuseAnalyzer", "ReusePattern", "SUBBINS",
+    "ScopeStack", "ShardResult", "ShardSlice", "TreapEngine",
+    "analyze_sharded", "analyze_trace_sharded", "bin_mid", "bin_of",
+    "bin_range", "for_program", "from_raw", "merge_shard_results",
+    "record_trace", "split_trace",
 ]

@@ -139,34 +139,48 @@ class ReuseAnalyzer:
             # Buffered array path: accesses accumulate across calls and
             # scope events; the clock advances eagerly on append, results
             # are resolved in vectorised flushes (see repro.core.npengine).
-            state = _npengine.NumpyBatchState(self)
-            self._np_state = state
-            self._flush = state.flush
-            self.access = state.scalar_access
-            self.access_batch = state.append_batch
-            self.access_rows = state.append_rows
-            stack = self.stack
+            self._install_numpy_state(_npengine.NumpyBatchState(self))
 
-            # Scope events invalidate the state's cached stack snapshot
-            # and close any open scalar segment (inlined from
-            # NumpyBatchState.on_scope_event: these run once per loop
-            # entry/exit, a measurable share of the batched hot path).
-            def enter_scope(sid, _stack=stack, _state=state, _self=self):
-                if _state._open_addrs is not None:
-                    _state._close_open()
-                _state._cur_snap = -1
-                _stack._sids.append(sid)
-                _stack._clocks.append(_self.clock)
+    def _install_numpy_state(self, state) -> None:
+        """Route the event-handler entry points through a buffered state.
 
-            def exit_scope(sid, _stack=stack, _state=state):
-                if _state._open_addrs is not None:
-                    _state._close_open()
-                _state._cur_snap = -1
-                _stack._sids.pop()
-                _stack._clocks.pop()
+        Called by ``__init__`` for ``engine="numpy"`` and by the sharded
+        engine (:mod:`repro.core.shard`), which swaps in a subclassed
+        state after seeding the scope stack.
+        """
+        self._np_state = state
+        self._flush = state.flush
+        self.access = state.scalar_access
+        self.access_batch = state.append_batch
+        self.access_rows = state.append_rows
+        stack = self.stack
 
-            self.enter_scope = enter_scope
-            self.exit_scope = exit_scope
+        # Scope events invalidate the state's cached stack snapshot
+        # and close any open scalar segment (inlined from
+        # NumpyBatchState.on_scope_event: these run once per loop
+        # entry/exit, a measurable share of the batched hot path).
+        def enter_scope(sid, _stack=stack, _state=state, _self=self):
+            if _state._open_addrs is not None:
+                _state._close_open()
+            _state._cur_snap = -1
+            _stack._sids.append(sid)
+            _stack._clocks.append(_self.clock)
+
+        def exit_scope(sid, _stack=stack, _state=state):
+            if _state._open_addrs is not None:
+                _state._close_open()
+            _state._cur_snap = -1
+            sids = _stack._sids
+            # Sharded analyses seed the stack with scopes entered before
+            # the shard; popping into that prefix shrinks it (_seed_live
+            # is 0 for ordinary states, so this never fires).
+            if len(sids) <= _state._seed_live:
+                _state._seed_live = len(sids) - 1
+            sids.pop()
+            _stack._clocks.pop()
+
+        self.enter_scope = enter_scope
+        self.exit_scope = exit_scope
 
     # -- event handler protocol -------------------------------------------
 

@@ -258,6 +258,10 @@ class _AffineRows:
 class NumpyBatchState:
     """Cross-call access buffer plus the vectorised flush pipeline."""
 
+    #: Scope-stack entries below this depth were inherited from before the
+    #: analysis window (sharded analyses only; see repro.core.shard).
+    _seed_live = 0
+
     def __init__(self, analyzer) -> None:
         self.analyzer = analyzer
         self.stack = analyzer.stack
@@ -396,6 +400,48 @@ class NumpyBatchState:
         if self._n >= self.flush_threshold:
             self.flush()
 
+    # -- flush hooks (overridden by the sharded engine) --------------------
+
+    def _insert_pattern(self, gi: int, raw: dict, key: Tuple[int, int, int],
+                        b: int, cnt: int, clock: int) -> None:
+        """Accumulate one (pattern key, bin) count into the database.
+
+        ``clock`` is the logical time of the first event behind the count
+        (exact: first occurrences never sit on a run-compressed copy, so
+        ``t_c`` needs no adjustment there).  The base engine only needs the
+        dict-insertion order that the flush loop already provides; the
+        sharded engine (repro.core.shard) overrides this to also record
+        first-event clocks so the merge can rebuild the global insertion
+        order across shards.
+        """
+        bins = raw.get(key)
+        if bins is None:
+            bins = {}
+            raw[key] = bins
+        bins[b] = bins.get(b, 0) + cnt
+
+    def _on_first_touch(self, gi, cold, uniq, first_c, q_cold, Rc,
+                        t_c, kept_idx, pos_seg, seg_snap) -> None:
+        """Handle blocks first touched in this buffer with no table entry.
+
+        For a standalone analysis these are cold misses: count them per
+        rid in first-event order (matching the scalar engines' dict
+        order).  The sharded engine overrides this to divert them into
+        its unresolved-boundary set instead — whether they are really
+        cold or a cross-shard reuse is only known at merge time.
+        """
+        pos_cold = first_c[q_cold]
+        vals_c, inv_c, cnts = np.unique(Rc[pos_cold],
+                                        return_inverse=True,
+                                        return_counts=True)
+        firsts = np.full(vals_c.size, np.iinfo(np.int64).max,
+                         dtype=np.int64)
+        np.minimum.at(firsts, inv_c, pos_cold)
+        order = np.argsort(firsts, kind="stable")
+        for rid, cnt in zip(vals_c[order].tolist(),
+                            cnts[order].tolist()):
+            cold[rid] = cold.get(rid, 0) + cnt
+
     # -- the flush pipeline ------------------------------------------------
 
     def flush(self) -> None:
@@ -518,7 +564,7 @@ class NumpyBatchState:
             psel.append((k, sel, rows, same_seg,
                          np.arange(k, dtype=np.int64)))
 
-        for shift, table, eng, raw, cold, flat in self._grans:
+        for gi, (shift, table, eng, raw, cold, flat) in enumerate(self._grans):
             B = A >> shift if shift else A
             # ---- steady-row run compression (per granularity: rows can
             # repeat at line size but differ at address/page size) ----
@@ -687,45 +733,32 @@ class NumpyBatchState:
                                      dtype=np.int64)
                     np.minimum.at(firsts, inv, pos_all)
                     order = np.argsort(firsts, kind="stable")
-                    for kval, cnt in zip(uk[order].tolist(),
-                                         sums[order].tolist()):
+                    first_clk = t_c[firsts[order]]
+                    insert = self._insert_pattern
+                    for kval, cnt, clk in zip(uk[order].tolist(),
+                                              sums[order].tolist(),
+                                              first_clk.tolist()):
                         b = kval % bmax
                         kval //= bmax
                         carry = kval % smax - 1
                         kval //= smax
-                        key = (kval // smax, kval % smax - 1, carry)
-                        bins = raw_get(key)
-                        if bins is None:
-                            bins = {}
-                            raw[key] = bins
-                        bins[b] = bins.get(b, 0) + cnt
+                        insert(gi, raw, (kval // smax, kval % smax - 1, carry),
+                               b, cnt, clk)
                 else:  # pragma: no cover - out-of-range id spaces
                     order = np.argsort(pos_all, kind="stable")
-                    for rid, src, carry, b, w in zip(
+                    first_clk = t_c[pos_all[order]]
+                    insert = self._insert_pattern
+                    for rid, src, carry, b, w, clk in zip(
                             rid_all[order].tolist(), src_all[order].tolist(),
                             carry_all[order].tolist(), bin_all[order].tolist(),
-                            w_all[order].tolist()):
-                        key = (rid, src, carry)
-                        bins = raw_get(key)
-                        if bins is None:
-                            bins = {}
-                            raw[key] = bins
-                        bins[b] = bins.get(b, 0) + w
+                            w_all[order].tolist(), first_clk.tolist()):
+                        insert(gi, raw, (rid, src, carry), b, w, clk)
 
             # ---- cold misses (rid order = first cold event, as scalar) --
             q_cold = np.flatnonzero(~found_u)
             if q_cold.size:
-                pos_cold = first_c[q_cold]
-                vals_c, inv_c, cnts = np.unique(Rc[pos_cold],
-                                                return_inverse=True,
-                                                return_counts=True)
-                firsts = np.full(vals_c.size, np.iinfo(np.int64).max,
-                                 dtype=np.int64)
-                np.minimum.at(firsts, inv_c, pos_cold)
-                order = np.argsort(firsts, kind="stable")
-                for rid, cnt in zip(vals_c[order].tolist(),
-                                    cnts[order].tolist()):
-                    cold[rid] = cold.get(rid, 0) + cnt
+                self._on_first_touch(gi, cold, uniq, first_c, q_cold, Rc,
+                                     t_c, kept_idx, pos_seg, seg_snap)
 
             # ---- engine marks + block-table entries ----
             eng.ensure(end)

@@ -1,0 +1,660 @@
+"""Time-sliced parallel reuse-distance analysis with an exact merge.
+
+One huge trace is still analyzed by one core even with the numpy engine:
+the sweep driver only parallelizes across *tasks*.  This module shards a
+single access stream across workers, PARDA-style, and merges the partial
+results back into output byte-identical to a sequential run:
+
+1. **Record.**  The program runs once under a :class:`StreamRecorder`,
+   which captures the event stream as replayable ops.  Affine loops stay
+   unmaterialized (`("rows", ...)` ops mirror the
+   ``BatchExecutor.access_rows`` protocol), so recording is cheap — no
+   per-access Python work for the loops that dominate real traces.
+2. **Split.**  :func:`split_trace` cuts the stream into K contiguous time
+   shards at access-count boundaries.  Batch chunks are sliced and affine
+   row blocks are split into partial-row / whole-rows / partial-row
+   pieces, so a boundary can land anywhere — mid-scope, mid-chunk, or in
+   the middle of a run-compressed region.  Each shard carries the scope
+   stack live at its start (*seed* scopes, with their global entry
+   clocks).
+3. **Analyze.**  Each shard replays its ops through a
+   :class:`ReuseAnalyzer` whose buffered numpy state is swapped for
+   :class:`ShardBatchState`.  Global clocks are preserved (the shard
+   starts at its global start clock), so every reuse whose previous
+   touch lies *inside* the shard resolves exactly as the sequential
+   engine would — distances count only accesses in ``(t_prev, t)``, all
+   in-shard, and carrying-scope bisects see true global entry clocks.
+   The first in-shard touch of each block cannot be classified locally
+   (cold miss or cross-shard reuse?); it is diverted into a time-ordered
+   *unresolved boundary set* instead of the cold table.
+4. **Merge.**  :func:`merge_shard_results` walks the shards in time
+   order, keeping a global last-touch table and a Fenwick tree over the
+   shards' *boundary sets only*.  Each unresolved access resolves
+   against the earlier shards' last-touch marks plus a count-smaller
+   correction for unresolved predecessors in its own shard; its carrying
+   scope comes from a binary search over the shard's seed clocks.  The
+   merged pattern databases are then rebuilt in global first-event-clock
+   order, which reproduces the sequential engines' dict-insertion order
+   exactly — ``dump_state()`` of the merge pickles byte-identical to
+   ``engine="numpy"`` (and therefore fenwick/treap) run sequentially.
+
+The merge touches each distinct block once per shard, not each access:
+for a trace with footprint F and K shards the serial portion is
+O(K * F log F), while the O(N) analysis fans out across workers.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.analyzer import STATE_VERSION, ReuseAnalyzer
+from repro.core.histogram import bin_of_array
+from repro.core.npengine import (
+    NumpyBatchState, NumpyFenwickEngine, _count_smaller_left,
+)
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+
+logger = logging.getLogger("repro.core.shard")
+
+#: Default granularities, matching MachineConfig.scaled_itanium2().
+_DEFAULT_GRANS = {"line": 64, "page": 512}
+
+
+# ---------------------------------------------------------------------------
+# Recording
+# ---------------------------------------------------------------------------
+
+class StreamRecorder:
+    """Event handler that captures the access stream as replayable ops.
+
+    Ops are plain tuples (picklable, slicable):
+
+    * ``("enter", sid)`` / ``("exit", sid)`` — scope events;
+    * ``("batch", rids, addrs, stores, period)`` — a materialized chunk
+      (scalar accesses between scope events are coalesced into one);
+    * ``("rows", rids, stores, bases, strides, m)`` — an unmaterialized
+      affine chunk, exactly the ``access_rows`` protocol.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[tuple] = []
+        self.accesses = 0
+        self._open: Optional[Tuple[list, list, list]] = None
+
+    def enter_scope(self, sid: int) -> None:
+        self._close()
+        self.ops.append(("enter", sid))
+
+    def exit_scope(self, sid: int) -> None:
+        self._close()
+        self.ops.append(("exit", sid))
+
+    def access(self, rid: int, addr: int, is_store: bool) -> None:
+        op = self._open
+        if op is None:
+            self._open = ([rid], [addr], [is_store])
+        else:
+            op[0].append(rid)
+            op[1].append(addr)
+            op[2].append(is_store)
+        self.accesses += 1
+
+    def access_batch(self, rids, addrs, stores, period: int = 0) -> None:
+        n = len(addrs)
+        if not n:
+            return
+        self._close()
+        self.ops.append(("batch", list(rids), list(addrs), list(stores),
+                         period if period and not n % period else 0))
+        self.accesses += n
+
+    def access_rows(self, rids, stores, bases, strides, m: int) -> None:
+        n = m * len(bases)
+        if not n:
+            return
+        self._close()
+        self.ops.append(("rows", tuple(rids), tuple(stores), tuple(bases),
+                         tuple(strides), m))
+        self.accesses += n
+
+    def _close(self) -> None:
+        op = self._open
+        if op is not None:
+            self.ops.append(("batch", op[0], op[1], op[2], 0))
+            self._open = None
+
+
+@dataclass(frozen=True)
+class RecordedTrace:
+    """One program run's event stream, ready to split."""
+
+    ops: Tuple[tuple, ...]
+    accesses: int
+
+
+def record_trace(program, batch: bool = True, **params):
+    """Run ``program`` once under a recorder; returns (trace, stats)."""
+    from repro.lang.batch import BatchExecutor
+    from repro.lang.executor import Executor
+    recorder = StreamRecorder()
+    executor_cls = BatchExecutor if batch else Executor
+    stats = executor_cls(program, recorder).run(**params)
+    recorder._close()
+    return RecordedTrace(tuple(recorder.ops), recorder.accesses), stats
+
+
+# ---------------------------------------------------------------------------
+# Splitting
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One contiguous time shard of a recorded trace (picklable)."""
+
+    index: int
+    nshards: int
+    #: global clock before the shard's first access
+    start: int
+    #: accesses in the shard
+    length: int
+    #: scope stack live at the shard start (global entry clocks)
+    seed_sids: Tuple[int, ...]
+    seed_clocks: Tuple[int, ...]
+    ops: Tuple[tuple, ...]
+
+
+def _emit_partial(out, rids, stores, bases, strides, row, jlo, jhi) -> None:
+    out.append(("batch", list(rids[jlo:jhi]),
+                [bases[j] + row * strides[j] for j in range(jlo, jhi)],
+                list(stores[jlo:jhi]), 0))
+
+
+def _emit_rows_piece(out, rids, stores, bases, strides, k, off, take) -> None:
+    """Emit accesses [off, off+take) of an m-iteration affine rows op.
+
+    Misaligned edges materialize only the partial rows; whole iterations
+    in between stay an unmaterialized ``rows`` op with shifted bases.
+    """
+    end = off + take
+    r0, j0 = divmod(off, k)
+    r1, j1 = divmod(end, k)
+    if j0:
+        jhi = k if r1 > r0 else j1
+        _emit_partial(out, rids, stores, bases, strides, r0, j0, jhi)
+        if jhi < k:
+            return
+        r0 += 1
+    if r1 > r0:
+        out.append(("rows", rids, stores,
+                    tuple(b + r0 * s for b, s in zip(bases, strides)),
+                    strides, r1 - r0))
+    if j1:
+        _emit_partial(out, rids, stores, bases, strides, r1, 0, j1)
+
+
+def split_trace(trace: RecordedTrace, nshards: int) -> List[ShardSlice]:
+    """Cut a recorded trace into K contiguous time shards.
+
+    Shard boundaries are access-count cuts at ``i * n // K``; K is
+    clamped to the access count (each shard gets at least one access,
+    and an empty trace yields a single empty shard).  Scope events that
+    fall exactly on a cut go to the *following* shard, so a shard's seed
+    clocks are all strictly below its start clock.
+    """
+    n = trace.accesses
+    k = max(1, min(int(nshards), n if n else 1))
+    cuts = [(i * n) // k for i in range(k + 1)]
+    shards: List[ShardSlice] = []
+    cur: List[tuple] = []
+    sids: List[int] = []
+    clocks: List[int] = []
+    state = {"si": 0, "consumed": 0, "start": 0,
+             "seed_s": (), "seed_c": ()}
+
+    def close() -> None:
+        shards.append(ShardSlice(
+            state["si"], k, state["start"],
+            state["consumed"] - state["start"],
+            state["seed_s"], state["seed_c"], tuple(cur)))
+        cur.clear()
+        state["si"] += 1
+        state["seed_s"] = tuple(sids)
+        state["seed_c"] = tuple(clocks)
+        state["start"] = state["consumed"]
+
+    def at_cut() -> bool:
+        return (state["si"] < k - 1
+                and state["consumed"] == cuts[state["si"] + 1])
+
+    for op in trace.ops:
+        tag = op[0]
+        if tag == "enter":
+            if at_cut():
+                close()
+            cur.append(op)
+            sids.append(op[1])
+            clocks.append(state["consumed"])
+        elif tag == "exit":
+            if at_cut():
+                close()
+            cur.append(op)
+            sids.pop()
+            clocks.pop()
+        elif tag == "batch":
+            _, rids, addrs, stores, period = op
+            total = len(addrs)
+            off = 0
+            while off < total:
+                if at_cut():
+                    close()
+                room = (cuts[state["si"] + 1] if state["si"] < k - 1
+                        else n) - state["consumed"]
+                take = min(room, total - off)
+                if off == 0 and take == total:
+                    cur.append(op)
+                else:
+                    per = (period if period and off % period == 0
+                           and take % period == 0 else 0)
+                    cur.append(("batch", rids[off:off + take],
+                                addrs[off:off + take],
+                                stores[off:off + take], per))
+                state["consumed"] += take
+                off += take
+        else:  # rows
+            _, rids, stores, bases, strides, m = op
+            krow = len(rids)
+            total = m * krow
+            off = 0
+            while off < total:
+                if at_cut():
+                    close()
+                room = (cuts[state["si"] + 1] if state["si"] < k - 1
+                        else n) - state["consumed"]
+                take = min(room, total - off)
+                _emit_rows_piece(cur, rids, stores, bases, strides,
+                                 krow, off, take)
+                state["consumed"] += take
+                off += take
+    close()
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# Per-shard analysis
+# ---------------------------------------------------------------------------
+
+class ShardBatchState(NumpyBatchState):
+    """Buffered numpy state that defers boundary classification.
+
+    Three deviations from the sequential state, all hook overrides:
+
+    * blocks first touched in the shard with no local table entry are
+      *unresolved* — appended (time-ordered) to the boundary set with
+      everything the merge needs to finish them (event clock, rid, live
+      seed depth, bottom-of-stack sid) — instead of being counted cold;
+    * pattern inserts record the first event clock per key and per
+      (key, bin), so the merge can rebuild global dict-insertion order;
+    * scope-stack snapshots additionally remember the live seed depth
+      (seeds are the scopes inherited from before the shard; exits can
+      shrink that prefix, tracked by the analyzer's exit closure).
+    """
+
+    def __init__(self, analyzer, seed_len: int = 0) -> None:
+        super().__init__(analyzer)
+        self._seed_live = seed_len
+        ngran = len(analyzer.grans)
+        #: per granularity: pattern key -> first event clock
+        self.key_first: List[Dict] = [dict() for _ in range(ngran)]
+        #: per granularity: (key, bin) -> first event clock
+        self.bin_first: List[Dict] = [dict() for _ in range(ngran)]
+        #: per granularity, time-ordered:
+        #: (block, clock, rid, seed_depth, first_sid)
+        self.unresolved: List[List[tuple]] = [[] for _ in range(ngran)]
+        self._obs_unresolved = _obs.counter("shard.boundary_unresolved")
+
+    def _reset(self) -> None:
+        super()._reset()
+        self._snap_seed: List[int] = []
+        self._snap_first: List[int] = []
+
+    def _snap_id(self) -> int:
+        if self._cur_snap < 0:
+            sid = super()._snap_id()
+            sids = self.stack._sids
+            self._snap_seed.append(self._seed_live)
+            self._snap_first.append(sids[0] if sids else -1)
+            return sid
+        return self._cur_snap
+
+    def _insert_pattern(self, gi, raw, key, b, cnt, clock) -> None:
+        bins = raw.get(key)
+        if bins is None:
+            bins = {}
+            raw[key] = bins
+            self.key_first[gi][key] = clock
+        if b in bins:
+            bins[b] += cnt
+        else:
+            bins[b] = cnt
+            self.bin_first[gi][(key, b)] = clock
+
+    def _on_first_touch(self, gi, cold, uniq, first_c, q_cold, Rc,
+                        t_c, kept_idx, pos_seg, seg_snap) -> None:
+        # q_cold is in block-sorted order; re-sort by first position so
+        # the boundary set stays time-ordered.  First occurrences never
+        # sit on a run-compressed copy, so t_c is the exact event clock.
+        pos_cold = first_c[q_cold]
+        order = np.argsort(pos_cold)
+        p = pos_cold[order]
+        snaps = seg_snap[pos_seg[kept_idx[p]]]
+        seed = np.array(self._snap_seed, dtype=np.int64)[snaps]
+        first = np.array(self._snap_first, dtype=np.int64)[snaps]
+        self.unresolved[gi].extend(zip(
+            uniq[q_cold[order]].tolist(), t_c[p].tolist(), Rc[p].tolist(),
+            seed.tolist(), first.tolist()))
+        self._obs_unresolved.inc(int(q_cold.size))
+
+
+@dataclass
+class ShardResult:
+    """Plain-data result of one shard analysis (safe across processes)."""
+
+    index: int
+    start: int
+    end: int
+    seed_sids: Tuple[int, ...]
+    seed_clocks: Tuple[int, ...]
+    #: per granularity: raw / key_first / bin_first / unresolved / last
+    grans: List[Dict[str, Any]]
+    #: worker-side metrics snapshot (obs enabled only)
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def analyze_shard(sl: ShardSlice,
+                  granularities: Dict[str, int]) -> ShardResult:
+    """Replay one shard through a seeded analyzer; locally-exact result.
+
+    The analyzer's clock starts at the shard's global start and its scope
+    stack is pre-seeded, so in-shard reuses (distances, bins, carrying
+    scopes) come out exactly as in the sequential run.  Cross-shard
+    reuses land in the unresolved boundary set for the merge.
+    """
+    analyzer = ReuseAnalyzer(granularities, engine="numpy")
+    state = ShardBatchState(analyzer, seed_len=len(sl.seed_sids))
+    analyzer._install_numpy_state(state)
+    analyzer.clock = sl.start
+    analyzer.stack._sids.extend(sl.seed_sids)
+    analyzer.stack._clocks.extend(sl.seed_clocks)
+    enter = analyzer.enter_scope
+    leave = analyzer.exit_scope
+    batch = analyzer.access_batch
+    rows = analyzer.access_rows
+    for op in sl.ops:
+        tag = op[0]
+        if tag == "batch":
+            batch(op[1], op[2], op[3], op[4])
+        elif tag == "rows":
+            rows(op[1], op[2], op[3], op[4], op[5])
+        elif tag == "enter":
+            enter(op[1])
+        else:
+            leave(op[1])
+    analyzer._flush()
+    grans = []
+    for gi, g in enumerate(analyzer.grans):
+        if g.db.cold:  # pragma: no cover - invariant guard
+            raise AssertionError("shard worker classified a cold miss")
+        grans.append({
+            "raw": g.db.raw,
+            "key_first": state.key_first[gi],
+            "bin_first": state.bin_first[gi],
+            "unresolved": state.unresolved[gi],
+            "last": dict(g.table.raw),
+        })
+    return ShardResult(index=sl.index, start=sl.start,
+                       end=sl.start + sl.length,
+                       seed_sids=sl.seed_sids, seed_clocks=sl.seed_clocks,
+                       grans=grans)
+
+
+# ---------------------------------------------------------------------------
+# Merge
+# ---------------------------------------------------------------------------
+
+def _min_into(target: Dict, source: Dict) -> None:
+    get = target.get
+    for key, clk in source.items():
+        prev = get(key)
+        if prev is None or clk < prev:
+            target[key] = clk
+
+
+def merge_shard_results(results: Sequence[ShardResult],
+                        granularities: Dict[str, int],
+                        total_accesses: int) -> Dict:
+    """Resolve the boundary sets and rebuild the sequential output.
+
+    Walks shards in time order per granularity, carrying a global
+    last-touch table and a Fenwick tree whose marks are the *last-touch
+    times of blocks seen so far* (exactly the sequential engine's tree
+    restricted to pre-shard state).  For an unresolved access at global
+    time t with previous global touch t_prev:
+
+    ``d = active_pre - prefix_pre(t_prev) + corr``
+
+    where ``corr`` counts unresolved predecessors in the same shard whose
+    previous touch is older than t_prev (or cold) — those blocks were
+    touched in (t_prev, t) but their pre-shard marks don't show it.  The
+    carrying scope is a bisect over the shard's seed entry clocks,
+    clamped to the seed depth live at the event.  Accesses with no prior
+    touch anywhere are the true cold misses.
+
+    Returns a ``ReuseAnalyzer.dump_state()``-format dict; pattern keys,
+    bins, and cold rids are inserted in global first-event-clock order,
+    reproducing the sequential dict order byte-for-byte.
+    """
+    results = sorted(results, key=lambda r: r.index)
+    out_grans = []
+    for gi, (name, size) in enumerate(granularities.items()):
+        counts: Dict[tuple, Dict[int, int]] = {}
+        key_first: Dict[tuple, int] = {}
+        bin_first: Dict[tuple, int] = {}
+        cold_counts: Dict[int, int] = {}
+        cold_first: Dict[int, int] = {}
+        eng = NumpyFenwickEngine()
+        last: Dict[int, tuple] = {}
+        for res in results:
+            g = res.grans[gi]
+            for key, bins in g["raw"].items():
+                tgt = counts.get(key)
+                if tgt is None:
+                    counts[key] = dict(bins)
+                else:
+                    for b, c in bins.items():
+                        tgt[b] = tgt.get(b, 0) + c
+            _min_into(key_first, g["key_first"])
+            _min_into(bin_first, g["bin_first"])
+            u = g["unresolved"]
+            if not u:
+                continue
+            nu = len(u)
+            blocks = [e[0] for e in u]
+            prevs = [last.get(b) for b in blocks]
+            t_now = np.fromiter((e[1] for e in u), np.int64, nu)
+            tp = np.fromiter(
+                (p[0] if p is not None else 0 for p in prevs), np.int64, nu)
+            found = np.fromiter(
+                (p is not None for p in prevs), bool, nu)
+            qf = np.flatnonzero(found)
+            if qf.size:
+                pre = eng.bulk_prefix(tp[qf])
+                # Count-smaller over this shard's boundary set: earlier
+                # unresolved entries with an older (or absent) previous
+                # touch were touched in (t_prev, t) but are invisible to
+                # the pre-shard tree.  Ties cannot occur (last-touch
+                # times are unique; colds rank below every real time).
+                ord2 = np.argsort(tp, kind="stable")
+                ranks = np.empty(nu, dtype=np.int64)
+                ranks[ord2] = np.arange(nu, dtype=np.int64)
+                corr = _count_smaller_left(ranks, qf)
+                d = eng._active - pre + corr
+                bins_q = bin_of_array(d)
+                # Carrying scope: previous touch predates every locally
+                # pushed scope, so only the live seed prefix matters.
+                sd = np.fromiter((u[i][3] for i in qf.tolist()),
+                                 np.int64, qf.size)
+                fs = np.fromiter((u[i][4] for i in qf.tolist()),
+                                 np.int64, qf.size)
+                if res.seed_sids:
+                    seed_c = np.asarray(res.seed_clocks, dtype=np.int64)
+                    seed_s = np.asarray(res.seed_sids, dtype=np.int64)
+                    pos = np.minimum(
+                        np.searchsorted(seed_c, tp[qf], side="left"), sd)
+                    carry = np.where(pos > 0,
+                                     seed_s[np.maximum(pos, 1) - 1], fs)
+                else:
+                    carry = fs
+                srcs = [prevs[i][2] for i in qf.tolist()]
+                rids = [u[i][2] for i in qf.tolist()]
+                tq = t_now[qf]
+                for rid, src, car, b, t in zip(
+                        rids, srcs, carry.tolist(), bins_q.tolist(),
+                        tq.tolist()):
+                    key = (rid, src, car)
+                    bins = counts.get(key)
+                    if bins is None:
+                        counts[key] = {b: 1}
+                    else:
+                        bins[b] = bins.get(b, 0) + 1
+                    prev_clk = key_first.get(key)
+                    if prev_clk is None or t < prev_clk:
+                        key_first[key] = t
+                    kb = (key, b)
+                    prev_clk = bin_first.get(kb)
+                    if prev_clk is None or t < prev_clk:
+                        bin_first[kb] = t
+            q_cold = np.flatnonzero(~found)
+            for i in q_cold.tolist():
+                rid = u[i][2]
+                cold_counts[rid] = cold_counts.get(rid, 0) + 1
+                if rid not in cold_first:
+                    cold_first[rid] = u[i][1]
+            # Fold the shard into the global state: marks move to the
+            # shard's last-touch times, colds join the active set.
+            eng.ensure(int(res.end))
+            if qf.size:
+                eng.bulk_add(tp[qf], -1)
+            g_last = g["last"]
+            eng.bulk_add(np.fromiter((g_last[b][0] for b in blocks),
+                                     np.int64, nu), 1)
+            eng._active += nu - int(qf.size)
+            last.update(g_last)
+        raw_final = {
+            key: {b: counts[key][b]
+                  for b in sorted(counts[key],
+                                  key=lambda b2, _k=key: bin_first[(_k, b2)])}
+            for key in sorted(counts, key=key_first.get)
+        }
+        cold_final = {rid: cold_counts[rid]
+                      for rid in sorted(cold_counts, key=cold_first.get)}
+        out_grans.append({"name": name, "block_size": size,
+                          "raw": raw_final, "cold": cold_final,
+                          "blocks": len(last)})
+    return {"version": STATE_VERSION, "clock": total_accesses,
+            "grans": out_grans}
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+
+def _init_shard_worker(obs_enabled: bool, log_level) -> None:
+    """Pool initializer: propagate parent obs/logging state to workers."""
+    _obs.set_enabled(obs_enabled)
+    if log_level is not None:
+        logging.getLogger("repro").setLevel(log_level)
+
+
+def _run_shard(args) -> ShardResult:
+    """Worker body: one shard, metered under a scoped registry."""
+    sl, granularities = args
+    if not _obs.is_enabled():
+        return analyze_shard(sl, granularities)
+    with _obs.scoped() as reg:
+        reg.counter("shard.workers").inc()
+        t0 = time.perf_counter()
+        with _trace.span("shard.analyze", index=sl.index,
+                         accesses=sl.length):
+            result = analyze_shard(sl, granularities)
+        reg.timer("shard.worker_latency").observe(time.perf_counter() - t0)
+        result.metrics = reg.snapshot()
+    return result
+
+
+def run_shards(slices: Sequence[ShardSlice],
+               granularities: Dict[str, int],
+               jobs: Optional[int] = None) -> List[ShardResult]:
+    """Analyze every shard, inline or across a process pool.
+
+    ``jobs=None`` picks ``min(len(slices), cpu_count)``.  Worker metric
+    snapshots are merged back into the parent registry (and stay on each
+    :class:`ShardResult` for manifests).
+    """
+    slices = list(slices)
+    if jobs is None:
+        jobs = min(len(slices), multiprocessing.cpu_count() or 1)
+    payload = [(sl, dict(granularities)) for sl in slices]
+    if jobs <= 1 or len(slices) <= 1:
+        results = [_run_shard(p) for p in payload]
+    else:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(min(jobs, len(slices)),
+                      initializer=_init_shard_worker,
+                      initargs=(_obs.is_enabled(),
+                                logging.getLogger("repro").level or None)
+                      ) as pool:
+            results = pool.map(_run_shard, payload, chunksize=1)
+    if _obs.is_enabled():
+        registry = _obs.registry()
+        for res in results:
+            if res.metrics:
+                registry.merge(res.metrics)
+    return results
+
+
+def analyze_trace_sharded(trace: RecordedTrace,
+                          granularities: Dict[str, int],
+                          shards: int,
+                          jobs: Optional[int] = None) -> Dict:
+    """Split → analyze → merge one recorded trace; returns a state dict."""
+    with _trace.span("shard.split", shards=shards):
+        slices = split_trace(trace, shards)
+    results = run_shards(slices, granularities, jobs)
+    with _trace.span("shard.merge", shards=len(results)):
+        return merge_shard_results(results, granularities, trace.accesses)
+
+
+def analyze_sharded(program, shards: int,
+                    granularities: Optional[Dict[str, int]] = None,
+                    jobs: Optional[int] = None, batch: bool = True,
+                    **params):
+    """Record → shard → merge one program run.
+
+    Returns ``(state, stats)``: a ``dump_state``-format dict
+    byte-identical to a sequential analysis (any engine) plus the
+    recording run's :class:`~repro.lang.executor.RunStats`.  Use
+    ``ReuseAnalyzer.from_state(state)`` for a results-only analyzer.
+    """
+    if granularities is None:
+        granularities = dict(_DEFAULT_GRANS)
+    with _trace.span("shard.record", program=program.name):
+        trace, stats = record_trace(program, batch=batch, **params)
+    state = analyze_trace_sharded(trace, granularities, shards, jobs=jobs)
+    return state, stats

@@ -32,6 +32,8 @@ class RunManifest:
     params: Dict[str, Any] = field(default_factory=dict)
     config: str = ""
     engine: str = "fenwick"
+    #: time shards the analysis ran across (1 = sequential)
+    shards: int = 1
     executor: str = "batch"
     miss_model: str = "sa"
     simulate: bool = False
@@ -58,6 +60,7 @@ class RunManifest:
             "params": dict(self.params),
             "config": self.config,
             "engine": self.engine,
+            "shards": self.shards,
             "executor": self.executor,
             "miss_model": self.miss_model,
             "simulate": self.simulate,
@@ -85,6 +88,7 @@ class RunManifest:
             params=dict(data.get("params", {})),
             config=data.get("config", ""),
             engine=data.get("engine", "?"),
+            shards=data.get("shards", 1),
             executor=data.get("executor", "?"),
             miss_model=data.get("miss_model", "?"),
             simulate=data.get("simulate", False),
@@ -113,6 +117,12 @@ class RunManifest:
             f"miss model {self.miss_model}"
             + (", simulator on" if self.simulate else ""),
         ]
+        if self.shards > 1:
+            unresolved = self.metrics.get("counters", {}).get(
+                "shard.boundary_unresolved")
+            lines.append(f"  sharded: {self.shards} time shards"
+                         + (f", {unresolved} boundary accesses resolved "
+                            "at merge" if unresolved is not None else ""))
         if self.params:
             pairs = ", ".join(f"{k}={v}"
                               for k, v in sorted(self.params.items()))

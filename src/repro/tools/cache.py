@@ -135,6 +135,23 @@ class AnalysisCache:
         )).encode())
         return h.hexdigest()
 
+    def shard_key_for(self, program: Program, params: Dict[str, int],
+                      config, miss_model: str, shards: int,
+                      index: int) -> str:
+        """Content address for one shard's partial analysis result.
+
+        Partials are keyed by the *requested* shard count plus the shard
+        index: cut points depend only on (access count, shard count), so
+        a partial is reusable by any later run asking for the same K —
+        but not across shard counts, whose boundaries move.  The merged
+        result is stored under the plain :meth:`key_for` address, which
+        sequential runs of any engine share.  The engine component is
+        pinned to ``"numpy"`` because shard workers always run the
+        buffered array engine, whatever the session's engine choice.
+        """
+        return self.key_for(program, params, config, miss_model, "numpy",
+                            kind=f"shard-{int(shards)}-{int(index)}")
+
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".pkl")
 

@@ -48,7 +48,9 @@ class AnalysisSession:
                  engine: str = "fenwick",
                  simulate: bool = False,
                  cache=None,
-                 batch: bool = True) -> None:
+                 batch: bool = True,
+                 shards: int = 1,
+                 shard_jobs: Optional[int] = None) -> None:
         self.program = program
         self.config = config or MachineConfig.scaled_itanium2()
         self.miss_model = miss_model
@@ -56,6 +58,13 @@ class AnalysisSession:
         self.simulate = simulate
         self.cache = cache
         self.batch = batch
+        self.shards = int(shards)
+        self.shard_jobs = shard_jobs
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if self.shards > 1 and simulate:
+            raise ValueError("sharded analysis cannot drive the simulator "
+                             "(LRU state is order-dependent)")
         self.analyzer = ReuseAnalyzer(self.config.granularities(),
                                       engine=engine)
         self.sim: Optional[HierarchySim] = (
@@ -105,6 +114,8 @@ class AnalysisSession:
                 logger.info("%s restored from analysis cache",
                             self.program.name)
                 sp.set(from_cache=True)
+            elif self.shards > 1:
+                self._run_sharded(params, phases, key)
             else:
                 handlers = [self.analyzer]
                 if self.sim is not None:
@@ -132,6 +143,65 @@ class AnalysisSession:
         self._build_manifest(params, phases, obs_before)
         return self
 
+    def _run_sharded(self, params: Dict[str, int],
+                     phases: Dict[str, float], key: Optional[str]) -> None:
+        """Record once, analyze K time shards, merge byte-identically.
+
+        The merged state matches a sequential run of any engine exactly,
+        so it is stored under the same cache key the sequential path
+        uses — sharded and unsharded runs share cache entries.  Per-shard
+        partial results are additionally cached under shard-count-scoped
+        keys, so a re-run with the same K resumes from partials even if
+        the merged entry is missing.
+        """
+        from repro.core.shard import (
+            merge_shard_results, record_trace, run_shards, split_trace,
+        )
+        t0 = time.perf_counter()
+        with _trace.span("shard.record", program=self.program.name) as rsp:
+            trace, self.stats = record_trace(self.program, batch=self.batch,
+                                             **params)
+            rsp.set(accesses=trace.accesses)
+        phases["record"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        grans = self.config.granularities()
+        with _trace.span("shard.split", shards=self.shards):
+            slices = split_trace(trace, self.shards)
+        results = [None] * len(slices)
+        shard_keys: List[Optional[str]] = [None] * len(slices)
+        if self.cache is not None:
+            for sl in slices:
+                skey = self.cache.shard_key_for(
+                    self.program, params, self.config, self.miss_model,
+                    self.shards, sl.index)
+                shard_keys[sl.index] = skey
+                results[sl.index] = self.cache.get(skey)
+        todo = [sl for sl in slices if results[sl.index] is None]
+        if todo:
+            for sl, res in zip(todo,
+                               run_shards(todo, grans, jobs=self.shard_jobs)):
+                results[sl.index] = res
+                skey = shard_keys[sl.index]
+                if skey is not None:
+                    metrics, res.metrics = res.metrics, None
+                    self.cache.put(skey, res)
+                    res.metrics = metrics
+        phases["shard_analyze"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        with _trace.span("shard.merge", shards=len(results)):
+            state = merge_shard_results(results, grans, trace.accesses)
+        self.analyzer.load_state(state)
+        phases["shard_merge"] = time.perf_counter() - t0
+        self._ran = True
+        logger.info("%s analyzed across %d shards: %d accesses",
+                    self.program.name, len(results), self.stats.accesses)
+        if key is not None:
+            t0 = time.perf_counter()
+            with _trace.span("cache.store"):
+                self.cache.put(key, {"analyzer_state": state,
+                                     "stats": self.stats})
+            phases["cache_store"] = time.perf_counter() - t0
+
     def _build_manifest(self, params: Dict[str, int],
                         phases: Dict[str, float], obs_before) -> None:
         from repro.tools.cache import program_fingerprint
@@ -145,6 +215,7 @@ class AnalysisSession:
             params=dict(params),
             config=repr(self.config),
             engine=self.engine,
+            shards=self.shards,
             executor="batch" if self.batch else "scalar",
             miss_model=self.miss_model,
             simulate=self.simulate,

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.model.config import MachineConfig
 from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 
 logger = logging.getLogger("repro.tools.sweep")
 
@@ -64,10 +65,17 @@ class SweepTask:
     #: cache directory for analyze mode; None disables caching
     cache_dir: Optional[str] = None
     batch: bool = True
+    #: time shards for analyze mode (1 = sequential).  In run_sweep a
+    #: sharded task expands into per-shard pool units that share the
+    #: worker pool with other tasks; measure mode ignores it (the
+    #: simulator's LRU state is order-dependent).
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in ("analyze", "measure"):
             raise ValueError(f"unknown sweep mode {self.mode!r}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
 
 @dataclass
@@ -76,6 +84,10 @@ class SweepOutcome:
 
     key: Any
     mode: str
+    #: reuse engine the task selected (analyze mode)
+    engine: str = "fenwick"
+    #: time shards the analysis ran across (1 = sequential)
+    shards: int = 1
     #: predicted (analyze) or simulated (measure) misses per level
     totals: Dict[str, float] = field(default_factory=dict)
     #: analyzer dump_state payload (analyze mode only)
@@ -115,16 +127,23 @@ def _execute_task(task: SweepTask) -> SweepOutcome:
         result = measure(program, config=task.config, batch=task.batch,
                          **task.measure_kwargs, **task.params)
         return SweepOutcome(key=task.key, mode="measure",
+                            engine=task.engine,
                             totals=dict(result.misses), stats=result.stats,
                             result=result)
     from repro.tools.cache import AnalysisCache
     from repro.tools.session import AnalysisSession
     cache = AnalysisCache(task.cache_dir) if task.cache_dir else None
+    # shard_jobs=1: when a sharded task reaches this path directly, its
+    # shards run sequentially — pool workers are daemonic and may not
+    # spawn children.  run_sweep instead expands sharded tasks into
+    # per-shard pool units before they get here.
     session = AnalysisSession(program, config=task.config,
                               miss_model=task.miss_model, engine=task.engine,
-                              cache=cache, batch=task.batch)
+                              cache=cache, batch=task.batch,
+                              shards=task.shards, shard_jobs=1)
     session.run(**task.params)
     return SweepOutcome(key=task.key, mode="analyze",
+                        engine=task.engine, shards=task.shards,
                         totals=session.totals(),
                         state=session.analyzer.dump_state(),
                         stats=session.stats,
@@ -168,6 +187,145 @@ def _run_task(task: SweepTask) -> SweepOutcome:
     return outcome
 
 
+@dataclass
+class _ShardUnit:
+    """Plain-data result of one shard pool unit of a sharded task."""
+
+    #: ShardResult, or None when the requested index was clamped away
+    #: (more shards than accesses)
+    result: Any = None
+    #: recording RunStats; carried by the index-0 unit only
+    stats: Any = None
+    from_cache: bool = False
+    error: Optional[str] = None
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def _execute_shard_unit(task: SweepTask, si: int) -> _ShardUnit:
+    """Analyze shard ``si`` of a sharded analyze task.
+
+    Each unit re-records the trace on its side of the fork (recording is
+    the cheap O(ops) part; Programs are not picklable, so the trace
+    cannot ship from the parent) and analyzes only its own slice.  With a
+    cache attached the partial is stored under a shard-count-scoped key,
+    so a repeat sweep skips both the recording and the analysis.
+    """
+    from repro.core.shard import analyze_shard, record_trace, split_trace
+    from repro.tools.cache import AnalysisCache
+    program = task.builder(*task.args, **task.kwargs)
+    config = task.config or MachineConfig.scaled_itanium2()
+    cache = AnalysisCache(task.cache_dir) if task.cache_dir else None
+    key = None
+    if cache is not None:
+        key = cache.shard_key_for(program, task.params, config,
+                                  task.miss_model, task.shards, si)
+        payload = cache.get(key)
+        if payload is not None:
+            return _ShardUnit(result=payload["result"],
+                              stats=payload["stats"], from_cache=True)
+    trace, stats = record_trace(program, batch=task.batch, **task.params)
+    slices = split_trace(trace, task.shards)
+    result = None
+    if si < len(slices):
+        with _trace.span("shard.analyze", index=si,
+                         accesses=slices[si].length):
+            result = analyze_shard(slices[si], config.granularities())
+    unit = _ShardUnit(result=result, stats=stats if si == 0 else None)
+    if key is not None:
+        cache.put(key, {"result": result, "stats": unit.stats})
+    return unit
+
+
+def _run_shard_unit(task: SweepTask, si: int) -> _ShardUnit:
+    """Worker body for one shard unit: fault-isolated and metered."""
+    if not _obs.is_enabled():
+        try:
+            return _execute_shard_unit(task, si)
+        except Exception as exc:
+            logger.warning("sweep task %r shard %d failed: %s: %s",
+                           task.key, si, type(exc).__name__, exc)
+            return _ShardUnit(error=f"{type(exc).__name__}: {exc}\n"
+                                    f"{traceback.format_exc()}")
+    with _obs.scoped() as reg:
+        reg.counter("shard.workers").inc()
+        t0 = time.perf_counter()
+        try:
+            unit = _execute_shard_unit(task, si)
+        except Exception as exc:
+            logger.warning("sweep task %r shard %d failed: %s: %s",
+                           task.key, si, type(exc).__name__, exc)
+            reg.counter("sweep.worker_failures").inc()
+            unit = _ShardUnit(error=f"{type(exc).__name__}: {exc}\n"
+                                    f"{traceback.format_exc()}")
+        reg.timer("shard.worker_latency").observe(time.perf_counter() - t0)
+        unit.metrics = reg.snapshot()
+    return unit
+
+
+def _run_unit(spec: Tuple[str, SweepTask, int]):
+    """Pool entry point: a whole task, or one shard of a sharded task."""
+    kind, task, si = spec
+    if kind == "task":
+        return _run_task(task)
+    return _run_shard_unit(task, si)
+
+
+def _merge_sharded_task(task: SweepTask,
+                        units: Sequence[_ShardUnit]) -> SweepOutcome:
+    """Fold a sharded task's units into one ordinary SweepOutcome.
+
+    Runs in the parent: merges the boundary sets (serial, O(K·footprint)),
+    predicts totals from the merged state, and writes the merged state
+    through to the plain analysis cache key — so a later *sequential* run
+    of the same point is a cache hit too (the merge is byte-identical).
+    """
+    merged = _obs.MetricsRegistry()
+    have_metrics = False
+    for unit in units:
+        if unit.metrics:
+            merged.merge(unit.metrics)
+            have_metrics = True
+    outcome = SweepOutcome(key=task.key, mode="analyze",
+                           engine=task.engine, shards=task.shards,
+                           metrics=merged.snapshot() if have_metrics
+                           else None)
+    errors = [u.error for u in units if u.error is not None]
+    if errors:
+        outcome.error = errors[0]
+        return outcome
+    try:
+        from repro.core.analyzer import ReuseAnalyzer
+        from repro.core.shard import merge_shard_results
+        from repro.model.predictor import predict
+        from repro.tools.cache import AnalysisCache
+        config = task.config or MachineConfig.scaled_itanium2()
+        results = [u.result for u in units if u.result is not None]
+        total = int(results[-1].end) if results else 0
+        with _trace.span("shard.merge", shards=len(results)):
+            state = merge_shard_results(results, config.granularities(),
+                                        total)
+        program = task.builder(*task.args, **task.kwargs)
+        prediction = predict(ReuseAnalyzer.from_state(state), config,
+                             program, model=task.miss_model)
+        outcome.totals = prediction.totals()
+        outcome.state = state
+        outcome.stats = units[0].stats
+        outcome.from_cache = all(u.from_cache for u in units)
+        if task.cache_dir:
+            cache = AnalysisCache(task.cache_dir)
+            key = cache.key_for(program, task.params, config,
+                                task.miss_model, task.engine)
+            if key not in cache:
+                cache.put(key, {"analyzer_state": state,
+                                "stats": outcome.stats})
+    except Exception as exc:
+        logger.warning("sweep task %r shard merge failed: %s: %s",
+                       task.key, type(exc).__name__, exc)
+        outcome.error = (f"{type(exc).__name__}: {exc}\n"
+                         f"{traceback.format_exc()}")
+    return outcome
+
+
 def _init_worker(obs_enabled: bool, log_level: Optional[int]) -> None:
     """Pool initializer: propagate parent obs/logging state to workers.
 
@@ -204,6 +362,7 @@ def build_sweep_manifest(outcomes: Sequence[SweepOutcome],
     have_metrics = False
     for out in outcomes:
         row: Dict[str, Any] = {"key": out.key, "mode": out.mode,
+                               "engine": out.engine, "shards": out.shards,
                                "from_cache": out.from_cache}
         if out.error is not None:
             failures += 1
@@ -264,15 +423,39 @@ def run_sweep(tasks: Sequence[SweepTask],
         jobs = 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    if jobs == 1 or len(tasks) <= 1:
-        outcomes = [_run_task(task) for task in tasks]
+    # Sharded analyze tasks expand into per-shard units that share the
+    # pool with whole-task units, so one huge trace no longer serializes
+    # the sweep; the parent folds each group back into one outcome.
+    specs: List[Tuple[str, SweepTask, int]] = []
+    plan: List[Tuple[int, int]] = []
+    for task in tasks:
+        shards = task.shards
+        if shards > 1 and task.mode == "measure":
+            logger.warning("task %r: shards=%d ignored in measure mode "
+                           "(the simulator's LRU state is "
+                           "order-dependent)", task.key, shards)
+            shards = 1
+        plan.append((len(specs), shards))
+        if shards > 1:
+            specs.extend(("shard", task, si) for si in range(shards))
+        else:
+            specs.append(("task", task, 0))
+    if jobs == 1 or len(specs) <= 1:
+        unit_results = [_run_unit(spec) for spec in specs]
     else:
         ctx = multiprocessing.get_context()
-        with ctx.Pool(min(jobs, len(tasks)), initializer=_init_worker,
+        with ctx.Pool(min(jobs, len(specs)), initializer=_init_worker,
                       initargs=(_obs.is_enabled(),
                                 logging.getLogger("repro").level or None)
                       ) as pool:
-            outcomes = pool.map(_run_task, tasks, chunksize=1)
+            unit_results = pool.map(_run_unit, specs, chunksize=1)
+    outcomes = []
+    for task, (base, count) in zip(tasks, plan):
+        if count == 1:
+            outcomes.append(unit_results[base])
+        else:
+            outcomes.append(_merge_sharded_task(
+                task, unit_results[base:base + count]))
     if _obs.is_enabled():
         registry = _obs.registry()
         for out in outcomes:
