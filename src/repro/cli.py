@@ -9,8 +9,15 @@ Commands
 ``measure <app>``
     Measure every variant of an application under the simulator + timing
     model (the Fig 8 / Fig 11 harness).
+``sweep <app>``
+    Run an analyze-mode parameter sweep (one task per ``--mesh`` /
+    ``--micell`` value) under the fault-tolerant driver: bounded retries
+    (``--retries``), per-unit deadlines (``--timeout``), and a durable
+    checkpoint journal (``--checkpoint`` + ``--resume``) that restarts a
+    killed sweep from the last completed unit.
 ``stats <manifest.json>``
-    Pretty-print a run manifest saved by ``analyze --manifest-out``.
+    Pretty-print a manifest saved by ``analyze --manifest-out`` or
+    ``sweep --manifest-out`` (the sweep form is detected automatically).
 ``list``
     Show the available workloads and variants.
 
@@ -34,6 +41,9 @@ Examples
     python -m repro analyze sweep3d --shards 4
     python -m repro analyze sweep3d --profile --manifest-out run.json
     python -m repro stats run.json
+    python -m repro sweep sweep3d --mesh 6 8 10 --jobs 2
+    python -m repro sweep sweep3d --mesh 6 8 10 --checkpoint sweep.ckpt
+    python -m repro sweep sweep3d --mesh 6 8 10 --checkpoint sweep.ckpt --resume
 """
 
 from __future__ import annotations
@@ -143,9 +153,84 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    manifest = RunManifest.load(args.file)
-    print(manifest.render())
+    import json
+    with open(args.file) as handle:
+        data = json.load(handle)
+    if data.get("kind") == "sweep":
+        from repro.tools.sweep import render_sweep_manifest
+        print(render_sweep_manifest(data))
+    else:
+        print(RunManifest.from_dict(data).render())
     return 0
+
+
+def cmd_sweep(args) -> int:
+    import os
+
+    from repro.tools.resilience import RetryPolicy
+
+    if args.manifest_out:
+        obs.set_enabled(True)
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    if args.checkpoint:
+        exists = os.path.exists(args.checkpoint)
+        if exists and not args.resume:
+            raise SystemExit(
+                f"checkpoint {args.checkpoint!r} already exists; pass "
+                "--resume to continue it or remove the file to start over")
+        if args.resume and not exists:
+            raise SystemExit(
+                f"nothing to resume: checkpoint {args.checkpoint!r} "
+                "does not exist")
+    tasks = []
+    if args.app == "sweep3d":
+        for n in args.mesh:
+            tasks.append(SweepTask(
+                key=f"sweep3d-n{n}", builder=build_original,
+                args=(SweepParams(n=n),), engine=args.engine,
+                shards=args.shards, cache_dir=args.cache_dir))
+    elif args.app == "gtc":
+        for m in args.micell:
+            tasks.append(SweepTask(
+                key=f"gtc-m{m}", builder=build_gtc,
+                args=(None, GTCParams(micell=m)), engine=args.engine,
+                shards=args.shards, cache_dir=args.cache_dir))
+    else:
+        raise SystemExit(f"unknown app {args.app!r}; use sweep3d or gtc")
+    policy = RetryPolicy(retries=args.retries, timeout=args.timeout)
+    print(f"sweeping {len(tasks)} {args.app} task(s) "
+          f"(jobs={args.jobs}, retries={args.retries}"
+          + (f", timeout={args.timeout:g}s" if args.timeout else "")
+          + (f", checkpoint={args.checkpoint}" if args.checkpoint else "")
+          + ") ...", file=sys.stderr)
+    outcomes = run_sweep(tasks, jobs=args.jobs, retry=policy,
+                         checkpoint=args.checkpoint,
+                         manifest_out=args.manifest_out)
+    levels = ("L1", "L2", "L3", "TLB")
+    print(f"{'key':<16}{'status':<22}{'retries':>8}"
+          + "".join(f"{lv:>12}" for lv in levels))
+    print("-" * (46 + 12 * len(levels)))
+    failed = 0
+    for out in outcomes:
+        if out.failed:
+            failed += 1
+            status = f"FAILED [{out.error_kind}]"
+            cells = "".join(f"{'-':>12}" for _ in levels)
+        else:
+            status = "cache hit" if out.from_cache else "ok"
+            cells = "".join(f"{round(out.totals.get(lv, 0)):>12}"
+                            for lv in levels)
+        print(f"{str(out.key)[:15]:<16}{status:<22}{out.retries:>8}"
+              + cells)
+    for out in outcomes:
+        if out.failed:
+            print(f"\n{out.key}: {out.error.splitlines()[0]}",
+                  file=sys.stderr)
+    if args.manifest_out:
+        print(f"sweep manifest written to {args.manifest_out}",
+              file=sys.stderr)
+    return 1 if failed else 0
 
 
 def cmd_measure(args) -> int:
@@ -245,9 +330,36 @@ def build_parser() -> argparse.ArgumentParser:
                            "only; the measure pipeline warns and runs "
                            "unsharded)")
 
-    stats = sub.add_parser("stats", help="pretty-print a saved run manifest")
+    sweep = sub.add_parser("sweep", help="fault-tolerant analysis sweep")
+    sweep.add_argument("app", choices=("sweep3d", "gtc"))
+    sweep.add_argument("--mesh", type=int, nargs="+", default=[6, 8],
+                       metavar="N", help="Sweep3D mesh extents to sweep")
+    sweep.add_argument("--micell", type=int, nargs="+", default=[2, 4],
+                       metavar="M", help="GTC particles-per-cell values")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes")
+    sweep.add_argument("--shards", type=int, default=1, metavar="K",
+                       help="time shards per task")
+    sweep.add_argument("--engine", default="fenwick",
+                       choices=("fenwick", "treap", "numpy"))
+    sweep.add_argument("--cache-dir", metavar="DIR",
+                       help="analysis cache directory (default: no cache)")
+    sweep.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="retry budget per unit (transient/crashed "
+                            "failures only)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-unit wall-clock deadline in seconds")
+    sweep.add_argument("--checkpoint", metavar="PATH",
+                       help="durable journal of completed units")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue an existing --checkpoint journal")
+    sweep.add_argument("--manifest-out", metavar="PATH",
+                       help="save the sweep roll-up manifest as JSON")
+
+    stats = sub.add_parser("stats", help="pretty-print a saved manifest")
     stats.add_argument("file", metavar="MANIFEST",
-                       help="JSON file from `analyze --manifest-out`")
+                       help="JSON file from `analyze --manifest-out` or "
+                            "`sweep --manifest-out`")
 
     return parser
 
@@ -257,7 +369,7 @@ def main(argv: Optional[list] = None) -> int:
     obs.configure_logging(args.verbose - args.quiet)
     handlers: Dict[str, Callable] = {
         "list": cmd_list, "analyze": cmd_analyze, "measure": cmd_measure,
-        "stats": cmd_stats,
+        "sweep": cmd_sweep, "stats": cmd_stats,
     }
     return handlers[args.command](args)
 

@@ -438,29 +438,57 @@ def _min_into(target: Dict, source: Dict) -> None:
 
 def merge_shard_results(results: Sequence[ShardResult],
                         granularities: Dict[str, int],
-                        total_accesses: int) -> Dict:
+                        total_accesses: int,
+                        strategy: str = "tree") -> Dict:
     """Resolve the boundary sets and rebuild the sequential output.
 
-    Walks shards in time order per granularity, carrying a global
-    last-touch table and a Fenwick tree whose marks are the *last-touch
-    times of blocks seen so far* (exactly the sequential engine's tree
-    restricted to pre-shard state).  For an unresolved access at global
-    time t with previous global touch t_prev:
+    Two strategies produce identical bytes:
+
+    * ``"linear"`` walks shards left to right, folding each into one
+      global last-touch table and Fenwick tree — O(K·F log F) serial
+      work for K shards of footprint F, because every shard's whole
+      last-touch table is folded into the single global tree;
+    * ``"tree"`` (default) merges *adjacent pairs* of partial results,
+      halving the count each round.  Each pair resolves the right node's
+      boundary set against only the left node's last-touch table, so a
+      block's marks are re-added once per *level* rather than once per
+      shard — O(F log F · log K) — and each round's pair merges are
+      independent (parallelizable).
+
+    In both, an unresolved access at global time t with previous global
+    touch t_prev resolves as
 
     ``d = active_pre - prefix_pre(t_prev) + corr``
 
-    where ``corr`` counts unresolved predecessors in the same shard whose
-    previous touch is older than t_prev (or cold) — those blocks were
-    touched in (t_prev, t) but their pre-shard marks don't show it.  The
-    carrying scope is a bisect over the shard's seed entry clocks,
-    clamped to the seed depth live at the event.  Accesses with no prior
-    touch anywhere are the true cold misses.
+    where the first two terms count blocks whose last pre-boundary touch
+    falls in (t_prev, t), and ``corr`` counts unresolved predecessors on
+    the same side of the boundary whose previous touch is older than
+    t_prev (or absent) — blocks touched in (t_prev, t) that the
+    pre-boundary marks can't show.  The carrying scope is a bisect over
+    the entry's *original shard's* seed entry clocks, clamped to the
+    seed depth live at the event (which is why unresolved entries travel
+    through tree levels in per-shard segments: the bisect needs the leaf
+    seeds however high the entry gets resolved).  Accesses with no prior
+    touch anywhere are the true cold misses, classified at the root.
 
     Returns a ``ReuseAnalyzer.dump_state()``-format dict; pattern keys,
     bins, and cold rids are inserted in global first-event-clock order,
-    reproducing the sequential dict order byte-for-byte.
+    reproducing the sequential dict order byte-for-byte — the ordering
+    is rebuilt from first-event clocks at the end, so it is independent
+    of merge shape.
     """
+    if strategy not in ("tree", "linear"):
+        raise ValueError(f"unknown merge strategy {strategy!r}")
     results = sorted(results, key=lambda r: r.index)
+    if strategy == "tree":
+        return _merge_tree(results, granularities, total_accesses)
+    return _merge_linear(results, granularities, total_accesses)
+
+
+def _merge_linear(results: Sequence[ShardResult],
+                  granularities: Dict[str, int],
+                  total_accesses: int) -> Dict:
+    """Left-to-right merge against one global table (reference path)."""
     out_grans = []
     for gi, (name, size) in enumerate(granularities.items()):
         counts: Dict[tuple, Dict[int, int]] = {}
@@ -571,15 +599,204 @@ def merge_shard_results(results: Sequence[ShardResult],
             "grans": out_grans}
 
 
+@dataclass
+class _GranNode:
+    """One granularity's partial merge state over a contiguous time span.
+
+    A node *presents* like a single shard to its right sibling: ``last``
+    is the latest in-span touch of every distinct block (so its size is
+    the span's footprint and its times are the prefix the distance
+    formula needs), and ``segments`` holds the still-unresolved boundary
+    entries — one time-ordered segment per original leaf shard, each
+    keeping its leaf's seed scope arrays for the carrying-scope bisect.
+    Invariant: the segments hold exactly one entry per distinct block,
+    its *first* in-span touch; everything later was resolved at this or
+    a lower level.
+    """
+
+    start: int
+    end: int
+    counts: Dict[tuple, Dict[int, int]]
+    key_first: Dict[tuple, int]
+    bin_first: Dict[tuple, int]
+    last: Dict[int, tuple]
+    #: [(entries, seed_sids, seed_clocks), ...] in time order
+    segments: List[Tuple[List[tuple], Tuple[int, ...], Tuple[int, ...]]]
+
+
+def _gran_leaf(res: ShardResult, gi: int) -> _GranNode:
+    g = res.grans[gi]
+    u = g["unresolved"]
+    return _GranNode(
+        start=res.start, end=res.end,
+        counts={key: dict(bins) for key, bins in g["raw"].items()},
+        key_first=dict(g["key_first"]),
+        bin_first=dict(g["bin_first"]),
+        last=dict(g["last"]),
+        segments=([(list(u), res.seed_sids, res.seed_clocks)]
+                  if u else []),
+    )
+
+
+def _merge_pair(left: _GranNode, right: _GranNode) -> _GranNode:
+    """Fold two adjacent spans into one; mutates and returns ``left``.
+
+    Resolves every right-span boundary entry whose block was touched in
+    the left span: its previous global touch is the block's last left-
+    span touch (older touches, if any, predate the left span and cannot
+    win).  Blocks the left span never touched survive, still unresolved,
+    into the merged node's boundary set.
+    """
+    for key, bins in right.counts.items():
+        tgt = left.counts.get(key)
+        if tgt is None:
+            left.counts[key] = bins
+        else:
+            for b, c in bins.items():
+                tgt[b] = tgt.get(b, 0) + c
+    _min_into(left.key_first, right.key_first)
+    _min_into(left.bin_first, right.bin_first)
+    lt = left.last
+    entries: List[tuple] = []
+    seg_of: List[int] = []
+    for si, (ents, _ss, _sc) in enumerate(right.segments):
+        entries.extend(ents)
+        seg_of.extend([si] * len(ents))
+    nu = len(entries)
+    survivors: List[List[tuple]] = [[] for _ in right.segments]
+    if nu and lt:
+        prevs = [lt.get(e[0]) for e in entries]
+        tp = np.fromiter((p[0] if p is not None else 0 for p in prevs),
+                         np.int64, nu)
+        found = np.fromiter((p is not None for p in prevs), bool, nu)
+        qf = np.flatnonzero(found)
+        if qf.size:
+            eng = NumpyFenwickEngine()
+            eng.ensure(int(left.end))
+            eng.bulk_add(np.fromiter((v[0] for v in lt.values()),
+                                     np.int64, len(lt)), 1)
+            pre = eng.bulk_prefix(tp[qf])
+            # Count-smaller over the whole right span's boundary set:
+            # earlier entries with an older (or absent) left-span touch
+            # are blocks first touched in (t_prev, t) on the right side,
+            # invisible to the left-span marks.  Stable argsort breaks
+            # the all-absent (tp=0) ties by position; real times are
+            # unique.
+            ord2 = np.argsort(tp, kind="stable")
+            ranks = np.empty(nu, dtype=np.int64)
+            ranks[ord2] = np.arange(nu, dtype=np.int64)
+            corr = _count_smaller_left(ranks, qf)
+            d = len(lt) - pre + corr
+            bins_q = bin_of_array(d)
+            tpq = tp[qf]
+            sd = np.fromiter((entries[i][3] for i in qf.tolist()),
+                             np.int64, qf.size)
+            fs = np.fromiter((entries[i][4] for i in qf.tolist()),
+                             np.int64, qf.size)
+            carry = fs.copy()
+            seg_q = np.fromiter((seg_of[i] for i in qf.tolist()),
+                                np.int64, qf.size)
+            for si, (_ents, seed_s, seed_c) in enumerate(right.segments):
+                if not seed_s:
+                    continue
+                m = seg_q == si
+                if not m.any():
+                    continue
+                sc = np.asarray(seed_c, dtype=np.int64)
+                ss = np.asarray(seed_s, dtype=np.int64)
+                pos = np.minimum(
+                    np.searchsorted(sc, tpq[m], side="left"), sd[m])
+                carry[m] = np.where(pos > 0,
+                                    ss[np.maximum(pos, 1) - 1], fs[m])
+            counts = left.counts
+            key_first = left.key_first
+            bin_first = left.bin_first
+            for i, car, b in zip(qf.tolist(), carry.tolist(),
+                                 bins_q.tolist()):
+                e = entries[i]
+                key = (e[2], prevs[i][2], car)
+                bins = counts.get(key)
+                if bins is None:
+                    counts[key] = {b: 1}
+                else:
+                    bins[b] = bins.get(b, 0) + 1
+                t = e[1]
+                prev_clk = key_first.get(key)
+                if prev_clk is None or t < prev_clk:
+                    key_first[key] = t
+                kb = (key, b)
+                prev_clk = bin_first.get(kb)
+                if prev_clk is None or t < prev_clk:
+                    bin_first[kb] = t
+        for i in np.flatnonzero(~found).tolist():
+            survivors[seg_of[i]].append(entries[i])
+    elif nu:
+        for i, e in enumerate(entries):
+            survivors[seg_of[i]].append(e)
+    lt.update(right.last)
+    for (_, seed_s, seed_c), surv in zip(right.segments, survivors):
+        if surv:
+            left.segments.append((surv, seed_s, seed_c))
+    left.end = right.end
+    return left
+
+
+def _merge_tree(results: Sequence[ShardResult],
+                granularities: Dict[str, int],
+                total_accesses: int) -> Dict:
+    """Pairwise reduction of partial results (see merge_shard_results)."""
+    pair_counter = _obs.counter("shard.merge_pairs")
+    out_grans = []
+    for gi, (name, size) in enumerate(granularities.items()):
+        nodes = [_gran_leaf(res, gi) for res in results]
+        while len(nodes) > 1:
+            merged = []
+            for j in range(0, len(nodes) - 1, 2):
+                merged.append(_merge_pair(nodes[j], nodes[j + 1]))
+                pair_counter.inc()
+            if len(nodes) % 2:
+                merged.append(nodes[-1])
+            nodes = merged
+        root = nodes[0]
+        # Entries still unresolved at the root were never touched
+        # earlier anywhere: the true cold misses, in time order.
+        cold_counts: Dict[int, int] = {}
+        cold_first: Dict[int, int] = {}
+        for ents, _ss, _sc in root.segments:
+            for e in ents:
+                rid = e[2]
+                cold_counts[rid] = cold_counts.get(rid, 0) + 1
+                if rid not in cold_first:
+                    cold_first[rid] = e[1]
+        counts = root.counts
+        key_first = root.key_first
+        bin_first = root.bin_first
+        raw_final = {
+            key: {b: counts[key][b]
+                  for b in sorted(counts[key],
+                                  key=lambda b2, _k=key: bin_first[(_k, b2)])}
+            for key in sorted(counts, key=key_first.get)
+        }
+        cold_final = {rid: cold_counts[rid]
+                      for rid in sorted(cold_counts, key=cold_first.get)}
+        out_grans.append({"name": name, "block_size": size,
+                          "raw": raw_final, "cold": cold_final,
+                          "blocks": len(root.last)})
+    return {"version": STATE_VERSION, "clock": total_accesses,
+            "grans": out_grans}
+
+
 # ---------------------------------------------------------------------------
 # Orchestration
 # ---------------------------------------------------------------------------
 
 def _init_shard_worker(obs_enabled: bool, log_level) -> None:
-    """Pool initializer: propagate parent obs/logging state to workers."""
+    """Pool initializer: propagate parent state, arm clean termination."""
+    from repro.tools.resilience import install_term_handler
     _obs.set_enabled(obs_enabled)
     if log_level is not None:
         logging.getLogger("repro").setLevel(log_level)
+    install_term_handler()
 
 
 def _run_shard(args) -> ShardResult:

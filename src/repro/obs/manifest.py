@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 #: Bump when the manifest layout changes.
 MANIFEST_VERSION = 1
@@ -46,6 +46,9 @@ class RunManifest:
     #: metrics delta for this run (see repro.obs.metrics.delta); empty
     #: while observability is disabled
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: {"from", "to", "error"} when the session degraded to the
+    #: sequential fenwick path mid-run; None for a clean run
+    fallback: Optional[Dict[str, str]] = None
     created: float = field(default_factory=time.time)
     version: int = MANIFEST_VERSION
 
@@ -69,6 +72,7 @@ class RunManifest:
             "events": dict(self.events),
             "phases": {k: round(v, 6) for k, v in self.phases.items()},
             "metrics": self.metrics,
+            "fallback": dict(self.fallback) if self.fallback else None,
         }
 
     def to_json(self) -> str:
@@ -97,6 +101,7 @@ class RunManifest:
             events=dict(data.get("events", {})),
             phases=dict(data.get("phases", {})),
             metrics=data.get("metrics", {}),
+            fallback=data.get("fallback") or None,
             created=data.get("created", 0.0),
             version=data.get("version", MANIFEST_VERSION),
         )
@@ -132,6 +137,10 @@ class RunManifest:
                                         else "miss"))
         else:
             lines.append("  cache: not attached")
+        if self.fallback:
+            lines.append(f"  FALLBACK: {self.fallback.get('from', '?')} "
+                         f"-> {self.fallback.get('to', 'fenwick')} "
+                         f"({self.fallback.get('error', '?')})")
         if self.phases:
             lines.append("")
             lines.append(f"  {'phase':<22}{'wall':>12}")

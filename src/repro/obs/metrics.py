@@ -19,6 +19,17 @@ attributed even when several sessions share a process.
 Design rule: metrics observe, never steer.  No analysis result may read a
 metric; pattern databases and reports are byte-identical with the
 subsystem on or off (enforced by tests/integration/test_obs_equivalence).
+
+Namespaces: counters are dot-qualified by subsystem — ``analyzer.*``,
+``batch.*``, ``sim.*``, ``cache.*``, ``sweep.*``, ``shard.*``.  The
+``resil.*`` family (``resil.retries``, ``resil.timeouts``,
+``resil.pool_rebuilds``, ``resil.fallbacks``,
+``resil.checkpoint_restored``) plus ``cache.quarantined`` record
+fault-recovery events; they are counted *parent-side* by the sweep
+scheduler / session (not in workers), so they survive retried-and-
+discarded attempts and worker deaths, and sweep manifests surface them
+in a dedicated resilience table (see docs/architecture.md, "Fault
+tolerance").
 """
 
 from __future__ import annotations

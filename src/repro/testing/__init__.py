@@ -1,0 +1,14 @@
+"""Deterministic test harnesses: fault injection for the execution stack.
+
+See :mod:`repro.testing.faults`.
+"""
+
+from repro.testing.faults import (
+    FaultInjected, FaultSpec, active, active_specs, clear, fire, install,
+    set_specs,
+)
+
+__all__ = [
+    "FaultInjected", "FaultSpec", "active", "active_specs", "clear",
+    "fire", "install", "set_specs",
+]

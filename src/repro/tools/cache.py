@@ -26,10 +26,12 @@ import logging
 import os
 import pickle
 import tempfile
+import time
 from typing import Any, Dict, Iterable, Optional
 
 from repro.lang.ast import Call, Loop, Program, ScalarAssign, Stmt
 from repro.obs import metrics as _obs
+from repro.testing import faults as _faults
 
 logger = logging.getLogger("repro.tools.cache")
 
@@ -102,20 +104,33 @@ class AnalysisCache:
     root:
         Cache directory.  Defaults to ``$REPRO_CACHE_DIR`` or
         ``~/.cache/repro``.
+    fsync:
+        Fsync every entry before the atomic rename.  Off by default
+        (the cache is a recomputable artifact, so losing an entry to a
+        power cut only costs a recompute); sweeps that checkpoint
+        against cache addresses turn it on so a journalled address
+        always refers to durable bytes.
     """
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    #: Subdirectory corrupt entries are moved to (see :meth:`quarantine`).
+    QUARANTINE_DIR = "quarantine"
+
+    def __init__(self, root: Optional[str] = None,
+                 fsync: bool = False) -> None:
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
                 os.path.expanduser("~"), ".cache", "repro")
         self.root = str(root)
+        self.fsync = bool(fsync)
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.quarantined = 0
         self._obs_hits = _obs.counter("cache.hits")
         self._obs_misses = _obs.counter("cache.misses")
         self._obs_corrupt = _obs.counter("cache.corrupt")
         self._obs_evictions = _obs.counter("cache.evictions")
+        self._obs_quarantined = _obs.counter("cache.quarantined")
 
     # -- keys -----------------------------------------------------------
 
@@ -162,12 +177,16 @@ class AnalysisCache:
 
         A missing file is a plain miss.  A damaged entry (truncated
         write, garbage bytes, unresolvable pickle) also degrades to a
-        miss — the next put overwrites it — but is counted separately
-        (``self.corrupt``, obs counter ``cache.corrupt``) and logged, so
-        corruption is never silent.
+        miss, is counted separately (``self.corrupt``, obs counter
+        ``cache.corrupt``) and logged, and is *quarantined* — moved to
+        ``<root>/quarantine/`` so the slot is free for the recompute's
+        put and the same damaged bytes are never re-read on every
+        lookup, while the evidence survives for post-mortems.
         """
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as handle:
+            _faults.fire("cache.get", key=key, path=path)
+            with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
@@ -181,10 +200,33 @@ class AnalysisCache:
             logger.warning("corrupt cache entry %s (%s: %s); "
                            "degrading to a miss", key[:12],
                            type(exc).__name__, exc)
+            self.quarantine(key)
             return None
         self.hits += 1
         self._obs_hits.inc()
         return payload
+
+    def quarantine(self, key: str) -> Optional[str]:
+        """Move a damaged entry aside; returns its new path (or None).
+
+        The move is an atomic same-filesystem rename, so a concurrent
+        reader sees either the (corrupt) entry or a clean miss — never
+        a half-moved file.
+        """
+        path = self._path(key)
+        qdir = os.path.join(self.root, self.QUARANTINE_DIR)
+        qpath = os.path.join(qdir, key + ".pkl")
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, qpath)
+        except OSError as exc:  # pragma: no cover - races/permissions
+            logger.warning("could not quarantine cache entry %s (%s: %s)",
+                           key[:12], type(exc).__name__, exc)
+            return None
+        self.quarantined += 1
+        self._obs_quarantined.inc()
+        logger.warning("cache entry %s quarantined to %s", key[:12], qpath)
+        return qpath
 
     def put(self, key: str, payload: Any) -> str:
         """Atomically store ``payload`` under ``key``; returns the path."""
@@ -196,6 +238,9 @@ class AnalysisCache:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(payload, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp, path)
         except Exception as exc:
             logger.warning("failed to write cache entry %s (%s: %s)",
@@ -207,18 +252,49 @@ class AnalysisCache:
             raise
         return path
 
+    def sweep_stale(self, max_age_s: float = 3600.0) -> int:
+        """Remove abandoned ``.tmp-*`` files; returns the number removed.
+
+        A writer killed between ``mkstemp`` and ``os.replace`` leaves a
+        temp file behind.  They are invisible to lookups, but a long-
+        lived cache directory accumulates them; sweeping anything older
+        than ``max_age_s`` is safe because a *live* writer renames its
+        temp file within seconds of creating it.
+        """
+        removed = 0
+        cutoff = time.time() - max_age_s
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if self.QUARANTINE_DIR in dirnames:
+                dirnames.remove(self.QUARANTINE_DIR)
+            for fname in filenames:
+                if not fname.startswith(".tmp-"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                try:
+                    if os.path.getmtime(path) <= cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:  # pragma: no cover - writer raced us
+                    pass
+        if removed:
+            logger.info("swept %d stale temp file(s) under %s",
+                        removed, self.root)
+        return removed
+
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
 
     def __len__(self) -> int:
         count = 0
-        for _dirpath, _dirnames, filenames in os.walk(self.root):
+        for _dirpath, dirnames, filenames in os.walk(self.root):
+            if self.QUARANTINE_DIR in dirnames:
+                dirnames.remove(self.QUARANTINE_DIR)
             count += sum(1 for f in filenames if f.endswith(".pkl")
                          and not f.startswith(".tmp-"))
         return count
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (quarantined ones included)."""
         removed = 0
         for dirpath, _dirnames, filenames in os.walk(self.root):
             for fname in filenames:
@@ -234,4 +310,5 @@ class AnalysisCache:
 
     def __repr__(self) -> str:
         return (f"AnalysisCache({self.root!r}, hits={self.hits}, "
-                f"misses={self.misses}, corrupt={self.corrupt})")
+                f"misses={self.misses}, corrupt={self.corrupt}, "
+                f"quarantined={self.quarantined})")

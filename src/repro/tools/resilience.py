@@ -1,0 +1,426 @@
+"""Fault-tolerant execution primitives: retries, deadlines, checkpoints.
+
+Long sharded runs and grid sweeps live in the regime where whole-trace
+dynamic analyses always live — hours of wall time across many worker
+processes — so a single OOM-killed worker, a hung shard, or a truncated
+cache file must cost one retry, not the whole run.  This module is the
+shared vocabulary the execution stack speaks:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *seeded* jitter (reproducible schedules), plus an optional per-unit
+  wall-clock deadline;
+* :class:`FailureKind` — the typed taxonomy: ``transient`` failures are
+  worth retrying (I/O hiccups, timeouts, crashed workers), ``fatal``
+  ones are deterministic and retrying is waste (a raising builder raises
+  identically every time), ``poison`` units keep killing the worker
+  process that runs them and are quarantined after bounded retries;
+* :class:`WorkerFailure` — the structured outcome that replaces
+  tracebacks-as-strings: kind, exception type, message, traceback,
+  attempts used, wall seconds burned;
+* :func:`deadline` — a SIGALRM-based per-task wall-clock limit raising
+  :class:`DeadlineExceeded` (classified transient, so it retries);
+* :class:`SweepCheckpoint` — a durable JSONL journal of completed sweep
+  units plus a content-addressed payload store, so a killed sweep
+  restarts from where it died with byte-identical results.
+
+Everything here steers *scheduling only*: a retried or resumed unit
+re-runs the same deterministic analysis, so pattern databases stay
+byte-identical to an undisturbed run — the invariant the equivalence
+test matrix enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pickle
+import random
+import signal
+import tempfile
+import threading
+import time
+import traceback as _traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+logger = logging.getLogger("repro.tools.resilience")
+
+#: Bump when the checkpoint journal layout changes.
+CHECKPOINT_VERSION = 1
+
+
+class DeadlineExceeded(Exception):
+    """A unit of work overran its wall-clock deadline."""
+
+
+class FailureKind(str, Enum):
+    """Typed failure taxonomy for retry decisions.
+
+    ``TRANSIENT``
+        Environmental: I/O errors, timeouts, interrupted syscalls.  The
+        same unit is expected to succeed on retry.
+    ``FATAL``
+        Deterministic: the unit's own code raised (bad builder, value
+        errors, assertion failures).  Retrying replays the failure.
+    ``POISON``
+        The unit took its worker process down (segfault, OOM kill,
+        ``os._exit``).  Worth bounded retries — the kill may have been
+        environmental — but a unit that keeps killing workers must stop
+        being requeued before it starves the sweep.
+    """
+
+    TRANSIENT = "transient"
+    FATAL = "fatal"
+    POISON = "poison"
+
+
+#: Exception types that signal an environmental, retry-worthy failure.
+#: DeadlineExceeded is deliberately transient: a stalled unit is the
+#: canonical retry case.  MemoryError is transient too — on a loaded
+#: host the retry typically lands after the pressure has passed.
+TRANSIENT_ERRORS: Tuple[type, ...] = (
+    OSError, EOFError, DeadlineExceeded, TimeoutError, ConnectionError,
+    MemoryError, pickle.UnpicklingError,
+)
+
+
+def classify(exc: BaseException) -> FailureKind:
+    """Map an exception to its :class:`FailureKind`."""
+    if isinstance(exc, TRANSIENT_ERRORS):
+        return FailureKind.TRANSIENT
+    return FailureKind.FATAL
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    ``retries`` counts *additional* attempts after the first (``0``
+    disables retrying).  Attempt ``a`` (0-based) backs off for
+    ``min(base_delay * 2**a, max_delay)`` seconds plus a uniform jitter
+    of up to ``jitter`` times that, drawn from :meth:`rng` — a
+    ``random.Random(seed)``, so two runs of the same policy produce the
+    same schedule and tests are deterministic.  ``timeout`` is a
+    per-unit wall-clock deadline in seconds (enforced worker-side via
+    :func:`deadline`); ``None`` disables it.
+    """
+
+    retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: Optional[int] = 0
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def rng(self) -> random.Random:
+        """A fresh jitter source; seeded policies are reproducible."""
+        return random.Random(self.seed)
+
+    def backoff(self, attempt: int,
+                rng: Optional[random.Random] = None) -> float:
+        """Sleep seconds before retry number ``attempt`` (0-based)."""
+        base = min(self.base_delay * (2 ** max(0, attempt)), self.max_delay)
+        if not self.jitter:
+            return base
+        rng = rng if rng is not None else self.rng()
+        return base * (1.0 + self.jitter * rng.random())
+
+    def should_retry(self, kind: FailureKind, attempt: int) -> bool:
+        """Whether attempt ``attempt`` (0-based) warrants another try."""
+        if kind is FailureKind.FATAL:
+            return False
+        return attempt < self.retries
+
+
+#: What run_sweep uses when no policy is passed: two retries of
+#: transient/poison failures, no deadline (opt in per sweep).
+DEFAULT_POLICY = RetryPolicy()
+
+
+@dataclass
+class WorkerFailure:
+    """Structured record of one failed unit of work (picklable).
+
+    Replaces the flat ``"ExcType: message\\n<traceback>"`` strings the
+    sweep layer used to ship around: the kind drives retry decisions,
+    ``retries``/``duration`` feed manifests and ``repro stats``, and
+    :meth:`render` reproduces the legacy string for humans and for the
+    backwards-compatible ``SweepOutcome.error`` field.
+    """
+
+    kind: str
+    exc_type: str
+    message: str
+    traceback: str = ""
+    retries: int = 0
+    duration: float = 0.0
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, retries: int = 0,
+                       duration: float = 0.0,
+                       kind: Optional[FailureKind] = None
+                       ) -> "WorkerFailure":
+        return cls(kind=(kind or classify(exc)).value,
+                   exc_type=type(exc).__name__, message=str(exc),
+                   traceback=_traceback.format_exc(), retries=retries,
+                   duration=duration)
+
+    @property
+    def summary(self) -> str:
+        """One line: ``ExcType: message``."""
+        return f"{self.exc_type}: {self.message}"
+
+    def render(self) -> str:
+        """Legacy string form: summary plus full traceback."""
+        return f"{self.summary}\n{self.traceback}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "exc_type": self.exc_type,
+                "message": self.message, "retries": self.retries,
+                "duration": round(self.duration, 6)}
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+def _deadline_usable() -> bool:
+    """SIGALRM deadlines need a POSIX main thread to install handlers."""
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+@contextmanager
+def deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`DeadlineExceeded` if the block outruns ``seconds``.
+
+    Implemented with ``setitimer``/``SIGALRM``, which interrupts pure
+    Python, ``time.sleep``, and most blocking syscalls — the worker
+    enforces its own deadline, so no parent-side babysitting thread is
+    needed and the pool protocol stays untouched.  Degrades to a no-op
+    when ``seconds`` is falsy or SIGALRM is unavailable (non-POSIX or a
+    non-main thread); the retry layer still covers crashed workers
+    there.  The previous handler and any outer timer are restored on
+    exit, so deadlines nest (the tighter one fires).
+    """
+    if not seconds or not _deadline_usable():
+        yield
+        return
+
+    def _on_alarm(_signum, _frame):
+        raise DeadlineExceeded(f"deadline of {seconds:g}s exceeded")
+
+    prev_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    prev_delay, _prev_interval = signal.getitimer(signal.ITIMER_REAL)
+    t0 = time.monotonic()
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, prev_handler)
+        if prev_delay:
+            remaining = max(1e-6, prev_delay - (time.monotonic() - t0))
+            signal.setitimer(signal.ITIMER_REAL, remaining)
+
+
+def install_term_handler() -> None:
+    """Make SIGTERM raise ``SystemExit`` instead of hard-killing.
+
+    Pool workers install this so a terminating sweep (pool teardown,
+    operator ``kill``) unwinds the Python stack — ``finally`` blocks
+    and context managers run, temp files get cleaned up — rather than
+    dying mid-write.  No-op where SIGTERM is unavailable or off the
+    main thread (the pool initializer runs on the worker main thread).
+    """
+    if not hasattr(signal, "SIGTERM"):  # pragma: no cover - non-POSIX
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return  # pragma: no cover - thread-pool style executors
+
+    def _on_term(signum, _frame):
+        raise SystemExit(128 + signum)
+
+    signal.signal(signal.SIGTERM, _on_term)
+
+
+def retry_call(fn: Callable[[], Any], policy: RetryPolicy,
+               rng: Optional[random.Random] = None,
+               on_retry: Optional[Callable[[int, BaseException], None]]
+               = None,
+               sleep: Callable[[float], None] = time.sleep) -> Any:
+    """Run ``fn`` under ``policy``: deadline per attempt, backoff between.
+
+    The building block for inline (jobs=1) execution, where there is no
+    pool to resubmit into.  ``on_retry(attempt, exc)`` fires before each
+    backoff; the final failure propagates.
+    """
+    rng = rng if rng is not None else policy.rng()
+    attempt = 0
+    while True:
+        try:
+            with deadline(policy.timeout):
+                return fn()
+        except Exception as exc:
+            kind = classify(exc)
+            if not policy.should_retry(kind, attempt):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.backoff(attempt, rng))
+            attempt += 1
+
+
+# ---------------------------------------------------------------------------
+# Durable sweep checkpoints
+# ---------------------------------------------------------------------------
+
+class SweepCheckpoint:
+    """Durable journal of completed sweep units + payload store.
+
+    Layout: the journal at ``path`` is JSONL — a header line
+    ``{"kind": "sweep-checkpoint", "version": 1}`` followed by one line
+    per completed unit: ``{"unit": <digest>, "spec": <human label>,
+    "payload": "<digest>.pkl"}``.  Payloads (pickled unit results) live
+    in the sibling directory ``path + ".d"``, written atomically (temp
+    file + rename) *before* the journal line is appended, so a crash
+    between the two leaves at worst an unreferenced payload — never a
+    journal line pointing at a missing or partial result.  A truncated
+    final line (the crash landed mid-append) is skipped on load.
+
+    Resume is strict: a unit is restored only when its digest — over
+    the builder's identity, arguments, mode, engine, shard geometry and
+    analysis knobs — matches, so editing the sweep definition silently
+    invalidates stale journal entries instead of replaying them.
+    Restored payloads are the pickled unit results themselves, which is
+    what makes a resumed sweep's merged outputs byte-identical to an
+    uninterrupted run.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = str(path)
+        self.payload_dir = self.path + ".d"
+        self.fsync = bool(fsync)
+
+    # -- unit digests ----------------------------------------------------
+
+    @staticmethod
+    def unit_digest(task: Any, kind: str, index: int) -> str:
+        """Content address of one pool unit of a sweep.
+
+        Hashes the *recipe*, not the program (rebuilding the program
+        just to hash it would cost as much as the analysis it guards):
+        builder module/qualname, args/kwargs reprs, mode, engine, miss
+        model, params, config repr, shard geometry, and the unit kind
+        and index.  Any edit to the sweep definition changes the digest
+        and the stale journal entry is ignored.
+        """
+        builder = task.builder
+        h = hashlib.sha256()
+        h.update(repr((
+            CHECKPOINT_VERSION,
+            getattr(builder, "__module__", "?"),
+            getattr(builder, "__qualname__", repr(builder)),
+            task.key, task.args, sorted(task.kwargs.items()),
+            task.mode, task.engine, task.miss_model,
+            sorted(task.params.items()),
+            sorted(task.measure_kwargs.items()),
+            repr(task.config), task.batch, task.shards,
+            kind, index,
+        )).encode())
+        return h.hexdigest()
+
+    # -- journal ---------------------------------------------------------
+
+    def load(self) -> Dict[str, str]:
+        """Digest -> payload filename for every intact journal line."""
+        done: Dict[str, str] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except FileNotFoundError:
+            return done
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                # a crash mid-append truncates the final line; anything
+                # after it cannot exist, so stop rather than guess
+                logger.warning("checkpoint %s: skipping truncated "
+                               "journal line", self.path)
+                break
+            if row.get("kind") == "sweep-checkpoint":
+                if row.get("version") != CHECKPOINT_VERSION:
+                    logger.warning(
+                        "checkpoint %s: version %r != %d; ignoring",
+                        self.path, row.get("version"), CHECKPOINT_VERSION)
+                    return {}
+                continue
+            unit, payload = row.get("unit"), row.get("payload")
+            if unit and payload:
+                done[unit] = payload
+        return done
+
+    def restore(self, digest: str, payload_name: str) -> Optional[Any]:
+        """Unpickle one journalled payload; None when damaged/missing."""
+        path = os.path.join(self.payload_dir, payload_name)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError) as exc:
+            logger.warning("checkpoint payload %s unreadable (%s: %s); "
+                           "unit %s will be recomputed", payload_name,
+                           type(exc).__name__, exc, digest[:12])
+            return None
+
+    def record(self, digest: str, spec: str, payload: Any) -> None:
+        """Durably journal one completed unit (payload first, then line).
+
+        The journal line is appended with ``O_APPEND`` (atomic for
+        single short writes on POSIX) and optionally fsynced, so
+        concurrent readers and a post-crash resume always see a prefix
+        of intact lines.
+        """
+        os.makedirs(self.payload_dir, exist_ok=True)
+        name = digest + ".pkl"
+        fd, tmp = tempfile.mkstemp(dir=self.payload_dir, prefix=".tmp-",
+                                   suffix=".pkl")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            os.replace(tmp, os.path.join(self.payload_dir, name))
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        line = json.dumps({"unit": digest, "spec": spec, "payload": name})
+        new = not os.path.exists(self.path)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            if new:
+                fh.write(json.dumps({"kind": "sweep-checkpoint",
+                                     "version": CHECKPOINT_VERSION}) + "\n")
+            fh.write(line + "\n")
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def __repr__(self) -> str:
+        return f"SweepCheckpoint({self.path!r})"

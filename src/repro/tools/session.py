@@ -25,6 +25,8 @@ from repro.model.predictor import Prediction, predict
 from repro.obs import metrics as _obs
 from repro.obs import trace as _trace
 from repro.obs.manifest import RunManifest
+from repro.testing import faults as _faults
+from repro.tools.resilience import WorkerFailure
 from repro.sim.hierarchy import HierarchySim
 from repro.static.fragmentation import FragmentationAnalysis
 from repro.static.related import StaticAnalysis
@@ -73,6 +75,9 @@ class AnalysisSession:
         self.stats: Optional[RunStats] = None
         self.from_cache = False
         self.manifest: Optional[RunManifest] = None
+        #: {"from", "to", "error"} when the session degraded to the
+        #: sequential fenwick path; None for a clean run
+        self.fallback: Optional[Dict[str, str]] = None
         self._static: Optional[StaticAnalysis] = None
         self._frag: Optional[FragmentationAnalysis] = None
         self._prediction: Optional[Prediction] = None
@@ -86,6 +91,14 @@ class AnalysisSession:
         With a :class:`~repro.tools.cache.AnalysisCache` attached (and no
         simulator, whose LRU state is not serialized), a previous identical
         run is restored from disk instead of re-executing the program.
+
+        The run degrades gracefully: if the accelerated paths — the numpy
+        engine or the sharded pipeline — fail for any reason, the session
+        falls back to the sequential fenwick engine (the reference
+        implementation every accelerated path is equivalence-tested
+        against), re-runs from scratch, and annotates :attr:`fallback`
+        and the manifest.  A slower answer, never a wrong one.  The plain
+        fenwick path has nothing to fall back to, so its failures raise.
 
         Every run leaves a :class:`~repro.obs.manifest.RunManifest` in
         :attr:`manifest` (phase wall times, event totals, cache outcome;
@@ -114,34 +127,79 @@ class AnalysisSession:
                 logger.info("%s restored from analysis cache",
                             self.program.name)
                 sp.set(from_cache=True)
-            elif self.shards > 1:
-                self._run_sharded(params, phases, key)
             else:
-                handlers = [self.analyzer]
-                if self.sim is not None:
-                    handlers.append(self.sim)
-                executor_cls = BatchExecutor if self.batch else Executor
-                executor = executor_cls(self.program, *handlers)
-                t0 = time.perf_counter()
-                with _trace.span("execute",
-                                 executor=executor_cls.__name__) as esp:
-                    self.stats = executor.run(**params)
-                    esp.set(accesses=self.stats.accesses)
-                phases["execute"] = time.perf_counter() - t0
-                self._ran = True
-                logger.info("%s executed: %d accesses",
-                            self.program.name, self.stats.accesses)
-                if key is not None:
-                    t0 = time.perf_counter()
-                    with _trace.span("cache.store"):
-                        self.cache.put(
-                            key, {"analyzer_state":
-                                  self.analyzer.dump_state(),
-                                  "stats": self.stats})
-                    phases["cache_store"] = time.perf_counter() - t0
+                try:
+                    _faults.fire("session.run", program=self.program.name,
+                                 engine=self.engine, shards=self.shards)
+                    if self.shards > 1:
+                        self._run_sharded(params, phases, key)
+                    else:
+                        self._run_sequential(params, phases, key)
+                except Exception as exc:
+                    if self.engine == "fenwick" and self.shards == 1:
+                        raise
+                    self._degrade(exc, params, phases, key)
             sp.set(accesses=self.stats.accesses)
         self._build_manifest(params, phases, obs_before)
         return self
+
+    def _run_sequential(self, params: Dict[str, int],
+                        phases: Dict[str, float],
+                        key: Optional[str]) -> None:
+        handlers = [self.analyzer]
+        if self.sim is not None:
+            handlers.append(self.sim)
+        executor_cls = BatchExecutor if self.batch else Executor
+        executor = executor_cls(self.program, *handlers)
+        t0 = time.perf_counter()
+        with _trace.span("execute",
+                         executor=executor_cls.__name__) as esp:
+            self.stats = executor.run(**params)
+            esp.set(accesses=self.stats.accesses)
+        phases["execute"] = time.perf_counter() - t0
+        self._ran = True
+        logger.info("%s executed: %d accesses",
+                    self.program.name, self.stats.accesses)
+        if key is not None:
+            t0 = time.perf_counter()
+            with _trace.span("cache.store"):
+                self.cache.put(
+                    key, {"analyzer_state":
+                          self.analyzer.dump_state(),
+                          "stats": self.stats})
+            phases["cache_store"] = time.perf_counter() - t0
+
+    def _degrade(self, exc: BaseException, params: Dict[str, int],
+                 phases: Dict[str, float], key: Optional[str]) -> None:
+        """Fall back to the sequential fenwick reference path.
+
+        Called when an accelerated path (numpy engine, sharded pipeline)
+        failed mid-run.  Rebuilds the analyzer (and simulator — any
+        partially-fed state from the failed attempt would skew results)
+        on the fenwick engine and re-runs sequentially; the merged state
+        stays byte-identical, so writing it through under the original
+        cache key is safe.  The failure is recorded in :attr:`fallback`,
+        the run manifest, and the ``resil.fallbacks`` counter.
+        """
+        failure = WorkerFailure.from_exception(exc)
+        came_from = self.engine
+        if self.shards > 1:
+            came_from += f"+shards={self.shards}"
+        logger.warning("%s: %s path failed (%s); falling back to the "
+                       "sequential fenwick engine", self.program.name,
+                       came_from, failure.summary)
+        _obs.counter("resil.fallbacks").inc()
+        self.fallback = {"from": came_from, "to": "fenwick",
+                         "error": failure.summary}
+        self.analyzer = ReuseAnalyzer(self.config.granularities(),
+                                      engine="fenwick")
+        if self.sim is not None:
+            self.sim = HierarchySim(self.config)
+        self.stats = None
+        t0 = time.perf_counter()
+        with _trace.span("session.fallback", source=came_from):
+            self._run_sequential(params, phases, key)
+        phases["fallback"] = time.perf_counter() - t0
 
     def _run_sharded(self, params: Dict[str, int],
                      phases: Dict[str, float], key: Optional[str]) -> None:
@@ -226,6 +284,7 @@ class AnalysisSession:
                     "clock": self.analyzer.clock},
             phases=phases,
             metrics=run_metrics,
+            fallback=dict(self.fallback) if self.fallback else None,
         )
 
     def _require_run(self) -> None:

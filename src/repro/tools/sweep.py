@@ -12,6 +12,14 @@ program on its side of the fork.  Results come back as
 analyzer's :meth:`~repro.core.analyzer.ReuseAnalyzer.dump_state` payload,
 run statistics, or a full :class:`~repro.apps.harness.RunResult`).
 
+The driver is fault-tolerant (see :mod:`repro.tools.resilience`): failed
+or crashed units are retried with exponential backoff under a
+:class:`~repro.tools.resilience.RetryPolicy`, per-unit wall-clock
+deadlines are enforced worker-side, a dead worker process breaks only its
+pool — the pool is rebuilt and in-flight units requeued — and an optional
+durable checkpoint journal lets ``run_sweep(..., checkpoint=path)`` resume
+a killed sweep from the last completed unit with byte-identical results.
+
 Combined with the per-task :class:`~repro.tools.cache.AnalysisCache`,
 repeated sweeps over overlapping grids run at file-read speed.
 
@@ -23,18 +31,24 @@ repeated sweeps over overlapping grids run at file-read speed.
 
 from __future__ import annotations
 
+import heapq
 import json
 import logging
-import multiprocessing
-import os
 import time
-import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import os
 
 from repro.model.config import MachineConfig
 from repro.obs import metrics as _obs
 from repro.obs import trace as _trace
+from repro.testing import faults as _faults
+from repro.tools.resilience import (
+    DEFAULT_POLICY, FailureKind, RetryPolicy, SweepCheckpoint,
+    WorkerFailure, deadline, install_term_handler,
+)
 
 logger = logging.getLogger("repro.tools.sweep")
 
@@ -98,12 +112,27 @@ class SweepOutcome:
     from_cache: bool = False
     #: "ExcType: message\n<traceback>" when the task failed; None on success
     error: Optional[str] = None
+    #: failure taxonomy bucket when the task failed (see
+    #: :class:`~repro.tools.resilience.FailureKind`): "transient",
+    #: "fatal", or "poison"; None on success
+    error_kind: Optional[str] = None
+    #: retries this task consumed (0 = first attempt sufficed/failed)
+    retries: int = 0
+    #: wall seconds of the final attempt (worker-side)
+    duration: float = 0.0
     #: worker-side metrics snapshot for this task (obs enabled only)
     metrics: Optional[Dict[str, Any]] = None
 
     @property
     def failed(self) -> bool:
         return self.error is not None
+
+    def set_failure(self, failure: WorkerFailure) -> "SweepOutcome":
+        self.error = failure.render()
+        self.error_kind = failure.kind
+        self.retries = failure.retries
+        self.duration = failure.duration
+        return self
 
     def analyzer(self):
         """Rehydrate a results-only ReuseAnalyzer from the dumped state."""
@@ -150,38 +179,53 @@ def _execute_task(task: SweepTask) -> SweepOutcome:
                         from_cache=session.from_cache)
 
 
-def _run_task(task: SweepTask) -> SweepOutcome:
-    """Worker body: one task, fault-isolated and (optionally) metered.
+def _task_attempt(task: SweepTask, attempt: int,
+                  policy: Optional[RetryPolicy]) -> SweepOutcome:
+    """One fault-isolated attempt at a whole task.
 
     A raising builder or pipeline must not poison the pool: the exception
-    is captured into :attr:`SweepOutcome.error` (with traceback), counted
-    under ``sweep.worker_failures``, and logged.  With observability on,
-    the task runs under a scoped registry whose snapshot travels back in
-    :attr:`SweepOutcome.metrics` for the parent to merge.
+    is captured into a structured :class:`WorkerFailure` (kind, type,
+    message, traceback, attempt count, wall seconds) reflected in
+    :attr:`SweepOutcome.error`/:attr:`SweepOutcome.error_kind` and
+    logged.  Failure *counting* (``sweep.worker_failures``,
+    ``resil.timeouts``) happens parent-side in the scheduler so it
+    survives even when the failed attempt itself is retried and
+    discarded.  The per-unit deadline, if the policy sets one, is
+    enforced *here*, worker-side, via SIGALRM.
+    """
+    t0 = time.perf_counter()
+    try:
+        with deadline(policy.timeout if policy else None):
+            _faults.fire("sweep.unit", key=task.key, unit="task", index=0,
+                         attempt=attempt)
+            outcome = _execute_task(task)
+        outcome.retries = attempt
+        outcome.duration = time.perf_counter() - t0
+        return outcome
+    except Exception as exc:
+        failure = WorkerFailure.from_exception(
+            exc, retries=attempt, duration=time.perf_counter() - t0)
+        logger.warning("sweep task %r failed (attempt %d, %s): %s",
+                       task.key, attempt, failure.kind, failure.summary)
+        return SweepOutcome(key=task.key, mode=task.mode,
+                            engine=task.engine, shards=task.shards
+                            ).set_failure(failure)
+
+
+def _run_task(task: SweepTask, attempt: int = 0,
+              policy: Optional[RetryPolicy] = None) -> SweepOutcome:
+    """Worker body: one task attempt, metered when observability is on.
+
+    With observability on, the attempt runs under a scoped registry
+    whose snapshot travels back in :attr:`SweepOutcome.metrics` for the
+    parent to merge.
     """
     if not _obs.is_enabled():
-        try:
-            return _execute_task(task)
-        except Exception as exc:
-            logger.warning("sweep task %r failed: %s: %s",
-                           task.key, type(exc).__name__, exc)
-            return SweepOutcome(
-                key=task.key, mode=task.mode,
-                error=f"{type(exc).__name__}: {exc}\n"
-                      f"{traceback.format_exc()}")
+        return _task_attempt(task, attempt, policy)
     with _obs.scoped() as reg:
         reg.counter("sweep.tasks").inc()
         t0 = time.perf_counter()
-        try:
-            outcome = _execute_task(task)
-        except Exception as exc:
-            logger.warning("sweep task %r failed: %s: %s",
-                           task.key, type(exc).__name__, exc)
-            reg.counter("sweep.worker_failures").inc()
-            outcome = SweepOutcome(
-                key=task.key, mode=task.mode,
-                error=f"{type(exc).__name__}: {exc}\n"
-                      f"{traceback.format_exc()}")
+        outcome = _task_attempt(task, attempt, policy)
         reg.timer("sweep.task_latency").observe(time.perf_counter() - t0)
         outcome.metrics = reg.snapshot()
     return outcome
@@ -197,8 +241,15 @@ class _ShardUnit:
     #: recording RunStats; carried by the index-0 unit only
     stats: Any = None
     from_cache: bool = False
-    error: Optional[str] = None
+    #: structured failure record; None on success
+    failure: Optional[WorkerFailure] = None
+    retries: int = 0
+    duration: float = 0.0
     metrics: Optional[Dict[str, Any]] = None
+
+    @property
+    def error(self) -> Optional[str]:
+        return self.failure.render() if self.failure is not None else None
 
 
 def _execute_shard_unit(task: SweepTask, si: int) -> _ShardUnit:
@@ -236,48 +287,90 @@ def _execute_shard_unit(task: SweepTask, si: int) -> _ShardUnit:
     return unit
 
 
-def _run_shard_unit(task: SweepTask, si: int) -> _ShardUnit:
+def _shard_attempt(task: SweepTask, si: int, attempt: int,
+                   policy: Optional[RetryPolicy]) -> _ShardUnit:
+    """One fault-isolated attempt at a shard unit (see _task_attempt)."""
+    t0 = time.perf_counter()
+    try:
+        with deadline(policy.timeout if policy else None):
+            _faults.fire("sweep.unit", key=task.key, unit="shard",
+                         index=si, attempt=attempt)
+            unit = _execute_shard_unit(task, si)
+        unit.retries = attempt
+        unit.duration = time.perf_counter() - t0
+        return unit
+    except Exception as exc:
+        failure = WorkerFailure.from_exception(
+            exc, retries=attempt, duration=time.perf_counter() - t0)
+        logger.warning("sweep task %r shard %d failed (attempt %d, %s): "
+                       "%s", task.key, si, attempt, failure.kind,
+                       failure.summary)
+        return _ShardUnit(failure=failure, retries=attempt,
+                          duration=failure.duration)
+
+
+def _run_shard_unit(task: SweepTask, si: int, attempt: int = 0,
+                    policy: Optional[RetryPolicy] = None) -> _ShardUnit:
     """Worker body for one shard unit: fault-isolated and metered."""
     if not _obs.is_enabled():
-        try:
-            return _execute_shard_unit(task, si)
-        except Exception as exc:
-            logger.warning("sweep task %r shard %d failed: %s: %s",
-                           task.key, si, type(exc).__name__, exc)
-            return _ShardUnit(error=f"{type(exc).__name__}: {exc}\n"
-                                    f"{traceback.format_exc()}")
+        return _shard_attempt(task, si, attempt, policy)
     with _obs.scoped() as reg:
         reg.counter("shard.workers").inc()
         t0 = time.perf_counter()
-        try:
-            unit = _execute_shard_unit(task, si)
-        except Exception as exc:
-            logger.warning("sweep task %r shard %d failed: %s: %s",
-                           task.key, si, type(exc).__name__, exc)
-            reg.counter("sweep.worker_failures").inc()
-            unit = _ShardUnit(error=f"{type(exc).__name__}: {exc}\n"
-                                    f"{traceback.format_exc()}")
+        unit = _shard_attempt(task, si, attempt, policy)
         reg.timer("shard.worker_latency").observe(time.perf_counter() - t0)
         unit.metrics = reg.snapshot()
     return unit
 
 
-def _run_unit(spec: Tuple[str, SweepTask, int]):
+def _run_unit(spec: Tuple[str, SweepTask, int], attempt: int = 0,
+              policy: Optional[RetryPolicy] = None):
     """Pool entry point: a whole task, or one shard of a sharded task."""
     kind, task, si = spec
     if kind == "task":
-        return _run_task(task)
-    return _run_shard_unit(task, si)
+        return _run_task(task, attempt, policy)
+    return _run_shard_unit(task, si, attempt, policy)
+
+
+def _unit_failure(result: Any) -> Optional[WorkerFailure]:
+    """The structured failure of a unit result, or None on success."""
+    if isinstance(result, SweepOutcome):
+        if result.error is None:
+            return None
+        return WorkerFailure(kind=result.error_kind or "fatal",
+                             exc_type=result.error.split(":", 1)[0],
+                             message=result.error.splitlines()[0],
+                             traceback=result.error,
+                             retries=result.retries,
+                             duration=result.duration)
+    return result.failure
+
+
+def _poison_result(spec: Tuple[str, SweepTask, int],
+                   attempt: int) -> Any:
+    """Terminal outcome for a unit whose worker died past its retries."""
+    kind, task, si = spec
+    failure = WorkerFailure(
+        kind=FailureKind.POISON.value, exc_type="BrokenProcessPool",
+        message="worker process exited abruptly "
+                "(crash, OOM kill, or hard signal)",
+        traceback="BrokenProcessPool: worker process exited abruptly\n",
+        retries=attempt)
+    if kind == "task":
+        return SweepOutcome(key=task.key, mode=task.mode,
+                            engine=task.engine, shards=task.shards
+                            ).set_failure(failure)
+    return _ShardUnit(failure=failure, retries=attempt)
 
 
 def _merge_sharded_task(task: SweepTask,
                         units: Sequence[_ShardUnit]) -> SweepOutcome:
     """Fold a sharded task's units into one ordinary SweepOutcome.
 
-    Runs in the parent: merges the boundary sets (serial, O(K·footprint)),
-    predicts totals from the merged state, and writes the merged state
-    through to the plain analysis cache key — so a later *sequential* run
-    of the same point is a cache hit too (the merge is byte-identical).
+    Runs in the parent: merges the boundary sets, predicts totals from
+    the merged state, and writes the merged state through to the plain
+    analysis cache key — so a later *sequential* run of the same point
+    is a cache hit too (the merge is byte-identical).
     """
     merged = _obs.MetricsRegistry()
     have_metrics = False
@@ -287,11 +380,15 @@ def _merge_sharded_task(task: SweepTask,
             have_metrics = True
     outcome = SweepOutcome(key=task.key, mode="analyze",
                            engine=task.engine, shards=task.shards,
+                           retries=max((u.retries for u in units),
+                                       default=0),
+                           duration=sum(u.duration for u in units),
                            metrics=merged.snapshot() if have_metrics
                            else None)
-    errors = [u.error for u in units if u.error is not None]
-    if errors:
-        outcome.error = errors[0]
+    failures = [u.failure for u in units if u.failure is not None]
+    if failures:
+        outcome.set_failure(failures[0])
+        outcome.retries = max(u.retries for u in units)
         return outcome
     try:
         from repro.core.analyzer import ReuseAnalyzer
@@ -321,26 +418,222 @@ def _merge_sharded_task(task: SweepTask,
     except Exception as exc:
         logger.warning("sweep task %r shard merge failed: %s: %s",
                        task.key, type(exc).__name__, exc)
-        outcome.error = (f"{type(exc).__name__}: {exc}\n"
-                         f"{traceback.format_exc()}")
+        outcome.set_failure(WorkerFailure.from_exception(exc))
     return outcome
 
 
-def _init_worker(obs_enabled: bool, log_level: Optional[int]) -> None:
-    """Pool initializer: propagate parent obs/logging state to workers.
+def _init_worker(obs_enabled: bool, log_level: Optional[int],
+                 fault_specs: Tuple = ()) -> None:
+    """Pool initializer: propagate parent state, arm clean termination.
 
-    Matters for spawn/forkserver start methods, where module globals set
-    after import (the obs enabled flag, logger levels) are not inherited.
+    Propagates the obs flag, logger level, and active fault-injection
+    specs (matters for spawn/forkserver start methods, where module
+    globals set after import are not inherited), and installs a SIGTERM
+    handler so pool teardown unwinds worker stacks instead of killing
+    them mid-write.
     """
     _obs.set_enabled(obs_enabled)
     if log_level is not None:
         logging.getLogger("repro").setLevel(log_level)
+    if fault_specs:
+        _faults.set_specs(fault_specs)
+    install_term_handler()
 
 
 def default_jobs(limit: int = 8) -> int:
     """A sensible worker count: CPU count capped at ``limit``."""
     return max(1, min(limit, os.cpu_count() or 1))
 
+
+# ---------------------------------------------------------------------------
+# Scheduler
+# ---------------------------------------------------------------------------
+
+class _UnitScheduler:
+    """Retry-aware execution of pool units, inline or across processes.
+
+    The pool path replaces the old ``Pool.map`` with an incremental
+    submit/complete loop over a ``ProcessPoolExecutor`` so that three
+    things become possible:
+
+    * a unit whose outcome carries a retryable failure (transient error,
+      deadline overrun) is *resubmitted* after a backoff delay instead
+      of surfacing the failure — bounded by the policy's retry budget;
+    * a worker process that dies abruptly raises ``BrokenProcessPool``
+      on every unfinished future: the scheduler rebuilds the pool,
+      requeues those units (each charged one attempt — the crasher
+      cannot be told apart from its innocent poolmates), and keeps
+      going; a unit that exhausts its budget this way is reported as a
+      ``poison`` failure rather than requeued forever;
+    * completed units stream to an ``on_done`` callback in completion
+      order, which is what lets the checkpoint journal stay current
+      while the sweep is still running.
+
+    Backoff never blocks the loop: delayed units sit in a ready-time
+    heap and the completion wait uses the nearest ready time as its
+    timeout.
+    """
+
+    def __init__(self, specs: Sequence[Tuple[str, SweepTask, int]],
+                 policy: RetryPolicy,
+                 on_done: Optional[Callable[[int, Any], None]] = None
+                 ) -> None:
+        self.specs = list(specs)
+        self.policy = policy
+        self.on_done = on_done
+        self.rng = policy.rng()
+        self.attempts = [0] * len(self.specs)
+        self.results: Dict[int, Any] = {}
+
+    def _count_retry(self) -> None:
+        _obs.counter("resil.retries").inc()
+
+    @staticmethod
+    def _count_failure(failure: WorkerFailure) -> None:
+        """Parent-side failure accounting: counted here, not in the
+        worker, so the counters survive retried-and-discarded attempts
+        and cover worker deaths that never report back."""
+        _obs.counter("sweep.worker_failures").inc()
+        if failure.exc_type == "DeadlineExceeded":
+            _obs.counter("resil.timeouts").inc()
+
+    def _finish(self, i: int, result: Any) -> None:
+        self.results[i] = result
+        if self.on_done is not None and _unit_failure(result) is None:
+            self.on_done(i, result)
+
+    def _wants_retry(self, i: int, failure: WorkerFailure) -> bool:
+        kind = FailureKind(failure.kind)
+        if not self.policy.should_retry(kind, self.attempts[i]):
+            return False
+        self._count_retry()
+        logger.info("sweep unit %d retrying (attempt %d, %s)", i,
+                    self.attempts[i] + 1, failure.kind)
+        self.attempts[i] += 1
+        return True
+
+    # -- inline ----------------------------------------------------------
+
+    def run_inline(self, todo: Sequence[int]) -> None:
+        for i in todo:
+            while True:
+                result = _run_unit(self.specs[i], self.attempts[i],
+                                   self.policy)
+                failure = _unit_failure(result)
+                if failure is not None:
+                    self._count_failure(failure)
+                if failure is None or not self._wants_retry(i, failure):
+                    break
+                time.sleep(self.policy.backoff(self.attempts[i] - 1,
+                                               self.rng))
+            self._finish(i, result)
+
+    # -- pool ------------------------------------------------------------
+
+    def run_pool(self, todo: Sequence[int], jobs: int) -> None:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        queue = deque(todo)
+        delayed: List[Tuple[float, int]] = []  # (ready monotonic, index)
+        inflight: Dict[Any, int] = {}
+        nworkers = min(jobs, max(1, len(todo)))
+        pool = self._make_pool(nworkers)
+        try:
+            while queue or delayed or inflight:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    queue.append(heapq.heappop(delayed)[1])
+                while queue:
+                    i = queue.popleft()
+                    inflight[pool.submit(_run_unit, self.specs[i],
+                                         self.attempts[i],
+                                         self.policy)] = i
+                if not inflight:
+                    time.sleep(max(0.0, delayed[0][0] - now))
+                    continue
+                timeout = (max(0.0, delayed[0][0] - now) if delayed
+                           else None)
+                done, _pending = wait(list(inflight), timeout=timeout,
+                                      return_when=FIRST_COMPLETED)
+                broken = False
+                for fut in done:
+                    i = inflight.pop(fut)
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        self._broken_unit(i, queue)
+                        continue
+                    except Exception as exc:
+                        # result failed to unpickle or similar plumbing
+                        failure = WorkerFailure.from_exception(
+                            exc, retries=self.attempts[i])
+                        self._count_failure(failure)
+                        if self._wants_retry(i, failure):
+                            self._delay(delayed, i)
+                        else:
+                            self._finish(i, self._failed_result(
+                                i, failure))
+                        continue
+                    failure = _unit_failure(result)
+                    if failure is not None:
+                        self._count_failure(failure)
+                    if failure is not None and self._wants_retry(
+                            i, failure):
+                        self._delay(delayed, i)
+                    else:
+                        self._finish(i, result)
+                if broken:
+                    # every unfinished future on a broken pool is dead;
+                    # requeue the survivors and rebuild the pool
+                    _obs.counter("resil.pool_rebuilds").inc()
+                    for fut, i in list(inflight.items()):
+                        self._broken_unit(i, queue)
+                    inflight.clear()
+                    pool.shutdown(wait=False)
+                    logger.warning("sweep worker pool broke; rebuilding "
+                                   "(%d unit(s) requeued)", len(queue))
+                    pool = self._make_pool(nworkers)
+        finally:
+            pool.shutdown(wait=False)
+
+    def _make_pool(self, nworkers: int):
+        from concurrent.futures import ProcessPoolExecutor
+        return ProcessPoolExecutor(
+            max_workers=nworkers, initializer=_init_worker,
+            initargs=(_obs.is_enabled(),
+                      logging.getLogger("repro").level or None,
+                      _faults.active_specs()))
+
+    def _broken_unit(self, i: int, queue: deque) -> None:
+        """A unit lost to a dead worker: requeue or report as poison."""
+        _obs.counter("sweep.worker_failures").inc()
+        if self.policy.should_retry(FailureKind.POISON, self.attempts[i]):
+            self._count_retry()
+            self.attempts[i] += 1
+            queue.append(i)
+        else:
+            self._finish(i, _poison_result(self.specs[i],
+                                           self.attempts[i]))
+
+    def _delay(self, delayed: List[Tuple[float, int]], i: int) -> None:
+        ready = time.monotonic() + self.policy.backoff(
+            self.attempts[i] - 1, self.rng)
+        heapq.heappush(delayed, (ready, i))
+
+    def _failed_result(self, i: int, failure: WorkerFailure) -> Any:
+        kind, task, si = self.specs[i]
+        if kind == "task":
+            return SweepOutcome(key=task.key, mode=task.mode,
+                                engine=task.engine, shards=task.shards
+                                ).set_failure(failure)
+        return _ShardUnit(failure=failure, retries=failure.retries)
+
+
+# ---------------------------------------------------------------------------
+# Manifests
+# ---------------------------------------------------------------------------
 
 def build_sweep_manifest(outcomes: Sequence[SweepOutcome],
                          wall_time: Optional[float] = None
@@ -349,24 +642,33 @@ def build_sweep_manifest(outcomes: Sequence[SweepOutcome],
 
     The sweep-level counterpart of :class:`~repro.obs.manifest.RunManifest`:
     totalled event counts across every task, the analysis-cache hit rate,
-    per-task one-line summaries, and — when observability was enabled
-    during the sweep — the merged worker metric deltas.  Everything is
-    JSON-serialisable.
+    per-task one-line summaries (now including the failure kind, retry
+    count, and wall seconds of each task), and — when observability was
+    enabled during the sweep — the merged worker metric deltas.
+    Everything is JSON-serialisable.
     """
     events = {"accesses": 0, "loads": 0, "stores": 0, "ops": 0}
     cacheable = 0
     cache_hits = 0
     failures = 0
+    retries = 0
+    failure_kinds: Dict[str, int] = {}
     task_rows: List[Dict[str, Any]] = []
     merged = _obs.MetricsRegistry()
     have_metrics = False
     for out in outcomes:
         row: Dict[str, Any] = {"key": out.key, "mode": out.mode,
                                "engine": out.engine, "shards": out.shards,
-                               "from_cache": out.from_cache}
+                               "from_cache": out.from_cache,
+                               "retries": out.retries,
+                               "duration_s": round(out.duration, 6)}
+        retries += out.retries
         if out.error is not None:
             failures += 1
             row["error"] = out.error.splitlines()[0]
+            row["error_kind"] = out.error_kind or "fatal"
+            failure_kinds[row["error_kind"]] = (
+                failure_kinds.get(row["error_kind"], 0) + 1)
         stats = out.stats
         if stats is not None:
             row["accesses"] = stats.accesses
@@ -392,6 +694,10 @@ def build_sweep_manifest(outcomes: Sequence[SweepOutcome],
             "hits": cache_hits,
             "hit_rate": (cache_hits / cacheable) if cacheable else 0.0,
         },
+        "resilience": {
+            "retries": retries,
+            "failure_kinds": failure_kinds,
+        },
         "task_summaries": task_rows,
     }
     if wall_time is not None:
@@ -401,18 +707,90 @@ def build_sweep_manifest(outcomes: Sequence[SweepOutcome],
     return manifest
 
 
+def render_sweep_manifest(manifest: Dict[str, Any]) -> str:
+    """Human-readable sweep roll-up (the ``repro stats`` view)."""
+    cache = manifest.get("cache", {})
+    resil = manifest.get("resilience", {})
+    lines = [
+        f"sweep manifest: {manifest.get('tasks', 0)} task(s), "
+        f"{manifest.get('failures', 0)} failed",
+    ]
+    if "wall_time_s" in manifest:
+        lines.append(f"  wall time: {manifest['wall_time_s']:.2f}s")
+    if cache.get("eligible"):
+        lines.append(f"  cache: {cache.get('hits', 0)}/"
+                     f"{cache['eligible']} hits "
+                     f"({100.0 * cache.get('hit_rate', 0.0):.0f}%)")
+    if resil.get("retries"):
+        lines.append(f"  retries: {resil['retries']}")
+    kinds = resil.get("failure_kinds") or {}
+    if kinds:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        lines.append(f"  failure kinds: {pairs}")
+    events = manifest.get("events", {})
+    if events.get("accesses"):
+        lines.append("  events: " + ", ".join(
+            f"{k}={v}" for k, v in events.items()))
+    rows = manifest.get("task_summaries", [])
+    if rows:
+        lines.append("")
+        lines.append(f"  {'key':<16}{'mode':<9}{'engine':<9}"
+                     f"{'retries':>8}{'wall':>10}  status")
+        for row in rows:
+            status = "cache hit" if row.get("from_cache") else "ok"
+            if "error" in row:
+                status = (f"FAILED [{row.get('error_kind', 'fatal')}] "
+                          f"{row['error']}")
+            lines.append(
+                f"  {str(row.get('key'))[:15]:<16}"
+                f"{str(row.get('mode', '?')):<9}"
+                f"{str(row.get('engine', '?')):<9}"
+                f"{row.get('retries', 0):>8}"
+                f"{row.get('duration_s', 0.0) * 1e3:>8.1f}ms"
+                f"  {status}")
+    counters = manifest.get("metrics", {}).get("counters", {})
+    resil_counters = {n: v for n, v in counters.items()
+                      if n.startswith(("resil.", "cache.quarantined"))}
+    if resil_counters:
+        lines.append("")
+        lines.append(f"  {'resilience counter':<34}{'value':>10}")
+        for name in sorted(resil_counters):
+            lines.append(f"  {name:<34}{resil_counters[name]:>10}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
 def run_sweep(tasks: Sequence[SweepTask],
               jobs: Optional[int] = None,
-              manifest_out: Optional[str] = None) -> List[SweepOutcome]:
+              manifest_out: Optional[str] = None,
+              retry: Optional[RetryPolicy] = None,
+              checkpoint: Optional[str] = None,
+              checkpoint_fsync: bool = False) -> List[SweepOutcome]:
     """Run every task, in order, across ``jobs`` worker processes.
 
-    ``jobs=None`` or ``jobs=1`` (or a single task) runs inline — no
+    ``jobs=None`` or ``jobs=1`` (or a single unit) runs inline — no
     processes, easiest to debug, and what the test suite exercises by
     default.  Outcomes are returned in task order regardless of worker
     scheduling.  A failing task never aborts the sweep: its outcome
-    carries :attr:`SweepOutcome.error` and empty results.  With
-    observability enabled, per-task worker metrics are merged back into
-    the parent's registry before returning.
+    carries :attr:`SweepOutcome.error` (plus the structured
+    ``error_kind``/``retries``/``duration`` fields) and empty results.
+    With observability enabled, per-task worker metrics are merged back
+    into the parent's registry before returning.
+
+    ``retry`` is the :class:`~repro.tools.resilience.RetryPolicy`
+    applied per unit (default: two retries of transient/poison failures,
+    no deadline); retried units re-run the same deterministic analysis,
+    so results are byte-identical however many attempts they took.
+
+    ``checkpoint`` names a durable JSONL journal: each completed unit is
+    recorded (payload + journal line) as soon as it finishes, and a
+    later ``run_sweep(..., checkpoint=same_path)`` restores those units
+    from disk instead of recomputing them — a sweep killed mid-run
+    resumes from where it died with byte-identical merged results.
+    ``checkpoint_fsync`` additionally fsyncs each journal append.
 
     ``manifest_out`` writes a sweep-level roll-up JSON (see
     :func:`build_sweep_manifest`) after the sweep completes.
@@ -423,32 +801,67 @@ def run_sweep(tasks: Sequence[SweepTask],
         jobs = 1
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    policy = retry if retry is not None else DEFAULT_POLICY
     # Sharded analyze tasks expand into per-shard units that share the
     # pool with whole-task units, so one huge trace no longer serializes
     # the sweep; the parent folds each group back into one outcome.
+    # Measure mode cannot shard (the simulator's LRU state is
+    # order-dependent): affected tasks run unsharded, reported once per
+    # sweep rather than once per task.
+    ignored_shards = [task.key for task in tasks
+                      if task.shards > 1 and task.mode == "measure"]
+    if ignored_shards:
+        shown = ", ".join(repr(k) for k in ignored_shards[:5])
+        if len(ignored_shards) > 5:
+            shown += f", ... ({len(ignored_shards)} total)"
+        logger.warning("shards ignored in measure mode for %d task(s) "
+                       "[%s]: the simulator's LRU state is "
+                       "order-dependent", len(ignored_shards), shown)
     specs: List[Tuple[str, SweepTask, int]] = []
     plan: List[Tuple[int, int]] = []
     for task in tasks:
         shards = task.shards
         if shards > 1 and task.mode == "measure":
-            logger.warning("task %r: shards=%d ignored in measure mode "
-                           "(the simulator's LRU state is "
-                           "order-dependent)", task.key, shards)
             shards = 1
         plan.append((len(specs), shards))
         if shards > 1:
             specs.extend(("shard", task, si) for si in range(shards))
         else:
             specs.append(("task", task, 0))
-    if jobs == 1 or len(specs) <= 1:
-        unit_results = [_run_unit(spec) for spec in specs]
+
+    ckpt: Optional[SweepCheckpoint] = None
+    digests: List[str] = []
+    restored: Dict[int, Any] = {}
+    if checkpoint:
+        ckpt = SweepCheckpoint(checkpoint, fsync=checkpoint_fsync)
+        digests = [SweepCheckpoint.unit_digest(task, kind, si)
+                   for kind, task, si in specs]
+        journal = ckpt.load()
+        for i, digest in enumerate(digests):
+            if digest in journal:
+                payload = ckpt.restore(digest, journal[digest])
+                if payload is not None:
+                    restored[i] = payload
+        if restored:
+            _obs.counter("resil.checkpoint_restored").inc(len(restored))
+            logger.info("sweep checkpoint %s: restored %d/%d unit(s)",
+                        checkpoint, len(restored), len(specs))
+
+    def on_done(i: int, result: Any) -> None:
+        if ckpt is None or i in restored:
+            return
+        kind, task, si = specs[i]
+        ckpt.record(digests[i], f"{task.key!r}/{kind}{si}", result)
+
+    scheduler = _UnitScheduler(specs, policy, on_done=on_done)
+    scheduler.results.update(restored)
+    todo = [i for i in range(len(specs)) if i not in restored]
+    if jobs == 1 or len(todo) <= 1:
+        scheduler.run_inline(todo)
     else:
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(min(jobs, len(specs)), initializer=_init_worker,
-                      initargs=(_obs.is_enabled(),
-                                logging.getLogger("repro").level or None)
-                      ) as pool:
-            unit_results = pool.map(_run_unit, specs, chunksize=1)
+        scheduler.run_pool(todo, jobs)
+    unit_results = [scheduler.results[i] for i in range(len(specs))]
+
     outcomes = []
     for task, (base, count) in zip(tasks, plan):
         if count == 1:

@@ -117,6 +117,58 @@ class TestAnalysisCache:
         assert leftovers == []
 
 
+class TestQuarantine:
+    def test_corrupt_entry_moved_to_quarantine(self, tmp_path, obs_on):
+        cache = AnalysisCache(str(tmp_path))
+        key = "ab" + "0" * 62
+        cache.put(key, {"ok": True})
+        with open(cache._path(key), "wb") as fh:
+            fh.write(b"not a pickle")
+        assert cache.get(key) is None
+        assert not os.path.exists(cache._path(key))
+        qpath = os.path.join(str(tmp_path), AnalysisCache.QUARANTINE_DIR,
+                             key + ".pkl")
+        assert os.path.exists(qpath)
+        assert cache.quarantined == 1
+        assert obs_on.counter("cache.quarantined").value == 1
+        assert "quarantined=1" in repr(cache)
+
+    def test_quarantined_entries_invisible_to_lookups(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        key = "ab" + "0" * 62
+        cache.put(key, 1)
+        with open(cache._path(key), "wb") as fh:
+            fh.write(b"junk")
+        cache.get(key)
+        assert len(cache) == 0
+        assert key not in cache
+        # the slot is writable again after quarantine
+        cache.put(key, 2)
+        assert cache.get(key) == 2
+
+    def test_fsync_mode_round_trips(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path), fsync=True)
+        key = "ab" + "0" * 62
+        cache.put(key, {"durable": [1, 2]})
+        assert cache.get(key) == {"durable": [1, 2]}
+
+    def test_sweep_stale_removes_only_old_temp_files(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        key = "ab" + "0" * 62
+        cache.put(key, 1)
+        old = os.path.join(str(tmp_path), "ab", ".tmp-dead")
+        fresh = os.path.join(str(tmp_path), "ab", ".tmp-live")
+        for p in (old, fresh):
+            with open(p, "wb") as fh:
+                fh.write(b"partial")
+        past = 10_000.0
+        os.utime(old, (past, past))
+        assert cache.sweep_stale(max_age_s=3600.0) == 1
+        assert not os.path.exists(old)
+        assert os.path.exists(fresh)  # a live writer's temp survives
+        assert cache.get(key) == 1  # real entries untouched
+
+
 class TestSessionIntegration:
     def test_second_session_restored_from_cache(self, tmp_path):
         cache = AnalysisCache(str(tmp_path))

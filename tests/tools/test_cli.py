@@ -95,6 +95,62 @@ class TestCommands:
         assert not any(fs for _, _, fs in os.walk(str(tmp_path)))
 
 
+class TestSweepCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "sweep3d"])
+        assert args.mesh == [6, 8]
+        assert args.retries == 2
+        assert args.timeout is None
+        assert not args.resume
+
+    def test_sweep_smoke(self, capsys):
+        assert main(["sweep", "sweep3d", "--mesh", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "sweep3d-n4" in captured.out
+        assert "ok" in captured.out
+        assert "sweeping 1 sweep3d task(s)" in captured.err
+
+    def test_manifest_out_and_stats_view(self, tmp_path, capsys,
+                                         reset_obs):
+        path = str(tmp_path / "sweep.json")
+        assert main(["sweep", "sweep3d", "--mesh", "4",
+                     "--manifest-out", path]) == 0
+        capsys.readouterr()
+        data = json.load(open(path))
+        assert data["kind"] == "sweep"
+        assert data["tasks"] == 1
+        assert data["failures"] == 0
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "sweep manifest: 1 task(s), 0 failed" in out
+        assert "sweep3d-n4" in out
+
+    def test_resume_requires_checkpoint_flag(self):
+        with pytest.raises(SystemExit, match="requires --checkpoint"):
+            main(["sweep", "sweep3d", "--resume"])
+
+    def test_existing_checkpoint_requires_resume(self, tmp_path):
+        ckpt = tmp_path / "ck.jsonl"
+        ckpt.write_text("{}\n")
+        with pytest.raises(SystemExit, match="already exists"):
+            main(["sweep", "sweep3d", "--checkpoint", str(ckpt)])
+
+    def test_resume_without_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="nothing to resume"):
+            main(["sweep", "sweep3d", "--resume",
+                  "--checkpoint", str(tmp_path / "missing.jsonl")])
+
+    def test_checkpoint_then_resume_roundtrip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck.jsonl")
+        assert main(["sweep", "sweep3d", "--mesh", "4",
+                     "--checkpoint", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", "sweep3d", "--mesh", "4",
+                     "--checkpoint", ckpt, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == first  # restored units render identically
+
+
 class TestObservability:
     def test_analyze_profile_prints_manifest(self, capsys, reset_obs):
         assert main(["analyze", "fig1", "--no-cache", "--profile"]) == 0

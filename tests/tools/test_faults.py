@@ -1,0 +1,110 @@
+"""The fault-injection harness itself must be deterministic and safe."""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.testing import faults
+from repro.testing.faults import FaultInjected, FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(point="p", action="explode")
+        with pytest.raises(ValueError):
+            FaultSpec(point="p", action="raise", exc="SystemExit")
+        with pytest.raises(ValueError):
+            FaultSpec(point="p", action="raise", times=-1)
+
+    def test_match_is_subset_equality(self):
+        spec = FaultSpec(point="p", action="raise",
+                         match=(("key", 8), ("unit", "task")))
+        assert spec.matches({"key": 8, "unit": "task", "attempt": 0})
+        assert not spec.matches({"key": 9, "unit": "task"})
+        assert not spec.matches({"key": 8})
+
+    def test_spec_id_is_stable_slug(self):
+        spec = FaultSpec(point="sweep.unit", action="crash",
+                         match=(("key", 8),))
+        assert spec.spec_id == "sweep.unit-crash-key=8"
+
+
+class TestFiring:
+    def test_inactive_fire_is_free_noop(self):
+        faults.fire("anything", key=1)  # no specs installed
+
+    def test_raise_action_and_exact_times(self):
+        faults.install(FaultSpec(point="p", action="raise", exc="OSError",
+                                 message="injected io", times=2))
+        with pytest.raises(OSError, match="injected io"):
+            faults.fire("p")
+        with pytest.raises(OSError):
+            faults.fire("p")
+        faults.fire("p")  # budget exhausted: no-op
+
+    def test_unlimited_times(self):
+        faults.install(FaultSpec(point="p", action="raise",
+                                 exc="FaultInjected", times=0))
+        for _ in range(5):
+            with pytest.raises(FaultInjected):
+                faults.fire("p")
+
+    def test_point_and_match_filtering(self):
+        faults.install(FaultSpec(point="p", action="raise",
+                                 match=(("key", 8),)))
+        faults.fire("q", key=8)        # wrong point
+        faults.fire("p", key=9)        # wrong key
+        with pytest.raises(OSError):
+            faults.fire("p", key=8)
+
+    def test_stall_action_sleeps(self):
+        faults.install(FaultSpec(point="p", action="stall", delay=0.05))
+        t0 = time.monotonic()
+        faults.fire("p")
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_corrupt_action_scribbles_the_file(self, tmp_path):
+        path = tmp_path / "entry.pkl"
+        path.write_bytes(pickle.dumps({"fine": True}))
+        faults.install(FaultSpec(point="cache.get", action="corrupt"))
+        faults.fire("cache.get", key="k", path=str(path))
+        with pytest.raises(Exception):
+            pickle.loads(path.read_bytes())
+
+    def test_marker_budget_is_cross_process_safe(self, tmp_path):
+        spec = FaultSpec(point="p", action="raise", times=1,
+                         marker=str(tmp_path))
+        faults.install(spec)
+        with pytest.raises(OSError):
+            faults.fire("p")
+        faults.fire("p")  # slot file already claimed
+        slots = [f for f in os.listdir(tmp_path)
+                 if f.startswith(spec.spec_id)]
+        assert len(slots) == 1
+
+
+class TestLifecycle:
+    def test_set_specs_and_active(self):
+        assert not faults.active()
+        spec = FaultSpec(point="p", action="raise")
+        faults.set_specs([spec])
+        assert faults.active()
+        assert faults.active_specs() == (spec,)
+        faults.clear()
+        assert not faults.active()
+        assert faults.active_specs() == ()
+
+    def test_specs_are_picklable_for_pool_shipping(self):
+        spec = FaultSpec(point="sweep.unit", action="crash",
+                         match=(("key", 8),), marker="/tmp/m")
+        assert pickle.loads(pickle.dumps((spec,))) == (spec,)
