@@ -109,14 +109,22 @@ def cmd_analyze(args) -> int:
         obs.set_enabled(True)
     program = _build(args.workload, args)
     cache = None if args.no_cache else AnalysisCache()
+    trace_dir = args.trace_dir
+    if trace_dir is None and args.spill_mb is not None:
+        # --spill-mb alone still spills; the store just lands in a
+        # throwaway directory instead of a reusable one
+        import tempfile
+        trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
     session = AnalysisSession(program, cache=cache, engine=args.engine,
-                              shards=args.shards)
+                              shards=args.shards, trace_store=trace_dir,
+                              spill_mb=args.spill_mb)
+    spilled = " from a spilled trace" if trace_dir is not None else ""
     if args.shards > 1:
         print(f"running {program.name} under instrumentation "
-              f"({args.shards} time shards) ...", file=sys.stderr)
+              f"({args.shards} time shards{spilled}) ...", file=sys.stderr)
     else:
-        print(f"running {program.name} under instrumentation ...",
-              file=sys.stderr)
+        print(f"running {program.name} under instrumentation"
+              f"{spilled} ...", file=sys.stderr)
     session.run()
     if session.from_cache:
         print("(restored from analysis cache)", file=sys.stderr)
@@ -189,13 +197,15 @@ def cmd_sweep(args) -> int:
             tasks.append(SweepTask(
                 key=f"sweep3d-n{n}", builder=build_original,
                 args=(SweepParams(n=n),), engine=args.engine,
-                shards=args.shards, cache_dir=args.cache_dir))
+                shards=args.shards, cache_dir=args.cache_dir,
+                trace_dir=args.trace_dir, spill_mb=args.spill_mb))
     elif args.app == "gtc":
         for m in args.micell:
             tasks.append(SweepTask(
                 key=f"gtc-m{m}", builder=build_gtc,
                 args=(None, GTCParams(micell=m)), engine=args.engine,
-                shards=args.shards, cache_dir=args.cache_dir))
+                shards=args.shards, cache_dir=args.cache_dir,
+                trace_dir=args.trace_dir, spill_mb=args.spill_mb))
     else:
         raise SystemExit(f"unknown app {args.app!r}; use sweep3d or gtc")
     policy = RetryPolicy(retries=args.retries, timeout=args.timeout)
@@ -243,6 +253,8 @@ def cmd_measure(args) -> int:
             tasks.append(SweepTask(key=name, builder=build_variant,
                                    args=(name, params), mode="measure",
                                    shards=args.shards,
+                                   trace_dir=args.trace_dir,
+                                   spill_mb=args.spill_mb,
                                    measure_kwargs={"name": name}))
     elif args.app == "gtc":
         params = GTCParams(micell=args.micell)
@@ -253,6 +265,7 @@ def cmd_measure(args) -> int:
             tasks.append(SweepTask(
                 key=variant.name, builder=build_gtc, args=(variant, params),
                 mode="measure", shards=args.shards,
+                trace_dir=args.trace_dir, spill_mb=args.spill_mb,
                 measure_kwargs={"name": variant.name,
                                 "fused_routines": fused}))
     else:
@@ -306,6 +319,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="analyze the trace as K parallel time "
                               "shards (results are byte-identical to "
                               "a sequential run)")
+    analyze.add_argument("--trace-dir", metavar="DIR",
+                         help="spill the recording to a columnar trace "
+                              "store under DIR; shards replay it via "
+                              "mmap instead of re-recording")
+    analyze.add_argument("--spill-mb", type=float, default=None,
+                         metavar="MB",
+                         help="in-memory buffer bound for the spilled "
+                              "recording (default 64; implies a "
+                              "temporary --trace-dir if none is given)")
     analyze.add_argument("--xml", metavar="PATH",
                          help="also export the XML database")
     analyze.add_argument("--html", metavar="PATH",
@@ -329,6 +351,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="time shards per task (analyze-mode sweeps "
                            "only; the measure pipeline warns and runs "
                            "unsharded)")
+    meas.add_argument("--trace-dir", metavar="DIR",
+                      help="columnar trace-store directory (analyze-mode "
+                           "sweeps only; measure tasks ignore it)")
+    meas.add_argument("--spill-mb", type=float, default=None, metavar="MB",
+                      help="spill buffer bound for --trace-dir recordings")
 
     sweep = sub.add_parser("sweep", help="fault-tolerant analysis sweep")
     sweep.add_argument("app", choices=("sweep3d", "gtc"))
@@ -340,6 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes")
     sweep.add_argument("--shards", type=int, default=1, metavar="K",
                        help="time shards per task")
+    sweep.add_argument("--trace-dir", metavar="DIR",
+                       help="record each sharded task once into a "
+                            "columnar trace store under DIR; shard "
+                            "units replay it via mmap")
+    sweep.add_argument("--spill-mb", type=float, default=None,
+                       metavar="MB",
+                       help="in-memory buffer bound for trace-store "
+                            "recordings (default 64)")
     sweep.add_argument("--engine", default="fenwick",
                        choices=("fenwick", "treap", "numpy"))
     sweep.add_argument("--cache-dir", metavar="DIR",

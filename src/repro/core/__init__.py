@@ -20,6 +20,10 @@ from repro.core.shard import (
     RecordedTrace, ShardResult, ShardSlice, analyze_sharded,
     analyze_trace_sharded, merge_shard_results, record_trace, split_trace,
 )
+from repro.core.tracestore import (
+    StoredShardSlice, StoredTrace, TraceStore, TraceStoreWriter,
+    load_trace, record_spilled,
+)
 from repro.core.treap import TreapEngine
 
 __all__ = [
@@ -27,8 +31,9 @@ __all__ = [
     "FenwickEngine", "FlatBlockTable", "GranularityState",
     "HierarchicalBlockTable", "Histogram", "PatternDB", "PatternKey",
     "RecordedTrace", "ReuseAnalyzer", "ReusePattern", "SUBBINS",
-    "ScopeStack", "ShardResult", "ShardSlice", "TreapEngine",
+    "ScopeStack", "ShardResult", "ShardSlice", "StoredShardSlice",
+    "StoredTrace", "TraceStore", "TraceStoreWriter", "TreapEngine",
     "analyze_sharded", "analyze_trace_sharded", "bin_mid", "bin_of",
-    "bin_range", "for_program", "from_raw", "merge_shard_results",
-    "record_trace", "split_trace",
+    "bin_range", "for_program", "from_raw", "load_trace",
+    "merge_shard_results", "record_spilled", "record_trace", "split_trace",
 ]

@@ -81,20 +81,31 @@ class StreamRecorder:
       (scalar accesses between scope events are coalesced into one);
     * ``("rows", rids, stores, bases, strides, m)`` — an unmaterialized
       affine chunk, exactly the ``access_rows`` protocol.
+
+    With a ``spill`` sink (a :class:`~repro.core.tracestore.
+    TraceStoreWriter`), ops stream to the columnar on-disk store instead
+    of ``self.ops``, and open scalar segments are closed at a fixed cap
+    so the recorder's own buffering stays bounded too.  Chunk boundaries
+    are analysis-neutral, so the cap cannot change results.
     """
 
-    def __init__(self) -> None:
+    #: spill mode only: close open scalar segments at this many accesses
+    SPILL_COALESCE_CAP = 1 << 16
+
+    def __init__(self, spill=None) -> None:
         self.ops: List[tuple] = []
         self.accesses = 0
         self._open: Optional[Tuple[list, list, list]] = None
+        self._spill = spill
+        self._sink = spill.add_op if spill is not None else self.ops.append
 
     def enter_scope(self, sid: int) -> None:
         self._close()
-        self.ops.append(("enter", sid))
+        self._sink(("enter", sid))
 
     def exit_scope(self, sid: int) -> None:
         self._close()
-        self.ops.append(("exit", sid))
+        self._sink(("exit", sid))
 
     def access(self, rid: int, addr: int, is_store: bool) -> None:
         op = self._open
@@ -104,6 +115,9 @@ class StreamRecorder:
             op[0].append(rid)
             op[1].append(addr)
             op[2].append(is_store)
+            if (self._spill is not None
+                    and len(op[1]) >= self.SPILL_COALESCE_CAP):
+                self._close()
         self.accesses += 1
 
     def access_batch(self, rids, addrs, stores, period: int = 0) -> None:
@@ -111,8 +125,8 @@ class StreamRecorder:
         if not n:
             return
         self._close()
-        self.ops.append(("batch", list(rids), list(addrs), list(stores),
-                         period if period and not n % period else 0))
+        self._sink(("batch", list(rids), list(addrs), list(stores),
+                    period if period and not n % period else 0))
         self.accesses += n
 
     def access_rows(self, rids, stores, bases, strides, m: int) -> None:
@@ -120,14 +134,14 @@ class StreamRecorder:
         if not n:
             return
         self._close()
-        self.ops.append(("rows", tuple(rids), tuple(stores), tuple(bases),
-                         tuple(strides), m))
+        self._sink(("rows", tuple(rids), tuple(stores), tuple(bases),
+                    tuple(strides), m))
         self.accesses += n
 
     def _close(self) -> None:
         op = self._open
         if op is not None:
-            self.ops.append(("batch", op[0], op[1], op[2], 0))
+            self._sink(("batch", op[0], op[1], op[2], 0))
             self._open = None
 
 
@@ -139,14 +153,35 @@ class RecordedTrace:
     accesses: int
 
 
-def record_trace(program, batch: bool = True, **params):
-    """Run ``program`` once under a recorder; returns (trace, stats)."""
+def record_trace(program, batch: bool = True, spill=None,
+                 spill_mb: Optional[float] = None, **params):
+    """Run ``program`` once under a recorder; returns (trace, stats).
+
+    With ``spill`` (a trace-store directory path, or an existing
+    :class:`~repro.core.tracestore.TraceStoreWriter`), the event stream
+    goes to the columnar on-disk store under a ``spill_mb``-bounded
+    buffer and the first return value is a
+    :class:`~repro.core.tracestore.StoredTrace` handle instead of an
+    in-memory :class:`RecordedTrace`.
+    """
     from repro.lang.batch import BatchExecutor
     from repro.lang.executor import Executor
-    recorder = StreamRecorder()
+    writer = None
+    if spill is not None:
+        from repro.core.tracestore import TraceStoreWriter
+        writer = (spill if isinstance(spill, TraceStoreWriter)
+                  else TraceStoreWriter(spill, spill_mb=spill_mb))
+    recorder = StreamRecorder(spill=writer)
     executor_cls = BatchExecutor if batch else Executor
-    stats = executor_cls(program, recorder).run(**params)
-    recorder._close()
+    try:
+        stats = executor_cls(program, recorder).run(**params)
+        recorder._close()
+    except Exception:
+        if writer is not None:
+            writer.abort()
+        raise
+    if writer is not None:
+        return writer.finalize(), stats
     return RecordedTrace(tuple(recorder.ops), recorder.accesses), stats
 
 
@@ -207,7 +242,16 @@ def split_trace(trace: RecordedTrace, nshards: int) -> List[ShardSlice]:
     and an empty trace yields a single empty shard).  Scope events that
     fall exactly on a cut go to the *following* shard, so a shard's seed
     clocks are all strictly below its start clock.
+
+    A spilled trace (:class:`~repro.core.tracestore.StoredTrace` or an
+    open :class:`~repro.core.tracestore.TraceStore`) routes to
+    :func:`~repro.core.tracestore.split_stored_trace`, which emits
+    file-offset slices instead of copied op lists — same cut semantics,
+    same seed stacks.
     """
+    if not isinstance(trace, RecordedTrace):
+        from repro.core.tracestore import split_stored_trace
+        return split_stored_trace(trace, nshards)
     n = trace.accesses
     k = max(1, min(int(nshards), n if n else 1))
     cuts = [(i * n) // k for i in range(k + 1)]
@@ -392,20 +436,25 @@ def analyze_shard(sl: ShardSlice,
     analyzer.clock = sl.start
     analyzer.stack._sids.extend(sl.seed_sids)
     analyzer.stack._clocks.extend(sl.seed_clocks)
-    enter = analyzer.enter_scope
-    leave = analyzer.exit_scope
-    batch = analyzer.access_batch
-    rows = analyzer.access_rows
-    for op in sl.ops:
-        tag = op[0]
-        if tag == "batch":
-            batch(op[1], op[2], op[3], op[4])
-        elif tag == "rows":
-            rows(op[1], op[2], op[3], op[4], op[5])
-        elif tag == "enter":
-            enter(op[1])
-        else:
-            leave(op[1])
+    if isinstance(sl, ShardSlice):
+        enter = analyzer.enter_scope
+        leave = analyzer.exit_scope
+        batch = analyzer.access_batch
+        rows = analyzer.access_rows
+        for op in sl.ops:
+            tag = op[0]
+            if tag == "batch":
+                batch(op[1], op[2], op[3], op[4])
+            elif tag == "rows":
+                rows(op[1], op[2], op[3], op[4], op[5])
+            elif tag == "enter":
+                enter(op[1])
+            else:
+                leave(op[1])
+    else:
+        # stored slice: stream the op range straight off the mmap
+        from repro.core.tracestore import TraceStore, replay_slice
+        replay_slice(TraceStore(sl.path), sl, analyzer)
     analyzer._flush()
     grans = []
     for gi, g in enumerate(analyzer.grans):

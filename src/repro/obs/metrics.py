@@ -21,10 +21,14 @@ metric; pattern databases and reports are byte-identical with the
 subsystem on or off (enforced by tests/integration/test_obs_equivalence).
 
 Namespaces: counters are dot-qualified by subsystem — ``analyzer.*``,
-``batch.*``, ``sim.*``, ``cache.*``, ``sweep.*``, ``shard.*``.  The
+``batch.*``, ``sim.*``, ``cache.*``, ``sweep.*``, ``shard.*``, and
+``trace.*`` (the spillable trace store: ``trace.spill_bytes`` written by
+the recorder, ``trace.mmap_opens`` per column a reader maps,
+``trace.read_mb`` replayed off the maps).  The
 ``resil.*`` family (``resil.retries``, ``resil.timeouts``,
 ``resil.pool_rebuilds``, ``resil.fallbacks``,
-``resil.checkpoint_restored``) plus ``cache.quarantined`` record
+``resil.checkpoint_restored``, ``resil.checkpoint_dedup``,
+``resil.deadline_unsupported``) plus ``cache.quarantined`` record
 fault-recovery events; they are counted *parent-side* by the sweep
 scheduler / session (not in workers), so they survive retried-and-
 discarded attempts and worker deaths, and sweep manifests surface them

@@ -167,8 +167,83 @@ class AnalysisCache:
         return self.key_for(program, params, config, miss_model, "numpy",
                             kind=f"shard-{int(shards)}-{int(index)}")
 
+    def trace_shard_key_for(self, digest: str, config, shards: int,
+                            index: int) -> str:
+        """Content address for a shard partial of a *spilled* trace.
+
+        The trace-store content digest already covers the program and
+        run parameters (identical event streams hash identically), so
+        the key needs only the digest, the granularity-bearing config,
+        and the (shard count, index) pair.  The miss model never enters:
+        partials are raw pattern databases, applied at predict time.
+        """
+        h = hashlib.sha256()
+        h.update(repr((
+            SCHEMA_VERSION,
+            f"trace-shard-{int(shards)}-{int(index)}",
+            digest,
+            repr(config),
+        )).encode())
+        return h.hexdigest()
+
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".pkl")
+
+    # -- raw blobs ------------------------------------------------------
+
+    def _blob_path(self, digest: str) -> str:
+        return os.path.join(self.root, "blobs", digest[:2],
+                            digest + ".bin")
+
+    def has_blob(self, digest: str) -> bool:
+        return os.path.exists(self._blob_path(digest))
+
+    def put_blob(self, digest: str, data: bytes) -> str:
+        """Store raw bytes under their sha256 digest (idempotent).
+
+        Used by checkpoint journals to dedup payloads: identical bytes
+        land at one address however many journal lines reference them.
+        """
+        path = self._blob_path(digest)
+        if os.path.exists(path):
+            return path
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".bin")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_blob(self, digest: str) -> Optional[bytes]:
+        """Return the blob's bytes, or None when missing or damaged.
+
+        Bytes are re-hashed on read: a mismatch (bit rot, truncation)
+        degrades to None so callers recompute instead of trusting
+        corrupt state.
+        """
+        try:
+            with open(self._blob_path(digest), "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return None
+        if hashlib.sha256(data).hexdigest() != digest:
+            self.corrupt += 1
+            self._obs_corrupt.inc()
+            logger.warning("cache blob %s fails its digest; ignoring",
+                           digest[:12])
+            return None
+        return data
 
     # -- storage --------------------------------------------------------
 

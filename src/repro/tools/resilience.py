@@ -47,6 +47,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
+from repro.obs import metrics as _obs
+
 logger = logging.getLogger("repro.tools.resilience")
 
 #: Bump when the checkpoint journal layout changes.
@@ -200,6 +202,10 @@ def _deadline_usable() -> bool:
             and threading.current_thread() is threading.main_thread())
 
 
+#: One warning per process when deadlines degrade, not one per unit.
+_deadline_warned = False
+
+
 @contextmanager
 def deadline(seconds: Optional[float]) -> Iterator[None]:
     """Raise :class:`DeadlineExceeded` if the block outruns ``seconds``.
@@ -207,13 +213,28 @@ def deadline(seconds: Optional[float]) -> Iterator[None]:
     Implemented with ``setitimer``/``SIGALRM``, which interrupts pure
     Python, ``time.sleep``, and most blocking syscalls — the worker
     enforces its own deadline, so no parent-side babysitting thread is
-    needed and the pool protocol stays untouched.  Degrades to a no-op
-    when ``seconds`` is falsy or SIGALRM is unavailable (non-POSIX or a
-    non-main thread); the retry layer still covers crashed workers
-    there.  The previous handler and any outer timer are restored on
-    exit, so deadlines nest (the tighter one fires).
+    needed and the pool protocol stays untouched.  When SIGALRM is
+    unavailable (non-POSIX or a non-main thread) the requested deadline
+    cannot be enforced; the block still runs, but the degradation is
+    *loud* — one warning per process plus a
+    ``resil.deadline_unsupported`` count per affected unit — because an
+    operator who set ``--timeout`` must learn hung units won't be
+    killed there (the retry layer still covers crashed workers).  The
+    previous handler and any outer timer are restored on exit, so
+    deadlines nest (the tighter one fires).
     """
-    if not seconds or not _deadline_usable():
+    if not seconds:
+        yield
+        return
+    if not _deadline_usable():
+        global _deadline_warned
+        _obs.counter("resil.deadline_unsupported").inc()
+        if not _deadline_warned:
+            _deadline_warned = True
+            logger.warning(
+                "per-unit deadline of %gs cannot be enforced on this "
+                "host (no SIGALRM on the current thread); units will "
+                "run unbounded", seconds)
         yield
         return
 
@@ -291,12 +312,18 @@ class SweepCheckpoint:
     Layout: the journal at ``path`` is JSONL — a header line
     ``{"kind": "sweep-checkpoint", "version": 1}`` followed by one line
     per completed unit: ``{"unit": <digest>, "spec": <human label>,
-    "payload": "<digest>.pkl"}``.  Payloads (pickled unit results) live
-    in the sibling directory ``path + ".d"``, written atomically (temp
-    file + rename) *before* the journal line is appended, so a crash
-    between the two leaves at worst an unreferenced payload — never a
-    journal line pointing at a missing or partial result.  A truncated
-    final line (the crash landed mid-append) is skipped on load.
+    "payload": <ref>}``.  Payloads (pickled unit results) are
+    *content-addressed* by the sha256 of their bytes, which bounds
+    journal growth: retried or repeated units producing identical bytes
+    share one stored payload however many journal lines reference it.
+    With a :class:`~repro.tools.cache.AnalysisCache` attached the bytes
+    go to the cache's blob store and the ref is ``"cache:<sha256>"``;
+    otherwise they land as ``<sha256>.pkl`` in the sidecar directory
+    ``path + ".d"``.  Either way the payload is durable *before* the
+    journal line is appended, so a crash between the two leaves at
+    worst an unreferenced payload — never a journal line pointing at a
+    missing or partial result.  A truncated final line (the crash
+    landed mid-append) is skipped on load.
 
     Resume is strict: a unit is restored only when its digest — over
     the builder's identity, arguments, mode, engine, shard geometry and
@@ -307,10 +334,13 @@ class SweepCheckpoint:
     uninterrupted run.
     """
 
-    def __init__(self, path: str, fsync: bool = False) -> None:
+    def __init__(self, path: str, fsync: bool = False,
+                 cache=None) -> None:
         self.path = str(path)
         self.payload_dir = self.path + ".d"
         self.fsync = bool(fsync)
+        #: optional AnalysisCache whose blob store holds the payloads
+        self.cache = cache
 
     # -- unit digests ----------------------------------------------------
 
@@ -374,7 +404,32 @@ class SweepCheckpoint:
         return done
 
     def restore(self, digest: str, payload_name: str) -> Optional[Any]:
-        """Unpickle one journalled payload; None when damaged/missing."""
+        """Unpickle one journalled payload; None when damaged/missing.
+
+        Accepts every ref form the journal has ever used: the
+        content-addressed sidecar files, ``"cache:<sha256>"`` blob refs
+        (needs the same cache attached; without one the unit is
+        recomputed), and the legacy unit-digest-named files older
+        journals wrote.
+        """
+        if payload_name.startswith("cache:"):
+            content = payload_name[len("cache:"):]
+            data = (self.cache.get_blob(content)
+                    if self.cache is not None else None)
+            if data is None:
+                logger.warning("checkpoint payload %s missing from the "
+                               "cache blob store; unit %s will be "
+                               "recomputed", payload_name, digest[:12])
+                return None
+            try:
+                return pickle.loads(data)
+            except (pickle.UnpicklingError, EOFError, ValueError,
+                    AttributeError, ImportError) as exc:
+                logger.warning("checkpoint payload %s undecodable "
+                               "(%s: %s); unit %s will be recomputed",
+                               payload_name, type(exc).__name__, exc,
+                               digest[:12])
+                return None
         path = os.path.join(self.payload_dir, payload_name)
         try:
             with open(path, "rb") as fh:
@@ -389,29 +444,46 @@ class SweepCheckpoint:
     def record(self, digest: str, spec: str, payload: Any) -> None:
         """Durably journal one completed unit (payload first, then line).
 
-        The journal line is appended with ``O_APPEND`` (atomic for
-        single short writes on POSIX) and optionally fsynced, so
-        concurrent readers and a post-crash resume always see a prefix
-        of intact lines.
+        The payload's bytes are stored under their own sha256 — to the
+        attached cache's blob store when there is one, else to the
+        sidecar directory — and an already-present address is not
+        rewritten (``resil.checkpoint_dedup`` counts the skips).  The
+        journal line is appended with ``O_APPEND`` (atomic for single
+        short writes on POSIX) and optionally fsynced, so concurrent
+        readers and a post-crash resume always see a prefix of intact
+        lines.
         """
-        os.makedirs(self.payload_dir, exist_ok=True)
-        name = digest + ".pkl"
-        fd, tmp = tempfile.mkstemp(dir=self.payload_dir, prefix=".tmp-",
-                                   suffix=".pkl")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                if self.fsync:
-                    fh.flush()
-                    os.fsync(fh.fileno())
-            os.replace(tmp, os.path.join(self.payload_dir, name))
-        except Exception:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        line = json.dumps({"unit": digest, "spec": spec, "payload": name})
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        content = hashlib.sha256(data).hexdigest()
+        if self.cache is not None:
+            if self.cache.has_blob(content):
+                _obs.counter("resil.checkpoint_dedup").inc()
+            else:
+                self.cache.put_blob(content, data)
+            ref = "cache:" + content
+        else:
+            os.makedirs(self.payload_dir, exist_ok=True)
+            ref = content + ".pkl"
+            final = os.path.join(self.payload_dir, ref)
+            if os.path.exists(final):
+                _obs.counter("resil.checkpoint_dedup").inc()
+            else:
+                fd, tmp = tempfile.mkstemp(dir=self.payload_dir,
+                                           prefix=".tmp-", suffix=".pkl")
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(data)
+                        if self.fsync:
+                            fh.flush()
+                            os.fsync(fh.fileno())
+                    os.replace(tmp, final)
+                except Exception:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+        line = json.dumps({"unit": digest, "spec": spec, "payload": ref})
         new = not os.path.exists(self.path)
         with open(self.path, "a", encoding="utf-8") as fh:
             if new:

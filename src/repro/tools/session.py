@@ -52,7 +52,9 @@ class AnalysisSession:
                  cache=None,
                  batch: bool = True,
                  shards: int = 1,
-                 shard_jobs: Optional[int] = None) -> None:
+                 shard_jobs: Optional[int] = None,
+                 trace_store: Optional[str] = None,
+                 spill_mb: Optional[float] = None) -> None:
         self.program = program
         self.config = config or MachineConfig.scaled_itanium2()
         self.miss_model = miss_model
@@ -62,11 +64,17 @@ class AnalysisSession:
         self.batch = batch
         self.shards = int(shards)
         self.shard_jobs = shard_jobs
+        #: directory for the spilled columnar trace store; when set, the
+        #: recording goes to disk and shards replay it via mmap
+        self.trace_store = trace_store
+        self.spill_mb = spill_mb
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if self.shards > 1 and simulate:
             raise ValueError("sharded analysis cannot drive the simulator "
                              "(LRU state is order-dependent)")
+        if trace_store is not None and simulate:
+            raise ValueError("spilled traces cannot drive the simulator")
         self.analyzer = ReuseAnalyzer(self.config.granularities(),
                                       engine=engine)
         self.sim: Optional[HierarchySim] = (
@@ -131,12 +139,13 @@ class AnalysisSession:
                 try:
                     _faults.fire("session.run", program=self.program.name,
                                  engine=self.engine, shards=self.shards)
-                    if self.shards > 1:
+                    if self.shards > 1 or self.trace_store is not None:
                         self._run_sharded(params, phases, key)
                     else:
                         self._run_sequential(params, phases, key)
                 except Exception as exc:
-                    if self.engine == "fenwick" and self.shards == 1:
+                    if (self.engine == "fenwick" and self.shards == 1
+                            and self.trace_store is None):
                         raise
                     self._degrade(exc, params, phases, key)
             sp.set(accesses=self.stats.accesses)
@@ -185,6 +194,8 @@ class AnalysisSession:
         came_from = self.engine
         if self.shards > 1:
             came_from += f"+shards={self.shards}"
+        if self.trace_store is not None:
+            came_from += "+spill"
         logger.warning("%s: %s path failed (%s); falling back to the "
                        "sequential fenwick engine", self.program.name,
                        came_from, failure.summary)
@@ -211,14 +222,26 @@ class AnalysisSession:
         partial results are additionally cached under shard-count-scoped
         keys, so a re-run with the same K resumes from partials even if
         the merged entry is missing.
+
+        With :attr:`trace_store` set, the recording spills to a columnar
+        on-disk store (:mod:`repro.core.tracestore`) and the shards
+        replay mmap'd file ranges instead of pickled op lists; the
+        partial keys are then derived from the trace's content digest,
+        so any program that records identical bytes shares them.
         """
         from repro.core.shard import (
             merge_shard_results, record_trace, run_shards, split_trace,
         )
         t0 = time.perf_counter()
         with _trace.span("shard.record", program=self.program.name) as rsp:
-            trace, self.stats = record_trace(self.program, batch=self.batch,
-                                             **params)
+            if self.trace_store is not None:
+                from repro.core.tracestore import record_spilled
+                trace, self.stats = record_spilled(
+                    self.program, self.trace_store, batch=self.batch,
+                    spill_mb=self.spill_mb, **params)
+            else:
+                trace, self.stats = record_trace(
+                    self.program, batch=self.batch, **params)
             rsp.set(accesses=trace.accesses)
         phases["record"] = time.perf_counter() - t0
         t0 = time.perf_counter()
@@ -229,9 +252,13 @@ class AnalysisSession:
         shard_keys: List[Optional[str]] = [None] * len(slices)
         if self.cache is not None:
             for sl in slices:
-                skey = self.cache.shard_key_for(
-                    self.program, params, self.config, self.miss_model,
-                    self.shards, sl.index)
+                if self.trace_store is not None:
+                    skey = self.cache.trace_shard_key_for(
+                        trace.digest, self.config, len(slices), sl.index)
+                else:
+                    skey = self.cache.shard_key_for(
+                        self.program, params, self.config, self.miss_model,
+                        self.shards, sl.index)
                 shard_keys[sl.index] = skey
                 results[sl.index] = self.cache.get(skey)
         todo = [sl for sl in slices if results[sl.index] is None]

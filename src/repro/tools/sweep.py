@@ -36,7 +36,7 @@ import json
 import logging
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import os
@@ -84,6 +84,16 @@ class SweepTask:
     #: worker pool with other tasks; measure mode ignores it (the
     #: simulator's LRU state is order-dependent).
     shards: int = 1
+    #: directory for spilled columnar trace stores (analyze mode).  When
+    #: set, the parent records each sharded task once into a store and
+    #: every shard unit replays its mmap'd slice — no per-unit
+    #: re-recording; measure mode ignores it.
+    trace_dir: Optional[str] = None
+    #: in-memory spill buffer bound (MB) for the trace-store recording
+    spill_mb: Optional[float] = None
+    #: resolved store path; set by run_sweep after the parent records,
+    #: not by callers
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("analyze", "measure"):
@@ -169,7 +179,9 @@ def _execute_task(task: SweepTask) -> SweepOutcome:
     session = AnalysisSession(program, config=task.config,
                               miss_model=task.miss_model, engine=task.engine,
                               cache=cache, batch=task.batch,
-                              shards=task.shards, shard_jobs=1)
+                              shards=task.shards, shard_jobs=1,
+                              trace_store=task.trace_dir,
+                              spill_mb=task.spill_mb)
     session.run(**task.params)
     return SweepOutcome(key=task.key, mode="analyze",
                         engine=task.engine, shards=task.shards,
@@ -252,6 +264,42 @@ class _ShardUnit:
         return self.failure.render() if self.failure is not None else None
 
 
+def _execute_stored_shard_unit(task: SweepTask, si: int) -> _ShardUnit:
+    """Analyze shard ``si`` of a task whose trace the parent spilled.
+
+    The zero-copy fan-out path: the unit opens the parent-recorded
+    columnar store read-only, computes its slice as file-offset ranges
+    (an O(nops) scan of the ops column, no side-table I/O), and replays
+    only its own range off the mmap — no program rebuild, no
+    re-recording, no pickled op lists.  Partials are cached under the
+    trace's content digest, so *any* task recording identical bytes
+    shares them.
+    """
+    from repro.core.shard import analyze_shard, split_trace
+    from repro.core.tracestore import load_trace
+    from repro.tools.cache import AnalysisCache
+    stored = load_trace(task.trace_path)
+    config = task.config or MachineConfig.scaled_itanium2()
+    cache = AnalysisCache(task.cache_dir) if task.cache_dir else None
+    key = None
+    if cache is not None:
+        key = cache.trace_shard_key_for(stored.digest, config,
+                                        task.shards, si)
+        payload = cache.get(key)
+        if payload is not None:
+            return _ShardUnit(result=payload["result"], from_cache=True)
+    slices = split_trace(stored, task.shards)
+    result = None
+    if si < len(slices):
+        with _trace.span("shard.analyze", index=si,
+                         accesses=slices[si].length):
+            result = analyze_shard(slices[si], config.granularities())
+    unit = _ShardUnit(result=result)
+    if key is not None:
+        cache.put(key, {"result": result})
+    return unit
+
+
 def _execute_shard_unit(task: SweepTask, si: int) -> _ShardUnit:
     """Analyze shard ``si`` of a sharded analyze task.
 
@@ -259,8 +307,12 @@ def _execute_shard_unit(task: SweepTask, si: int) -> _ShardUnit:
     the cheap O(ops) part; Programs are not picklable, so the trace
     cannot ship from the parent) and analyzes only its own slice.  With a
     cache attached the partial is stored under a shard-count-scoped key,
-    so a repeat sweep skips both the recording and the analysis.
+    so a repeat sweep skips both the recording and the analysis.  Tasks
+    the parent already recorded into a trace store skip all of that and
+    replay their mmap'd slice instead.
     """
+    if task.trace_path is not None:
+        return _execute_stored_shard_unit(task, si)
     from repro.core.shard import analyze_shard, record_trace, split_trace
     from repro.tools.cache import AnalysisCache
     program = task.builder(*task.args, **task.kwargs)
@@ -363,14 +415,16 @@ def _poison_result(spec: Tuple[str, SweepTask, int],
     return _ShardUnit(failure=failure, retries=attempt)
 
 
-def _merge_sharded_task(task: SweepTask,
-                        units: Sequence[_ShardUnit]) -> SweepOutcome:
+def _merge_sharded_task(task: SweepTask, units: Sequence[_ShardUnit],
+                        stats: Any = None) -> SweepOutcome:
     """Fold a sharded task's units into one ordinary SweepOutcome.
 
     Runs in the parent: merges the boundary sets, predicts totals from
     the merged state, and writes the merged state through to the plain
     analysis cache key — so a later *sequential* run of the same point
-    is a cache hit too (the merge is byte-identical).
+    is a cache hit too (the merge is byte-identical).  ``stats`` is the
+    parent-side recording's RunStats for trace-store tasks, whose units
+    never record and so never carry one.
     """
     merged = _obs.MetricsRegistry()
     have_metrics = False
@@ -406,7 +460,8 @@ def _merge_sharded_task(task: SweepTask,
                              program, model=task.miss_model)
         outcome.totals = prediction.totals()
         outcome.state = state
-        outcome.stats = units[0].stats
+        outcome.stats = (units[0].stats if units[0].stats is not None
+                         else stats)
         outcome.from_cache = all(u.from_cache for u in units)
         if task.cache_dir:
             cache = AnalysisCache(task.cache_dir)
@@ -833,7 +888,17 @@ def run_sweep(tasks: Sequence[SweepTask],
     digests: List[str] = []
     restored: Dict[int, Any] = {}
     if checkpoint:
-        ckpt = SweepCheckpoint(checkpoint, fsync=checkpoint_fsync)
+        # Dedup journal payloads against the sweep's analysis cache when
+        # every caching task agrees on one directory; mixed or absent
+        # cache dirs fall back to content-addressed sidecar files.
+        ckpt_cache = None
+        cache_dirs = {task.cache_dir for task in tasks if task.cache_dir}
+        if len(cache_dirs) == 1:
+            from repro.tools.cache import AnalysisCache
+            ckpt_cache = AnalysisCache(cache_dirs.pop(),
+                                       fsync=checkpoint_fsync)
+        ckpt = SweepCheckpoint(checkpoint, fsync=checkpoint_fsync,
+                               cache=ckpt_cache)
         digests = [SweepCheckpoint.unit_digest(task, kind, si)
                    for kind, task, si in specs]
         journal = ckpt.load()
@@ -846,6 +911,36 @@ def run_sweep(tasks: Sequence[SweepTask],
             _obs.counter("resil.checkpoint_restored").inc(len(restored))
             logger.info("sweep checkpoint %s: restored %d/%d unit(s)",
                         checkpoint, len(restored), len(specs))
+
+    # Parent-side recording for the zero-copy fan-out: each sharded task
+    # with a trace_dir records once into a digest-named columnar store
+    # (skipped when every unit was already restored), and its shard
+    # units become mmap replays of that store.  Specs must be patched
+    # before the scheduler snapshots them.  Unit digests hash the recipe
+    # only, so checkpoints stay valid across this rewrite.
+    record_stats: Dict[int, Any] = {}
+    for ti, (task, (base, count)) in enumerate(zip(tasks, plan)):
+        if (count <= 1 or task.trace_dir is None
+                or task.trace_path is not None
+                or all(base + si in restored for si in range(count))):
+            continue
+        try:
+            from repro.core.tracestore import record_spilled
+            with _trace.span("shard.record", program=str(task.key)):
+                stored, stats = record_spilled(
+                    task.builder(*task.args, **task.kwargs),
+                    task.trace_dir, batch=task.batch,
+                    spill_mb=task.spill_mb, **task.params)
+        except Exception as exc:
+            logger.warning("sweep task %r: trace-store recording failed "
+                           "(%s: %s); shard units will re-record",
+                           task.key, type(exc).__name__, exc)
+            continue
+        task = replace(task, trace_path=stored.path)
+        tasks[ti] = task
+        record_stats[ti] = stats
+        for si in range(count):
+            specs[base + si] = ("shard", task, si)
 
     def on_done(i: int, result: Any) -> None:
         if ckpt is None or i in restored:
@@ -863,12 +958,13 @@ def run_sweep(tasks: Sequence[SweepTask],
     unit_results = [scheduler.results[i] for i in range(len(specs))]
 
     outcomes = []
-    for task, (base, count) in zip(tasks, plan):
+    for ti, (task, (base, count)) in enumerate(zip(tasks, plan)):
         if count == 1:
             outcomes.append(unit_results[base])
         else:
             outcomes.append(_merge_sharded_task(
-                task, unit_results[base:base + count]))
+                task, unit_results[base:base + count],
+                stats=record_stats.get(ti)))
     if _obs.is_enabled():
         registry = _obs.registry()
         for out in outcomes:

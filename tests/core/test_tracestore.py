@@ -1,0 +1,209 @@
+"""Unit tests for the spillable columnar trace store.
+
+Writer spill bounds, digest stability across flush placement, the
+on-disk format guards, slice geometry against the in-memory splitter,
+dedup recording, and the ``trace.*`` observability counters.  Merged
+byte-identity of spilled sharded analysis against the sequential
+engines lives in ``tests/integration/test_shard_equivalence``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.apps.kernels import stream_triad
+from repro.apps.sweep3d import SweepParams, build_original
+from repro.core.shard import record_trace, split_trace
+from repro.core.tracestore import (
+    TRACESTORE_VERSION, StoredTrace, TraceStore, TraceStoreWriter,
+    load_trace, record_spilled, replay_slice, split_stored_trace,
+)
+
+
+def _build():
+    return build_original(SweepParams(n=6, mm=3, nm=2, noct=1))
+
+
+class TestWriter:
+    def test_roundtrip_meta(self, tmp_path):
+        stored, stats = record_trace(_build(), spill=str(tmp_path / "t"))
+        assert isinstance(stored, StoredTrace)
+        assert stored.accesses == stats.accesses > 0
+        assert stored.nops > 0
+        assert len(stored.digest) == 64
+        loaded = load_trace(stored.path)
+        assert loaded == stored
+        store = TraceStore(stored.path)
+        assert store.ops.shape == (stored.nops, 4)
+
+    def test_forced_spill_bounds_buffer(self, tmp_path):
+        writer = TraceStoreWriter(str(tmp_path / "t"), spill_mb=0.001)
+        record_trace(_build(), spill=writer)
+        assert writer.flushes > 1
+        assert writer.spilled_bytes > 0
+        # the buffer never held the whole trace...
+        assert writer.max_buffered < writer.spilled_bytes
+        # ...and the high-water mark respects the bound up to one op's
+        # worth of overshoot (the check runs after each append)
+        assert writer.max_buffered < 2 * writer.spill_limit
+        # everything buffered reached disk
+        on_disk = sum(
+            os.path.getsize(os.path.join(writer.path, f))
+            for f in os.listdir(writer.path) if f != "meta.json")
+        assert on_disk == writer.spilled_bytes
+
+    def test_digest_independent_of_flush_boundaries(self, tmp_path):
+        tight, _ = record_trace(_build(), spill=str(tmp_path / "a"),
+                                spill_mb=0.001)
+        loose, _ = record_trace(_build(), spill=str(tmp_path / "b"))
+        assert tight.digest == loose.digest
+        other, _ = record_trace(
+            build_original(SweepParams(n=5, mm=3, nm=2, noct=1)),
+            spill=str(tmp_path / "c"))
+        assert other.digest != tight.digest
+
+    def test_rows_stay_symbolic_on_disk(self, tmp_path):
+        # the triad's affine loops must not expand to per-access records
+        stored, stats = record_trace(stream_triad(512, 2),
+                                     spill=str(tmp_path / "t"))
+        store = TraceStore(stored.path)
+        assert len(store.batch_addrs) < stats.accesses
+        assert len(store.rows_bases) > 0
+
+    def test_spill_mb_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceStoreWriter(str(tmp_path / "t"), spill_mb=0)
+
+    def test_finalize_twice_raises(self, tmp_path):
+        writer = TraceStoreWriter(str(tmp_path / "t"))
+        writer.finalize()
+        with pytest.raises(RuntimeError):
+            writer.finalize()
+
+    def test_empty_trace(self, tmp_path):
+        stored = TraceStoreWriter(str(tmp_path / "t")).finalize()
+        assert stored.accesses == 0 and stored.nops == 0
+        store = TraceStore(stored.path)
+        assert store.ops.shape == (0, 4)
+        assert len(split_stored_trace(store, 4)) == 1
+
+
+class TestLoadGuards:
+    def test_rejects_wrong_magic(self, tmp_path):
+        d = tmp_path / "t"
+        d.mkdir()
+        (d / "meta.json").write_text(json.dumps({"magic": "nope"}))
+        with pytest.raises(ValueError):
+            load_trace(str(d))
+
+    def test_rejects_version_mismatch(self, tmp_path):
+        stored, _ = record_trace(_build(), spill=str(tmp_path / "t"))
+        meta_path = os.path.join(stored.path, "meta.json")
+        with open(meta_path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+        meta["version"] = TRACESTORE_VERSION + 1
+        with open(meta_path, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh)
+        with pytest.raises(ValueError):
+            load_trace(stored.path)
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_trace(str(tmp_path / "absent"))
+
+
+class TestSplitGeometry:
+    @pytest.mark.parametrize("k", [1, 2, 5, 9])
+    def test_matches_in_memory_splitter(self, tmp_path, k):
+        mem, _ = record_trace(_build())
+        stored, _ = record_trace(_build(), spill=str(tmp_path / "t"))
+        ref = split_trace(mem, k)
+        got = split_stored_trace(stored, k)
+        assert [(sl.index, sl.start, sl.length, sl.seed_sids,
+                 sl.seed_clocks) for sl in ref] == \
+               [(sl.index, sl.start, sl.length, sl.seed_sids,
+                 sl.seed_clocks) for sl in got]
+        assert sum(sl.length for sl in got) == stored.accesses
+
+    def test_split_trace_dispatches_on_stored_handles(self, tmp_path):
+        stored, _ = record_trace(_build(), spill=str(tmp_path / "t"))
+        slices = split_trace(stored, 3)
+        assert all(sl.path == stored.path for sl in slices)
+
+    def test_replay_reproduces_recorder_stream(self, tmp_path):
+        mem, _ = record_trace(stream_triad(257, 3))
+        stored, _ = record_trace(stream_triad(257, 3),
+                                 spill=str(tmp_path / "t"),
+                                 spill_mb=0.001)
+        (ref,) = split_trace(mem, 1)
+        (sl,) = split_stored_trace(stored, 1)
+
+        class Collect:
+            def __init__(self):
+                self.ops = []
+
+            def enter_scope(self, sid):
+                self.ops.append(("enter", sid))
+
+            def exit_scope(self, sid):
+                self.ops.append(("exit", sid))
+
+            def access_batch(self, rids, addrs, stores, period=0):
+                self.ops.append(("batch", list(rids), list(addrs),
+                                 [bool(s) for s in stores], period))
+
+            def access_rows(self, rids, stores, bases, strides, m):
+                self.ops.append(("rows", tuple(rids),
+                                 tuple(bool(s) for s in stores),
+                                 tuple(bases), tuple(strides), m))
+
+        got = Collect()
+        replay_slice(TraceStore(stored.path), sl, got)
+        want = [("batch", list(op[1]), list(op[2]),
+                 [bool(s) for s in op[3]], op[4]) if op[0] == "batch"
+                else op for op in ref.ops]
+        assert got.ops == want
+
+
+class TestRecordSpilled:
+    def test_digest_named_store_deduplicates(self, tmp_path):
+        first, _ = record_spilled(_build(), str(tmp_path))
+        second, _ = record_spilled(_build(), str(tmp_path))
+        assert first.path == second.path
+        assert os.path.basename(first.path) == first.digest[:16]
+        assert os.listdir(str(tmp_path)) == [first.digest[:16]]
+
+    def test_failed_recording_leaves_no_store(self, tmp_path):
+        # not a Program: the executor blows up mid-recording, and the
+        # partially written temp store must be removed
+        with pytest.raises(AttributeError):
+            record_spilled(object(), str(tmp_path))
+        assert os.listdir(str(tmp_path)) == []
+
+
+class TestObsCounters:
+    def test_trace_counters_tick(self, obs_on, tmp_path):
+        stored, _ = record_spilled(_build(), str(tmp_path),
+                                   spill_mb=0.001)
+        store = TraceStore(stored.path)
+        for sl in split_stored_trace(store, 2):
+            replay_slice(store, sl, _NullHandler())
+        counters = obs_on.snapshot()["counters"]
+        assert counters["trace.spill_bytes"] > 0
+        assert counters["trace.mmap_opens"] >= 2
+        assert counters["trace.read_mb"] > 0
+
+
+class _NullHandler:
+    def enter_scope(self, sid):
+        pass
+
+    def exit_scope(self, sid):
+        pass
+
+    def access_batch(self, rids, addrs, stores, period=0):
+        pass
+
+    def access_rows(self, rids, stores, bases, strides, m):
+        pass

@@ -94,6 +94,42 @@ def test_scalar_executor_recording():
     assert pickle.dumps(state) == _sequential_ref(build)
 
 
+class TestSpilledEquivalence:
+    """The stored-trace path meets the same byte-identity bar.
+
+    Traces are force-spilled with a 1 KB buffer so every workload is
+    written across many flushes and analyzed off the mmap, never from
+    the recorder's memory.
+    """
+
+    @pytest.mark.parametrize("app", sorted(BUILDERS))
+    @pytest.mark.parametrize("k", [2, 5])
+    def test_forced_spill_byte_identical(self, app, k, tmp_path):
+        build = BUILDERS[app]
+        stored, _ = record_trace(build(), spill=str(tmp_path / "t"),
+                                 spill_mb=0.001)
+        state = analyze_trace_sharded(stored, GRANS, k)
+        assert pickle.dumps(state) == _sequential_ref(build)
+
+    def test_spilled_boundaries_inside_affine_rows(self, tmp_path):
+        # 7 shards over the triad put every cut mid-affine-row; on the
+        # stored path the partial rows materialize straight off the mmap
+        build = lambda: stream_triad(257, 3)
+        stored, _ = record_trace(build(), spill=str(tmp_path / "t"),
+                                 spill_mb=0.001)
+        state = analyze_trace_sharded(stored, GRANS, 7)
+        assert pickle.dumps(state) == _sequential_ref(build)
+
+    def test_spilled_boundaries_inside_run_regions(self, tmp_path):
+        # gather batches are run-compressed periodic regions; cuts land
+        # mid-region and the period must drop on the partial pieces
+        build = lambda: irregular_gather(512, 2048)
+        stored, _ = record_trace(build(), spill=str(tmp_path / "t"),
+                                 spill_mb=0.001)
+        state = analyze_trace_sharded(stored, GRANS, 5)
+        assert pickle.dumps(state) == _sequential_ref(build)
+
+
 class TestSessionIntegration:
     def test_session_sharded_matches_sequential(self, tmp_path):
         from repro.tools.cache import AnalysisCache
@@ -138,6 +174,41 @@ class TestSessionIntegration:
         assert cache.hits == hits_before + 3
         assert pickle.dumps(again.analyzer.dump_state()) == ref
 
+    def test_session_trace_store_matches_sequential(self, tmp_path):
+        from repro.tools.cache import AnalysisCache
+        from repro.tools.session import AnalysisSession
+        build = BUILDERS["sweep3d"]
+        ref = _sequential_ref(build)
+        cache = AnalysisCache(str(tmp_path / "cache"))
+        sh = AnalysisSession(build(), shards=3, cache=cache,
+                             trace_store=str(tmp_path / "ts"),
+                             spill_mb=0.01)
+        sh.run()
+        assert pickle.dumps(sh.analyzer.dump_state()) == ref
+        # the store landed on disk, digest-named
+        import os
+        assert os.listdir(str(tmp_path / "ts"))
+        # merged entry still lives under the sequential key
+        seq = AnalysisSession(build(), cache=cache)
+        seq.run()
+        assert seq.from_cache
+        assert pickle.dumps(seq.analyzer.dump_state()) == ref
+
+    def test_trace_store_without_sharding(self, tmp_path):
+        from repro.tools.session import AnalysisSession
+        build = BUILDERS["sweep3d"]
+        session = AnalysisSession(build(), trace_store=str(tmp_path),
+                                  spill_mb=0.01)
+        session.run()
+        assert pickle.dumps(session.analyzer.dump_state()) == \
+            _sequential_ref(build)
+
+    def test_trace_store_rejects_simulation(self):
+        from repro.tools.session import AnalysisSession
+        with pytest.raises(ValueError):
+            AnalysisSession(BUILDERS["sweep3d"](), simulate=True,
+                            trace_store="/tmp/nope")
+
     def test_session_rejects_sharded_simulation(self):
         from repro.tools.session import AnalysisSession
         with pytest.raises(ValueError):
@@ -166,6 +237,30 @@ class TestSweepIntegration:
         assert sharded.stats.accesses == plain.stats.accesses
         # sharded units + merged write-through populated the cache:
         # the pooled re-run is pure cache hits, same bytes
+        again = run_sweep(tasks, jobs=2)
+        assert all(out.from_cache for out in again)
+        assert pickle.dumps(again[1].state) == pickle.dumps(plain.state)
+
+    def test_trace_dir_task_matches_plain(self, tmp_path):
+        import os
+        from repro.tools.sweep import SweepTask, run_sweep
+        params = SweepParams(n=6, mm=4, nm=2, noct=1)
+        tasks = [
+            SweepTask(key="plain", builder=build_original, args=(params,),
+                      cache_dir=str(tmp_path / "cache")),
+            SweepTask(key="spilled", builder=build_original,
+                      args=(params,), shards=3,
+                      cache_dir=str(tmp_path / "cache"),
+                      trace_dir=str(tmp_path / "ts"), spill_mb=0.01),
+        ]
+        plain, spilled = run_sweep(tasks, jobs=1)
+        assert plain.error is None and spilled.error is None
+        assert pickle.dumps(spilled.state) == pickle.dumps(plain.state)
+        assert spilled.stats.accesses == plain.stats.accesses
+        # the parent recorded once: exactly one digest-named store
+        assert len(os.listdir(str(tmp_path / "ts"))) == 1
+        # shard partials were cached under the trace digest: a pooled
+        # re-run is pure cache hits, same bytes
         again = run_sweep(tasks, jobs=2)
         assert all(out.from_cache for out in again)
         assert pickle.dumps(again[1].state) == pickle.dumps(plain.state)
@@ -224,6 +319,16 @@ class TestCLIIntegration:
                      "--no-cache"]) == 0
         out = capsys.readouterr()
         assert "3 time shards" in out.err
+        assert "predicted misses" in out.out
+
+    def test_analyze_with_spill(self, capsys, tmp_path, monkeypatch):
+        import tempfile
+        from repro.cli import main
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        assert main(["analyze", "fig1", "--shards", "3",
+                     "--spill-mb", "1", "--no-cache"]) == 0
+        out = capsys.readouterr()
+        assert "3 time shards from a spilled trace" in out.err
         assert "predicted misses" in out.out
 
     def test_sharded_manifest_renders(self, obs_on, tmp_path):

@@ -117,6 +117,36 @@ class TestAnalysisCache:
         assert leftovers == []
 
 
+class TestBlobStore:
+    def test_put_get_round_trip(self, tmp_path):
+        import hashlib
+        cache = AnalysisCache(str(tmp_path))
+        data = b"shard partial bytes"
+        digest = hashlib.sha256(data).hexdigest()
+        assert not cache.has_blob(digest)
+        cache.put_blob(digest, data)
+        assert cache.has_blob(digest)
+        assert cache.get_blob(digest) == data
+        # idempotent: a second put is a no-op
+        cache.put_blob(digest, data)
+        assert cache.get_blob(digest) == data
+
+    def test_corrupt_blob_is_a_miss(self, tmp_path, obs_on):
+        import hashlib
+        cache = AnalysisCache(str(tmp_path))
+        data = b"payload"
+        digest = hashlib.sha256(data).hexdigest()
+        cache.put_blob(digest, data)
+        with open(cache._blob_path(digest), "wb") as fh:
+            fh.write(b"tampered")
+        assert cache.get_blob(digest) is None
+        assert cache.corrupt == 1
+
+    def test_missing_blob_is_a_miss(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        assert cache.get_blob("0" * 64) is None
+
+
 class TestQuarantine:
     def test_corrupt_entry_moved_to_quarantine(self, tmp_path, obs_on):
         cache = AnalysisCache(str(tmp_path))

@@ -116,6 +116,22 @@ class TestDeadline:
                     pass
                 time.sleep(5.0)
 
+    def test_unsupported_host_degrades_loudly(self, obs_on, monkeypatch,
+                                              caplog):
+        from repro.tools import resilience
+        monkeypatch.setattr(resilience, "_deadline_usable", lambda: False)
+        monkeypatch.setattr(resilience, "_deadline_warned", False)
+        with caplog.at_level("WARNING", logger="repro.tools.resilience"):
+            with deadline(0.01):
+                time.sleep(0.05)  # would raise if enforced
+            with deadline(0.01):
+                pass
+        snap = obs_on.snapshot()
+        assert snap["counters"]["resil.deadline_unsupported"] == 2
+        warned = [r for r in caplog.records
+                  if "cannot be enforced" in r.getMessage()]
+        assert len(warned) == 1  # once per process, not per unit
+
 
 class TestRetryCall:
     def test_retries_transient_then_succeeds(self):
@@ -162,14 +178,20 @@ def _task(n=4, **kw):
 
 class TestSweepCheckpoint:
     def test_round_trip(self, tmp_path):
+        import hashlib
+
         ckpt = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
         digest = SweepCheckpoint.unit_digest(_task(), "task", 0)
         assert ckpt.load() == {}
-        ckpt.record(digest, "unit-4", {"totals": {"L2": 7}})
+        payload = {"totals": {"L2": 7}}
+        ckpt.record(digest, "unit-4", payload)
         journal = ckpt.load()
-        assert journal == {digest: digest + ".pkl"}
-        assert ckpt.restore(digest, journal[digest]) == {
-            "totals": {"L2": 7}}
+        # payloads are named by content hash (for dedup), not unit digest
+        content = hashlib.sha256(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        ).hexdigest()
+        assert journal == {digest: content + ".pkl"}
+        assert ckpt.restore(digest, journal[digest]) == payload
 
     def test_digest_changes_with_recipe(self):
         base = SweepCheckpoint.unit_digest(_task(4), "task", 0)
@@ -186,18 +208,20 @@ class TestSweepCheckpoint:
         d1 = SweepCheckpoint.unit_digest(_task(4), "task", 0)
         d2 = SweepCheckpoint.unit_digest(_task(5), "task", 0)
         ckpt.record(d1, "a", 1)
+        after_first = ckpt.load()
         ckpt.record(d2, "b", 2)
         text = path.read_text()
         path.write_text(text[:-20])  # crash mid-append of the last line
-        assert ckpt.load() == {d1: d1 + ".pkl"}
+        assert ckpt.load() == after_first
+        assert set(after_first) == {d1}
 
     def test_missing_payload_degrades_to_recompute(self, tmp_path):
         ckpt = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
         digest = SweepCheckpoint.unit_digest(_task(), "task", 0)
         ckpt.record(digest, "a", {"x": 1})
-        os.unlink(os.path.join(ckpt.payload_dir, digest + ".pkl"))
         journal = ckpt.load()
         assert digest in journal
+        os.unlink(os.path.join(ckpt.payload_dir, journal[digest]))
         assert ckpt.restore(digest, journal[digest]) is None
 
     def test_corrupt_payload_degrades_to_recompute(self, tmp_path):
@@ -226,3 +250,49 @@ class TestSweepCheckpoint:
         ckpt.record(digest, "a", [1, 2, 3])
         journal = ckpt.load()
         assert ckpt.restore(digest, journal[digest]) == [1, 2, 3]
+
+    def test_identical_payloads_share_one_sidecar(self, obs_on, tmp_path):
+        ckpt = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
+        d1 = SweepCheckpoint.unit_digest(_task(4), "task", 0)
+        d2 = SweepCheckpoint.unit_digest(_task(5), "task", 0)
+        payload = {"totals": {"L2": 7}}
+        ckpt.record(d1, "a", payload)
+        ckpt.record(d2, "b", payload)
+        journal = ckpt.load()
+        assert journal[d1] == journal[d2]
+        assert len(os.listdir(ckpt.payload_dir)) == 1
+        snap = obs_on.snapshot()
+        assert snap["counters"]["resil.checkpoint_dedup"] == 1
+        assert ckpt.restore(d1, journal[d1]) == payload
+        assert ckpt.restore(d2, journal[d2]) == payload
+
+    def test_cache_backed_payloads(self, obs_on, tmp_path):
+        from repro.tools.cache import AnalysisCache
+        cache = AnalysisCache(str(tmp_path / "cache"))
+        ckpt = SweepCheckpoint(str(tmp_path / "ck.jsonl"), cache=cache)
+        d1 = SweepCheckpoint.unit_digest(_task(4), "task", 0)
+        d2 = SweepCheckpoint.unit_digest(_task(5), "task", 0)
+        ckpt.record(d1, "a", {"x": 1})
+        ckpt.record(d2, "b", {"x": 1})
+        journal = ckpt.load()
+        assert journal[d1].startswith("cache:")
+        assert journal[d1] == journal[d2]
+        # payloads live in the cache blob store, not a sidecar dir
+        assert not os.path.exists(ckpt.payload_dir)
+        snap = obs_on.snapshot()
+        assert snap["counters"]["resil.checkpoint_dedup"] == 1
+        assert ckpt.restore(d1, journal[d1]) == {"x": 1}
+        # a resume without the cache attached degrades to recompute
+        bare = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
+        assert bare.restore(d1, journal[d1]) is None
+
+    def test_legacy_unit_named_payload_restores(self, tmp_path):
+        # journals written before content addressing named payloads by
+        # the unit digest; restore must still read them
+        ckpt = SweepCheckpoint(str(tmp_path / "ck.jsonl"))
+        digest = SweepCheckpoint.unit_digest(_task(), "task", 0)
+        os.makedirs(ckpt.payload_dir, exist_ok=True)
+        with open(os.path.join(ckpt.payload_dir, digest + ".pkl"),
+                  "wb") as fh:
+            fh.write(pickle.dumps({"x": 2}))
+        assert ckpt.restore(digest, digest + ".pkl") == {"x": 2}
