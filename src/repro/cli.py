@@ -18,6 +18,15 @@ Commands
 ``stats <manifest.json>``
     Pretty-print a manifest saved by ``analyze --manifest-out`` or
     ``sweep --manifest-out`` (the sweep form is detected automatically).
+``serve``
+    Run the analysis job server (:mod:`repro.service`): HTTP/JSON job
+    submission with per-tenant quotas, a durable job store under
+    ``--state-dir``, and content-addressed artifacts.  Stop with
+    SIGINT/SIGTERM; a restart resumes the queue.
+``trace gc``
+    Bound a columnar trace-store directory: evict least-recently-used
+    stores until the directory fits ``--max-gb``, never touching stores
+    referenced by live service jobs (``--state-dir``).
 ``list``
     Show the available workloads and variants.
 
@@ -44,6 +53,8 @@ Examples
     python -m repro sweep sweep3d --mesh 6 8 10 --jobs 2
     python -m repro sweep sweep3d --mesh 6 8 10 --checkpoint sweep.ckpt
     python -m repro sweep sweep3d --mesh 6 8 10 --checkpoint sweep.ckpt --resume
+    python -m repro serve --state-dir /tmp/repro-svc --workers 2
+    python -m repro trace gc --trace-dir /tmp/traces --max-gb 2
 """
 
 from __future__ import annotations
@@ -54,43 +65,26 @@ from typing import Callable, Dict, Optional
 
 from repro import obs
 from repro.apps.gtc import GTCParams, VARIANTS as GTC_VARIANTS, build_gtc
-from repro.apps.kernels import (
-    fig1_interchange, fig2_fragmentation, irregular_gather, stream_triad,
-)
 from repro.apps.sweep3d import (
     SweepParams, VARIANTS as SWEEP_VARIANTS, build_original, build_variant,
 )
+from repro.apps.registry import WORKLOADS, build_workload
 from repro.obs.manifest import RunManifest
 from repro.tools import AnalysisCache, AnalysisSession, SweepTask, run_sweep
 
-WORKLOADS: Dict[str, str] = {
-    "fig1": "the paper's Fig 1(a) interchange example",
-    "fig2": "the paper's Fig 2 fragmentation example",
-    "triad": "STREAM triad over time steps",
-    "gather": "irregular indirect gather",
-    "cg": "sparse CG solver on a badly-ordered CSR matrix",
-    "sweep3d": "Sweep3D wavefront kernel (original)",
-    "gtc": "GTC particle-in-cell kernel (original)",
-}
-
 
 def _build(name: str, args) -> "Program":
-    if name == "fig1":
-        return fig1_interchange(96, 96)
-    if name == "fig2":
-        return fig2_fragmentation(128, 64)
-    if name == "triad":
-        return stream_triad(4096, 2)
-    if name == "gather":
-        return irregular_gather(2048, 8192)
-    if name == "cg":
-        from repro.apps.spcg import build_cg
-        return build_cg(grid=24, ordering="shuffled")
+    # the registry owns defaults; analyze only overrides the sizing
+    # knobs it exposes as flags
+    overrides = {}
     if name == "sweep3d":
-        return build_original(SweepParams(n=args.mesh))
-    if name == "gtc":
-        return build_gtc(None, GTCParams(micell=args.micell))
-    raise SystemExit(f"unknown workload {name!r}; see `python -m repro list`")
+        overrides["mesh"] = args.mesh
+    elif name == "gtc":
+        overrides["micell"] = args.micell
+    try:
+        return build_workload(name, **overrides)
+    except ValueError as exc:
+        raise SystemExit(f"{exc}; see `python -m repro list`")
 
 
 def cmd_list(_args) -> int:
@@ -241,6 +235,76 @@ def cmd_sweep(args) -> int:
         print(f"sweep manifest written to {args.manifest_out}",
               file=sys.stderr)
     return 1 if failed else 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.quota import TenantQuota
+    from repro.service.server import ServiceConfig, serve_forever
+
+    quotas = {}
+    for spec in args.quota or []:
+        tenant, _, rest = spec.partition("=")
+        concurrent, _, queued = rest.partition(":")
+        try:
+            quotas[tenant] = TenantQuota(int(concurrent), int(queued))
+        except ValueError:
+            raise SystemExit(f"bad --quota {spec!r}; expected "
+                             "TENANT=CONCURRENT:QUEUED")
+    config = ServiceConfig(
+        state_dir=args.state_dir, host=args.host, port=args.port,
+        workers=args.workers,
+        default_quota=TenantQuota(args.max_concurrent, args.max_queued),
+        tenant_quotas=quotas,
+        max_request_bytes=args.max_request_kb * 1024,
+        fsync=args.fsync)
+
+    async def _run() -> None:
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, shutdown.set)
+        await serve_forever(config, shutdown)
+
+    print(f"analysis service: state dir {args.state_dir}, "
+          f"{args.workers} worker(s); stop with SIGINT/SIGTERM",
+          file=sys.stderr)
+    asyncio.run(_run())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.trace_command != "gc":
+        raise SystemExit("usage: repro trace gc --trace-dir D --max-gb N")
+    from repro.core.tracestore import gc_trace_dir
+
+    protect = []
+    if args.state_dir:
+        from repro.service.jobs import live_trace_refs
+        protect = live_trace_refs(args.state_dir)
+    result = gc_trace_dir(args.trace_dir,
+                          max_bytes=int(args.max_gb * 1024 ** 3),
+                          protect=protect, dry_run=args.dry_run)
+    mib = 1024.0 ** 2
+    tag = " (dry run)" if args.dry_run else ""
+    print(f"trace gc {args.trace_dir}{tag}:")
+    print(f"  before   {result.total_bytes_before / mib:10.1f} MiB "
+          f"({len(result.evicted) + len(result.kept) + len(result.protected)} "
+          "stores)")
+    print(f"  evicted  {result.freed_bytes / mib:10.1f} MiB "
+          f"({len(result.evicted)} stores)")
+    print(f"  after    {result.total_bytes_after / mib:10.1f} MiB "
+          f"({len(result.kept) + len(result.protected)} stores, "
+          f"{len(result.protected)} protected by live jobs)")
+    for path in result.evicted:
+        print(f"  - {path}")
+    over = result.total_bytes_after - int(args.max_gb * 1024 ** 3)
+    if over > 0 and result.protected:
+        print(f"  still {over / mib:.1f} MiB over budget: protected "
+              "stores are never evicted", file=sys.stderr)
+    return 0
 
 
 def cmd_measure(args) -> int:
@@ -396,6 +460,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON file from `analyze --manifest-out` or "
                             "`sweep --manifest-out`")
 
+    serve = sub.add_parser("serve", help="run the analysis job server")
+    serve.add_argument("--state-dir", required=True, metavar="DIR",
+                       help="durable service state: job journal, job "
+                            "dirs, shared cache, trace stores")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = pick a free one; the "
+                            "choice lands in <state-dir>/service.json)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="job processes to run concurrently")
+    serve.add_argument("--max-concurrent", type=int, default=2,
+                       metavar="N",
+                       help="default per-tenant running-job quota")
+    serve.add_argument("--max-queued", type=int, default=16, metavar="N",
+                       help="default per-tenant queued-job quota "
+                            "(exceeding it returns 429)")
+    serve.add_argument("--max-request-kb", type=int, default=256,
+                       metavar="KB",
+                       help="largest accepted request body")
+    serve.add_argument("--quota", action="append", metavar="T=C:Q",
+                       help="per-tenant override, e.g. ci=4:64 "
+                            "(repeatable)")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync the job journal on every append")
+
+    trace = sub.add_parser("trace", help="trace-store maintenance")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    gc = trace_sub.add_parser("gc", help="evict cold stores (LRU) until "
+                                         "the dir fits a size budget")
+    gc.add_argument("--trace-dir", required=True, metavar="DIR",
+                    help="columnar trace-store directory to bound")
+    gc.add_argument("--max-gb", type=float, required=True, metavar="N",
+                    help="size budget in GiB")
+    gc.add_argument("--state-dir", metavar="DIR",
+                    help="service state dir whose live jobs' stores "
+                         "must be kept")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="rank and report without deleting")
+
     return parser
 
 
@@ -404,7 +507,8 @@ def main(argv: Optional[list] = None) -> int:
     obs.configure_logging(args.verbose - args.quiet)
     handlers: Dict[str, Callable] = {
         "list": cmd_list, "analyze": cmd_analyze, "measure": cmd_measure,
-        "sweep": cmd_sweep, "stats": cmd_stats,
+        "sweep": cmd_sweep, "stats": cmd_stats, "serve": cmd_serve,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

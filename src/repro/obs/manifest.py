@@ -79,9 +79,10 @@ class RunManifest:
         return json.dumps(self.to_dict(), indent=2, sort_keys=False)
 
     def save(self, path: str) -> str:
-        with open(path, "w") as handle:
-            handle.write(self.to_json() + "\n")
-        return path
+        # atomic (tmp + rename): manifests are artifacts other tools
+        # (repro stats, the service artifact store) read by name
+        from repro.tools.atomicio import atomic_write_text
+        return atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":

@@ -33,7 +33,17 @@ fault-recovery events; they are counted *parent-side* by the sweep
 scheduler / session (not in workers), so they survive retried-and-
 discarded attempts and worker deaths, and sweep manifests surface them
 in a dedicated resilience table (see docs/architecture.md, "Fault
-tolerance").
+tolerance").  The ``svc.*`` family belongs to the analysis service
+(``repro.service``): request/lifecycle counters (``svc.requests``,
+``svc.submitted``, ``svc.started``, ``svc.completed``, ``svc.failed``,
+``svc.cancelled``, ``svc.rejected``, ``svc.resumed``), artifact-store
+counters (``svc.artifacts_published``, ``svc.artifacts_deduped``,
+``svc.artifacts_served``), the ``svc.queue_depth``/``svc.running``
+gauges, and the ``svc.job_latency`` timer.  Server-side events are
+counted in the server process; each job worker ships its own snapshot
+back through ``result.json`` and the scheduler merges it parent-side
+(workers reset their fork-inherited registry first, so nothing is
+double-counted).  ``GET /v1/metrics`` serves the live snapshot.
 """
 
 from __future__ import annotations

@@ -1,0 +1,161 @@
+"""Blocking HTTP client for the analysis service (stdlib ``http.client``).
+
+Thin by design — every method maps 1:1 onto a server route, raises
+:class:`QuotaExceeded` on 429 (with the server's ``Retry-After`` hint)
+and :class:`ServiceError` on any other non-2xx.  Used by the test suite
+and the CI smoke job; scripts can use it too::
+
+    client = ServiceClient.from_state_dir("/var/lib/repro-svc")
+    job = client.submit({"workload": "sweep3d", "params": {"mesh": 6}})
+    client.wait(job["id"])
+    data = client.fetch_artifact(job["id"], "patterns")
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class QuotaExceeded(ServiceError):
+    """429: admission control rejected the request."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class JobFailed(ServiceError):
+    """A waited-on job reached a terminal state other than done."""
+
+    def __init__(self, job: Dict[str, Any]) -> None:
+        super().__init__(500, f"job {job.get('id')} ended "
+                              f"{job.get('state')}: {job.get('error')}")
+        self.job = job
+
+
+class ServiceClient:
+    """One client per server address; a fresh connection per request
+    (the server closes after every response anyway)."""
+
+    def __init__(self, host: str, port: int, tenant: str = "default",
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    @classmethod
+    def from_state_dir(cls, state_dir: str, tenant: str = "default",
+                       timeout: float = 60.0) -> "ServiceClient":
+        """Connect via the ``service.json`` the server wrote on startup."""
+        from repro.service.server import SERVICE_FILE
+        with open(os.path.join(state_dir, SERVICE_FILE),
+                  encoding="utf-8") as handle:
+            info = json.load(handle)
+        return cls(info["host"], info["port"], tenant=tenant,
+                   timeout=timeout)
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 raw: bool = False) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = (json.dumps(body).encode()
+                       if body is not None else None)
+            headers = {"X-Repro-Tenant": self.tenant}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            if response.status == 429:
+                try:
+                    retry_after = float(
+                        response.getheader("Retry-After", "1"))
+                except ValueError:
+                    retry_after = 1.0
+                raise QuotaExceeded(self._error_text(data), retry_after)
+            if response.status >= 300:
+                raise ServiceError(response.status,
+                                   self._error_text(data))
+            if raw:
+                return data
+            return json.loads(data.decode())
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _error_text(data: bytes) -> str:
+        try:
+            return json.loads(data.decode()).get("error", data.decode())
+        except (ValueError, UnicodeDecodeError):
+            return data.decode("latin-1", "replace")
+
+    # -- API ------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def submit(self, spec: Dict[str, Any],
+               tenant: Optional[str] = None) -> Dict[str, Any]:
+        """POST a job; returns ``{"id", "state"}``.  429 raises
+        :class:`QuotaExceeded` with the server's retry hint."""
+        body = dict(spec)
+        body["tenant"] = tenant or self.tenant
+        return self._request("POST", "/v1/jobs", body=body)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, tenant: Optional[str] = None) -> Any:
+        path = "/v1/jobs"
+        if tenant:
+            path += f"?tenant={tenant}"
+        return self._request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def artifacts(self, job_id: str) -> Any:
+        return self._request("GET",
+                             f"/v1/jobs/{job_id}/artifacts")["artifacts"]
+
+    def fetch_artifact(self, job_id: str, name: str) -> bytes:
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/artifacts/{name}", raw=True)
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_s: float = 0.1) -> Dict[str, Any]:
+        """Poll until the job is terminal; raise :class:`JobFailed`
+        unless it ended ``done``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                if job["state"] != "done":
+                    raise JobFailed(job)
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after "
+                    f"{timeout:g}s")
+            time.sleep(poll_s)

@@ -1,0 +1,414 @@
+"""Durable job records for the analysis service.
+
+A job is *what to run* (:class:`JobSpec` — workload name, parameters,
+engine/shard/spill options) plus *where it is* (:class:`Job` — lifecycle
+state, timestamps, artifact digests).  The :class:`JobStore` makes both
+durable with the same discipline the sweep checkpoints use
+(:mod:`repro.tools.resilience`):
+
+* an append-only JSONL **journal** (``jobs.jsonl``) records lifecycle
+  events — submit, start, done, fail, cancel — one JSON object per
+  line, torn final lines tolerated;
+* a **job directory** (``jobs/<id>/``) holds the immutable
+  ``spec.json``, the worker-updated ``status.json`` (phase progress,
+  metric snapshots), and the terminal ``result.json`` (totals, artifact
+  digests), each written atomically (tmp + rename).
+
+On startup :meth:`JobStore.recover` replays the journal: jobs whose last
+event is ``submit`` are queued again; jobs whose last event is ``start``
+(the server died mid-run) are re-queued and counted as resumed — the
+worker's artifacts are content-addressed, so a re-run deduplicates
+against whatever the killed attempt already published.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.tools.atomicio import atomic_write_text
+
+logger = logging.getLogger("repro.service.jobs")
+
+#: Bump when the journal line layout changes.
+JOURNAL_VERSION = 1
+
+#: artifact name -> filename the worker publishes under the job dir
+#: (also the download name served by the artifact endpoint)
+ARTIFACT_KINDS: Dict[str, str] = {
+    "patterns": "patterns.pkl",   # analyzer dump_state, pickled
+    "manifest": "manifest.json",  # RunManifest JSON
+    "report": "report.html",      # standalone HTML report
+    "xml": "db.xml",              # paper's XML database format
+}
+
+#: job lifecycle states
+STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class SpecError(ValueError):
+    """A submitted job spec failed validation (surfaces as HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Immutable description of one analysis job."""
+
+    workload: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    engine: str = "fenwick"
+    shards: int = 1
+    miss_model: str = "sa"
+    #: spill the recording to a columnar trace store under the service
+    #: state dir (required for shards > 1 jobs that want disk replay)
+    use_trace_store: bool = False
+    spill_mb: Optional[float] = None
+    #: artifact kinds to publish (subset of ARTIFACT_KINDS)
+    artifacts: Tuple[str, ...] = ("patterns", "manifest")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["artifacts"] = list(self.artifacts)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        """Validate a submission body; raise :class:`SpecError` on junk."""
+        if not isinstance(data, dict):
+            raise SpecError("job spec must be a JSON object")
+        known = {"workload", "params", "engine", "shards", "miss_model",
+                 "use_trace_store", "spill_mb", "artifacts"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown spec fields: {', '.join(unknown)}")
+        workload = data.get("workload")
+        if not workload or not isinstance(workload, str):
+            raise SpecError("spec requires a 'workload' name")
+        from repro.apps.registry import workload_names, workload_params
+        if workload not in workload_names():
+            raise SpecError(
+                f"unknown workload {workload!r} "
+                f"(known: {', '.join(workload_names())})")
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise SpecError("'params' must be an object")
+        defaults = workload_params(workload)
+        bad = sorted(set(params) - set(defaults))
+        if bad:
+            raise SpecError(
+                f"unknown params for {workload}: {', '.join(bad)} "
+                f"(known: {', '.join(sorted(defaults))})")
+        engine = data.get("engine", "fenwick")
+        if engine not in ("fenwick", "treap", "numpy"):
+            raise SpecError(f"unknown engine {engine!r}")
+        try:
+            shards = int(data.get("shards", 1))
+        except (TypeError, ValueError):
+            raise SpecError("'shards' must be an integer")
+        if shards < 1:
+            raise SpecError(f"shards must be >= 1, got {shards}")
+        miss_model = data.get("miss_model", "sa")
+        artifacts = data.get("artifacts", ["patterns", "manifest"])
+        if (not isinstance(artifacts, (list, tuple)) or not artifacts
+                or any(a not in ARTIFACT_KINDS for a in artifacts)):
+            raise SpecError(
+                f"'artifacts' must be a non-empty subset of "
+                f"{sorted(ARTIFACT_KINDS)}")
+        spill_mb = data.get("spill_mb")
+        if spill_mb is not None:
+            try:
+                spill_mb = float(spill_mb)
+            except (TypeError, ValueError):
+                raise SpecError("'spill_mb' must be a number")
+        return cls(workload=workload, params=dict(params), engine=engine,
+                   shards=shards, miss_model=str(miss_model),
+                   use_trace_store=bool(data.get("use_trace_store", False)),
+                   spill_mb=spill_mb, artifacts=tuple(artifacts))
+
+
+@dataclass
+class Job:
+    """Lifecycle state of one submitted job."""
+
+    id: str
+    tenant: str
+    spec: JobSpec
+    state: str = "queued"
+    created: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    error: str = ""
+    #: [{"name", "digest", "bytes"}] once done
+    artifacts: List[Dict[str, Any]] = field(default_factory=list)
+    totals: Dict[str, float] = field(default_factory=dict)
+    #: times this job was re-queued after a server restart found it
+    #: mid-run (content-addressed artifacts make the re-run idempotent)
+    resumed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "artifacts": list(self.artifacts),
+            "totals": dict(self.totals),
+            "resumed": self.resumed,
+        }
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+def new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+class JobStore:
+    """Durable, replayable store of every job the service has seen.
+
+    Layout under ``state_dir``::
+
+        jobs.jsonl            append-only lifecycle journal
+        jobs/<id>/spec.json   immutable submission
+        jobs/<id>/status.json worker progress (phase, trace_path, ...)
+        jobs/<id>/result.json terminal outcome (totals, artifacts)
+        service.json          listener host/port/pid (written by server)
+
+    The journal is the source of truth for *state*; the job dirs carry
+    the payloads.  Appends are flushed per line; ``fsync`` is opt-in for
+    the same reason it is in :class:`~repro.tools.resilience.SweepCheckpoint`.
+    """
+
+    JOURNAL = "jobs.jsonl"
+
+    def __init__(self, state_dir: str, fsync: bool = False) -> None:
+        self.state_dir = state_dir
+        self.fsync = fsync
+        self.jobs: Dict[str, Job] = {}
+        #: jobs re-queued by the last recover() call
+        self.resumed_ids: List[str] = []
+        os.makedirs(os.path.join(state_dir, "jobs"), exist_ok=True)
+        self._journal_path = os.path.join(state_dir, self.JOURNAL)
+
+    # -- paths ----------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.state_dir, "jobs", job_id)
+
+    def spec_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "spec.json")
+
+    def status_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "status.json")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir(job_id), "result.json")
+
+    # -- journal --------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        new = not os.path.exists(self._journal_path)
+        with open(self._journal_path, "a", encoding="utf-8") as handle:
+            if new:
+                handle.write(json.dumps(
+                    {"kind": "job-journal",
+                     "version": JOURNAL_VERSION}) + "\n")
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    # -- lifecycle ------------------------------------------------------
+
+    def submit(self, tenant: str, spec: JobSpec,
+               job_id: Optional[str] = None) -> Job:
+        job = Job(id=job_id or new_job_id(), tenant=tenant, spec=spec,
+                  created=time.time())
+        os.makedirs(self.job_dir(job.id), exist_ok=True)
+        atomic_write_text(self.spec_path(job.id),
+                          json.dumps(spec.to_dict(), indent=2) + "\n")
+        self._append({"event": "submit", "job": job.id,
+                      "tenant": tenant, "ts": job.created})
+        self.jobs[job.id] = job
+        return job
+
+    def mark_started(self, job_id: str) -> None:
+        job = self.jobs[job_id]
+        job.state = "running"
+        job.started = time.time()
+        self._append({"event": "start", "job": job_id, "ts": job.started})
+
+    def mark_done(self, job_id: str, totals: Dict[str, float],
+                  artifacts: List[Dict[str, Any]]) -> None:
+        job = self.jobs[job_id]
+        job.state = "done"
+        job.finished = time.time()
+        job.totals = dict(totals)
+        job.artifacts = list(artifacts)
+        self._append({"event": "done", "job": job_id, "ts": job.finished})
+
+    def mark_failed(self, job_id: str, error: str) -> None:
+        job = self.jobs[job_id]
+        job.state = "failed"
+        job.finished = time.time()
+        job.error = error
+        self._append({"event": "fail", "job": job_id,
+                      "error": error, "ts": job.finished})
+
+    def mark_cancelled(self, job_id: str) -> None:
+        job = self.jobs[job_id]
+        job.state = "cancelled"
+        job.finished = time.time()
+        self._append({"event": "cancel", "job": job_id, "ts": job.finished})
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self) -> List[Job]:
+        """Replay the journal; return jobs re-queued for execution.
+
+        Jobs with a terminal event are loaded read-only (result.json
+        hydrates totals/artifacts).  Jobs last seen ``queued`` go back
+        on the queue as-is; jobs last seen ``running`` are re-queued
+        with ``resumed`` bumped — the previous attempt's process died
+        with the server.
+        """
+        self.jobs.clear()
+        self.resumed_ids = []
+        events: List[Dict[str, Any]] = []
+        try:
+            with open(self._journal_path, encoding="utf-8") as handle:
+                header = handle.readline()
+                try:
+                    meta = json.loads(header)
+                except json.JSONDecodeError:
+                    meta = {}
+                if (meta.get("kind") != "job-journal"
+                        or meta.get("version") != JOURNAL_VERSION):
+                    logger.warning("job journal %s has unknown header; "
+                                   "starting fresh", self._journal_path)
+                    return []
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        # torn final line from a crash mid-append
+                        logger.warning("job journal %s: dropping torn "
+                                       "line", self._journal_path)
+                        continue
+        except FileNotFoundError:
+            return []
+
+        last: Dict[str, str] = {}
+        tenants: Dict[str, str] = {}
+        created: Dict[str, float] = {}
+        starts: Dict[str, int] = {}
+        order: List[str] = []
+        for ev in events:
+            job_id = ev.get("job")
+            kind = ev.get("event")
+            if not job_id or not kind:
+                continue
+            if kind == "submit":
+                tenants[job_id] = ev.get("tenant", "default")
+                created[job_id] = ev.get("ts", 0.0)
+                order.append(job_id)
+            elif kind == "start":
+                starts[job_id] = starts.get(job_id, 0) + 1
+            last[job_id] = kind
+
+        requeued: List[Job] = []
+        for job_id in order:
+            try:
+                with open(self.spec_path(job_id), encoding="utf-8") as f:
+                    spec = JobSpec.from_dict(json.load(f))
+            except (OSError, ValueError) as exc:
+                logger.warning("job %s: unreadable spec (%s); dropping",
+                               job_id, exc)
+                continue
+            job = Job(id=job_id, tenant=tenants.get(job_id, "default"),
+                      spec=spec, created=created.get(job_id, 0.0))
+            state = last.get(job_id, "submit")
+            if state in ("done", "fail", "cancel"):
+                job.state = {"done": "done", "fail": "failed",
+                             "cancel": "cancelled"}[state]
+                self._hydrate_result(job)
+            elif state == "start":
+                # server died mid-run: run it again
+                job.resumed = starts.get(job_id, 1)
+                self.resumed_ids.append(job_id)
+                requeued.append(job)
+            else:
+                requeued.append(job)
+            self.jobs[job_id] = job
+        if requeued:
+            logger.info("job store recovered %d queued job(s) "
+                        "(%d resumed mid-run)", len(requeued),
+                        len(self.resumed_ids))
+        return requeued
+
+    def _hydrate_result(self, job: Job) -> None:
+        try:
+            with open(self.result_path(job.id), encoding="utf-8") as f:
+                result = json.load(f)
+        except (OSError, ValueError):
+            return
+        job.totals = dict(result.get("totals", {}))
+        job.artifacts = list(result.get("artifacts", []))
+        job.error = result.get("error", job.error)
+
+    # -- queries --------------------------------------------------------
+
+    def read_status(self, job_id: str) -> Dict[str, Any]:
+        """Worker-side progress (phase, metrics, trace_path); {} if none."""
+        try:
+            with open(self.status_path(job_id), encoding="utf-8") as f:
+                return json.load(f)
+        except (OSError, ValueError):
+            return {}
+
+    def queued_count(self, tenant: str) -> int:
+        return sum(1 for j in self.jobs.values()
+                   if j.tenant == tenant and j.state == "queued")
+
+    def running_count(self, tenant: str) -> int:
+        return sum(1 for j in self.jobs.values()
+                   if j.tenant == tenant and j.state == "running")
+
+
+def live_trace_refs(state_dir: str) -> List[str]:
+    """Trace-store paths referenced by non-terminal jobs in ``state_dir``.
+
+    ``repro trace gc`` protects these from eviction: a queued or running
+    job may still replay its spilled store.  Reads the journal and each
+    live job's ``status.json`` (where the worker records the resolved
+    store path); a missing or unreadable state dir yields [].
+    """
+    refs: List[str] = []
+    try:
+        store = JobStore(state_dir)
+    except OSError:
+        return refs
+    store.recover()
+    for job in store.jobs.values():
+        if job.terminal:
+            continue
+        path = store.read_status(job.id).get("trace_path")
+        if path:
+            refs.append(path)
+    return refs

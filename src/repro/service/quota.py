@@ -1,0 +1,94 @@
+"""Multi-tenant admission control for the analysis service.
+
+Tenants are lightweight — a string name carried on each submission
+(``X-Repro-Tenant`` header or ``tenant`` body field; ``"default"``
+otherwise).  Each tenant gets a :class:`TenantQuota`:
+
+``max_concurrent``
+    jobs of this tenant allowed to *run* at once.  Enforced by the
+    scheduler, not admission — a tenant at its concurrency cap can keep
+    queueing; its jobs just wait while other tenants' jobs run.
+``max_queued``
+    jobs of this tenant allowed to *wait* at once.  Enforced at
+    admission: submissions past the cap are rejected with HTTP 429 and
+    a ``Retry-After`` hint, leaving other tenants unaffected.
+
+Oversized request bodies are rejected the same way (429), since body
+size is the request-rate knob a client can actually back off on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.obs import metrics as _obs
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits; the defaults suit a laptop-sized deployment."""
+
+    max_concurrent: int = 2
+    max_queued: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+
+
+@dataclass(frozen=True)
+class QuotaDecision:
+    """Outcome of an admission check."""
+
+    admitted: bool
+    reason: str = ""
+    #: seconds the client should wait before retrying (429 Retry-After)
+    retry_after: float = 0.0
+
+
+class AdmissionController:
+    """Decide whether a submission enters the queue.
+
+    Counts come from the caller (the server's :class:`JobStore`) so the
+    controller itself stays stateless and trivially testable.
+    """
+
+    def __init__(self, default: Optional[TenantQuota] = None,
+                 per_tenant: Optional[Dict[str, TenantQuota]] = None,
+                 retry_after_s: float = 2.0) -> None:
+        self.default = default or TenantQuota()
+        self.per_tenant = dict(per_tenant or {})
+        self.retry_after_s = retry_after_s
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.per_tenant.get(tenant, self.default)
+
+    def admit(self, tenant: str, queued: int) -> QuotaDecision:
+        """Check a submission: ``queued`` is the tenant's current depth."""
+        quota = self.quota_for(tenant)
+        if queued >= quota.max_queued:
+            # resolved per-call: the controller outlives obs toggles
+            # (the server enables obs after construction)
+            _obs.counter("svc.rejected").inc()
+            return QuotaDecision(
+                admitted=False,
+                reason=(f"tenant {tenant!r} has {queued} queued job(s), "
+                        f"quota allows {quota.max_queued}"),
+                retry_after=self.retry_after_s)
+        return QuotaDecision(admitted=True)
+
+    def reject_oversize(self, tenant: str, size: int,
+                        limit: int) -> QuotaDecision:
+        _obs.counter("svc.rejected").inc()
+        return QuotaDecision(
+            admitted=False,
+            reason=(f"request body of {size} bytes exceeds the "
+                    f"{limit}-byte limit"),
+            retry_after=self.retry_after_s)
+
+    def may_start(self, tenant: str, running: int) -> bool:
+        """Scheduler-side check: can this tenant start one more job?"""
+        return running < self.quota_for(tenant).max_concurrent

@@ -1,0 +1,187 @@
+"""Child-process entry point: run one analysis job, publish artifacts.
+
+The server launches :func:`job_process_main` in its own
+``multiprocessing.Process`` per job — a crash (OOM, segfault, operator
+``kill``) takes down one job, never the listener.  The worker:
+
+1. arms clean SIGTERM unwinding (cancellation = SIGTERM from the
+   server, surfacing here as ``SystemExit`` so ``finally`` blocks run);
+2. reads the immutable ``spec.json`` from its job directory;
+3. builds the workload from :mod:`repro.apps.registry` and runs a
+   normal :class:`~repro.tools.session.AnalysisSession` against the
+   service's shared :class:`~repro.tools.cache.AnalysisCache`
+   (``shared=True``: writes serialize on the writer lock, reads stay
+   lock-free and digest-verified);
+4. publishes each requested artifact content-addressed into the cache's
+   blob store — identical bytes land at one address, so a job re-run
+   after a server crash deduplicates instead of duplicating;
+5. writes ``result.json`` atomically with totals, artifact digests, and
+   the worker's metric snapshot for the parent to merge.
+
+Progress is visible throughout via atomic rewrites of ``status.json``
+(``phase`` walks build → analyze → predict → artifacts; ``trace_path``
+appears once a spilled recording resolves, for ``repro trace gc``
+live-reference protection).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pickle
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+logger = logging.getLogger("repro.service.worker")
+
+#: worker exit codes the server maps back to job states
+EXIT_OK = 0
+EXIT_FAILED = 1
+
+
+def _write_status(job_dir: str, **fields: Any) -> None:
+    from repro.tools.atomicio import atomic_write_text
+    fields.setdefault("ts", time.time())
+    atomic_write_text(os.path.join(job_dir, "status.json"),
+                      json.dumps(fields, sort_keys=True) + "\n")
+
+
+def _artifact_bytes(session, kind: str) -> bytes:
+    """Render one artifact kind to its canonical bytes."""
+    if kind == "patterns":
+        return pickle.dumps(session.analyzer.dump_state(),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+    if kind == "manifest":
+        return (session.manifest.to_json() + "\n").encode()
+    if kind == "report":
+        from repro.tools.htmlreport import render_html
+        return render_html(session).encode()
+    if kind == "xml":
+        return session.export_xml(None).encode()
+    raise ValueError(f"unknown artifact kind {kind!r}")
+
+
+def run_job(job_dir: str, cache_dir: str,
+            trace_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Execute the job described by ``<job_dir>/spec.json``.
+
+    Returns the result dict (also written to ``result.json``).  Raises
+    nothing job-related — failures land in the result with
+    ``status: "failed"``; only truly unexpected states (unreadable spec)
+    raise out to :func:`job_process_main`.
+    """
+    from repro.apps.registry import build_workload, workload_params
+    from repro.obs import metrics as _obs
+    from repro.service.jobs import ARTIFACT_KINDS, JobSpec
+    from repro.tools.atomicio import atomic_write_text
+    from repro.tools.cache import AnalysisCache
+    from repro.tools.session import AnalysisSession
+
+    with open(os.path.join(job_dir, "spec.json"), encoding="utf-8") as f:
+        spec = JobSpec.from_dict(json.load(f))
+
+    t0 = time.time()
+    _write_status(job_dir, phase="build", pid=os.getpid())
+    result: Dict[str, Any] = {"status": "failed", "totals": {},
+                              "artifacts": [], "error": ""}
+    try:
+        params = dict(workload_params(spec.workload))
+        params.update(spec.params)
+        program = build_workload(spec.workload, **params)
+        cache = AnalysisCache(cache_dir, shared=True)
+        session = AnalysisSession(
+            program,
+            miss_model=spec.miss_model,
+            engine=spec.engine,
+            cache=cache,
+            shards=spec.shards,
+            trace_store=(trace_dir if spec.use_trace_store else None),
+            spill_mb=spec.spill_mb,
+        )
+        _write_status(job_dir, phase="analyze", pid=os.getpid())
+        session.run()
+        if session.trace_path:
+            _write_status(job_dir, phase="predict", pid=os.getpid(),
+                          trace_path=session.trace_path)
+        else:
+            _write_status(job_dir, phase="predict", pid=os.getpid())
+        totals = session.totals()
+
+        _write_status(job_dir, phase="artifacts", pid=os.getpid(),
+                      trace_path=session.trace_path)
+        artifacts: List[Dict[str, Any]] = []
+        deduped = 0
+        for kind in spec.artifacts:
+            data = _artifact_bytes(session, kind)
+            digest = hashlib.sha256(data).hexdigest()
+            if cache.has_blob(digest):
+                deduped += 1
+                _obs.counter("svc.artifacts_deduped").inc()
+            else:
+                cache.put_blob(digest, data)
+            _obs.counter("svc.artifacts_published").inc()
+            artifacts.append({"name": kind,
+                              "file": ARTIFACT_KINDS[kind],
+                              "digest": digest,
+                              "bytes": len(data)})
+        result = {
+            "status": "done",
+            "totals": totals,
+            "artifacts": artifacts,
+            "artifacts_deduped": deduped,
+            "from_cache": session.from_cache,
+            "fallback": session.fallback,
+            "trace_path": session.trace_path,
+            "wall_s": round(time.time() - t0, 6),
+            "metrics": _obs.snapshot() if _obs.is_enabled() else {},
+            "error": "",
+        }
+    except SystemExit:
+        # SIGTERM (cancellation) unwinding through install_term_handler
+        _write_status(job_dir, phase="cancelled", pid=os.getpid())
+        raise
+    except Exception as exc:  # job failure, not a server failure
+        from repro.tools.resilience import WorkerFailure
+        failure = WorkerFailure.from_exception(exc)
+        logger.warning("job in %s failed: %s", job_dir, failure.summary)
+        result["error"] = failure.summary
+        result["wall_s"] = round(time.time() - t0, 6)
+        if _obs.is_enabled():
+            result["metrics"] = _obs.snapshot()
+    atomic_write_text(os.path.join(job_dir, "result.json"),
+                      json.dumps(result, sort_keys=True) + "\n")
+    return result
+
+
+def job_process_main(job_dir: str, cache_dir: str,
+                     trace_dir: Optional[str] = None,
+                     obs_enabled: bool = False,
+                     log_level: Optional[int] = None,
+                     fault_specs: Sequence = (),
+                     ) -> None:
+    """``multiprocessing.Process`` target for one job.
+
+    State is passed explicitly (not inherited) so the worker behaves
+    identically under fork and spawn start methods — the same
+    discipline as the sweep pool initializer.  Exit code 0 = result
+    written with ``status: "done"``; 1 = written with ``"failed"``;
+    128+SIGTERM = cancelled mid-run.
+    """
+    from repro.obs import metrics as _obs
+    from repro.testing import faults as _faults
+    from repro.tools.resilience import install_term_handler
+
+    install_term_handler()
+    _obs.set_enabled(obs_enabled)
+    # a forked child inherits the parent's registry; start from zero so
+    # the result snapshot merges cleanly instead of double-counting
+    _obs.reset()
+    if log_level is not None:
+        logging.getLogger("repro").setLevel(log_level)
+    if fault_specs:
+        _faults.set_specs(fault_specs)
+    result = run_job(job_dir, cache_dir, trace_dir)
+    sys.exit(EXIT_OK if result.get("status") == "done" else EXIT_FAILED)

@@ -1,0 +1,47 @@
+"""Atomic file writes: artifacts appear whole or not at all.
+
+Every durable artifact the toolkit emits — XML databases, HTML reports,
+run manifests, service job records — goes through these helpers: the
+bytes land in a ``mkstemp`` temp file in the *destination directory*
+(same filesystem, so the final ``os.replace`` is an atomic rename) and
+the target path is only ever bound to complete content.  A job killed
+mid-write leaves a stale ``.tmp-*`` file, never a torn artifact that a
+reader or a resumed job could mistake for the real thing.
+
+``fsync=True`` additionally flushes the bytes to stable storage before
+the rename, for artifacts that other durable records (journals,
+checkpoints) are about to reference by name.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = False) -> str:
+    """Write ``data`` to ``path`` via tmp file + atomic rename."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                               suffix=os.path.splitext(path)[1] or ".part")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except Exception:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = False,
+                      encoding: str = "utf-8") -> str:
+    """Write ``text`` to ``path`` via tmp file + atomic rename."""
+    return atomic_write_bytes(path, text.encode(encoding), fsync=fsync)

@@ -17,6 +17,18 @@ merely unreferenced files.
 Layout: ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) /
 ``<key[:2]>/<key>.pkl``, written atomically (temp file + ``os.replace``) so
 concurrent sweep workers never observe partial entries.
+
+Concurrent sharing: ``AnalysisCache(shared=True)`` turns on the
+*read-mostly concurrent mode* the analysis service uses when several
+in-process sessions (and their worker processes) share one cache
+directory.  Writers serialize through an advisory ``flock`` on
+``<root>/.writer.lock`` and prefix every entry with the sha256 of its
+payload bytes; readers stay completely lock-free — they re-hash the
+payload against the prefix and treat any mismatch (bit rot, torn
+write on a non-POSIX filesystem, a racing copy) exactly like a corrupt
+entry: quarantine + recompute.  Non-shared caches read shared-format
+entries transparently, and vice versa, so a directory can be shared
+later without invalidation.
 """
 
 from __future__ import annotations
@@ -27,7 +39,13 @@ import os
 import pickle
 import tempfile
 import time
-from typing import Any, Dict, Iterable, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+try:  # POSIX advisory locks for the shared writer path
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro.lang.ast import Call, Loop, Program, ScalarAssign, Stmt
 from repro.obs import metrics as _obs
@@ -45,6 +63,11 @@ _CORRUPT_ERRORS = (OSError, pickle.UnpicklingError, EOFError, ValueError,
 
 #: Bump when the serialized payload layout or fingerprint recipe changes.
 SCHEMA_VERSION = 1
+
+#: Header prefix of digest-verified (shared-mode) entries.  The payload
+#: pickle follows the newline; a pickle stream starts with b"\\x80" so
+#: the two formats can never be confused.
+_VERIFIED_MAGIC = b"repro-cache-sha256:"
 
 
 def _walk_body(body: Iterable, emit) -> None:
@@ -110,27 +133,70 @@ class AnalysisCache:
         power cut only costs a recompute); sweeps that checkpoint
         against cache addresses turn it on so a journalled address
         always refers to durable bytes.
+    shared:
+        Read-mostly concurrent mode.  Writers serialize through an
+        advisory lock file and write digest-prefixed entries; readers
+        take no lock and verify the digest on every read (a mismatch
+        degrades to a quarantined miss).  For cache directories shared
+        by multiple live sessions — the analysis service turns it on.
     """
 
     #: Subdirectory corrupt entries are moved to (see :meth:`quarantine`).
     QUARANTINE_DIR = "quarantine"
+    #: Advisory lock file shared-mode writers serialize through.
+    LOCK_NAME = ".writer.lock"
 
     def __init__(self, root: Optional[str] = None,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False, shared: bool = False) -> None:
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
                 os.path.expanduser("~"), ".cache", "repro")
         self.root = str(root)
         self.fsync = bool(fsync)
+        self.shared = bool(shared)
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.quarantined = 0
+        self.verified_reads = 0
         self._obs_hits = _obs.counter("cache.hits")
         self._obs_misses = _obs.counter("cache.misses")
         self._obs_corrupt = _obs.counter("cache.corrupt")
         self._obs_evictions = _obs.counter("cache.evictions")
         self._obs_quarantined = _obs.counter("cache.quarantined")
+        self._obs_verified = _obs.counter("cache.verified_reads")
+        self._obs_lock_waits = _obs.counter("cache.writer_lock_waits")
+
+    # -- shared-mode writer lock ----------------------------------------
+
+    @contextmanager
+    def _writer_lock(self) -> Iterator[None]:
+        """Serialize writers in shared mode; free in exclusive mode.
+
+        An advisory ``flock`` on ``<root>/.writer.lock``: cheap,
+        reentrant across entries (one lock per put), released even on
+        error, and a no-op where ``fcntl`` is unavailable — atomic
+        renames alone already prevent torn reads there, the lock only
+        adds write ordering under heavy contention.
+        """
+        if not self.shared or fcntl is None:
+            yield
+            return
+        os.makedirs(self.root, exist_ok=True)
+        fd = os.open(os.path.join(self.root, self.LOCK_NAME),
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self._obs_lock_waits.inc()
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
 
     # -- keys -----------------------------------------------------------
 
@@ -208,21 +274,22 @@ class AnalysisCache:
         if os.path.exists(path):
             return path
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   prefix=".tmp-", suffix=".bin")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-                if self.fsync:
-                    handle.flush()
-                    os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        except Exception:
+        with self._writer_lock():
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       prefix=".tmp-", suffix=".bin")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                    if self.fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except Exception:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         return path
 
     def get_blob(self, digest: str) -> Optional[bytes]:
@@ -257,12 +324,29 @@ class AnalysisCache:
         ``<root>/quarantine/`` so the slot is free for the recompute's
         put and the same damaged bytes are never re-read on every
         lookup, while the evidence survives for post-mortems.
+
+        Digest-prefixed entries (written by shared-mode caches) are
+        verified byte-for-byte before unpickling — the lock-free read
+        side of the concurrent mode; a failed verification is handled
+        exactly like corruption.  Plain entries unpickle directly, so
+        both modes read both formats.
         """
         path = self._path(key)
         try:
             _faults.fire("cache.get", key=key, path=path)
             with open(path, "rb") as handle:
-                payload = pickle.load(handle)
+                data = handle.read()
+            if data.startswith(_VERIFIED_MAGIC):
+                header, _, body = data.partition(b"\n")
+                digest = header[len(_VERIFIED_MAGIC):].decode("ascii")
+                if hashlib.sha256(body).hexdigest() != digest:
+                    raise ValueError("entry payload fails its sha256 "
+                                     "digest")
+                self.verified_reads += 1
+                self._obs_verified.inc()
+                payload = pickle.loads(body)
+            else:
+                payload = pickle.loads(data)
         except FileNotFoundError:
             self.misses += 1
             self._obs_misses.inc()
@@ -304,27 +388,37 @@ class AnalysisCache:
         return qpath
 
     def put(self, key: str, payload: Any) -> str:
-        """Atomically store ``payload`` under ``key``; returns the path."""
+        """Atomically store ``payload`` under ``key``; returns the path.
+
+        Shared-mode caches take the writer lock for the duration of the
+        write and prefix the entry with the payload's sha256, which is
+        what lets every reader verify it without locking.
+        """
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   prefix=".tmp-", suffix=".pkl")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-                if self.fsync:
-                    handle.flush()
-                    os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        except Exception as exc:
-            logger.warning("failed to write cache entry %s (%s: %s)",
-                           key[:12], type(exc).__name__, exc)
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.shared:
+            data = (_VERIFIED_MAGIC
+                    + hashlib.sha256(data).hexdigest().encode("ascii")
+                    + b"\n" + data)
+        with self._writer_lock():
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       prefix=".tmp-", suffix=".pkl")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                    if self.fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except Exception as exc:
+                logger.warning("failed to write cache entry %s (%s: %s)",
+                               key[:12], type(exc).__name__, exc)
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         return path
 
     def sweep_stale(self, max_age_s: float = 3600.0) -> int:
@@ -384,6 +478,7 @@ class AnalysisCache:
         return removed
 
     def __repr__(self) -> str:
+        shared = ", shared" if self.shared else ""
         return (f"AnalysisCache({self.root!r}, hits={self.hits}, "
                 f"misses={self.misses}, corrupt={self.corrupt}, "
-                f"quarantined={self.quarantined})")
+                f"quarantined={self.quarantined}{shared})")

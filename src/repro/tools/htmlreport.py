@@ -190,8 +190,12 @@ def render_html(session: "AnalysisSession",
 
 def write_html(session: "AnalysisSession", path: str,
                levels: Optional[Sequence[str]] = None) -> str:
-    """Write the report to ``path``; returns the HTML text."""
+    """Write the report to ``path``; returns the HTML text.
+
+    The write is atomic (tmp file + rename), so a job crashing
+    mid-report never leaves a torn HTML artifact behind.
+    """
     text = render_html(session, levels)
-    with open(path, "w") as handle:
-        handle.write(text)
+    from repro.tools.atomicio import atomic_write_text
+    atomic_write_text(path, text)
     return text

@@ -334,6 +334,10 @@ class SweepCheckpoint:
     uninterrupted run.
     """
 
+    #: A journal holding more than ``COMPACT_FACTOR`` lines per live
+    #: unit is rewritten in place (see :meth:`compact`).
+    COMPACT_FACTOR = 2
+
     def __init__(self, path: str, fsync: bool = False,
                  cache=None) -> None:
         self.path = str(path)
@@ -341,6 +345,11 @@ class SweepCheckpoint:
         self.fsync = bool(fsync)
         #: optional AnalysisCache whose blob store holds the payloads
         self.cache = cache
+        #: journal occupancy, tracked lazily: non-header lines on disk
+        #: and distinct unit digests they cover.  None until the first
+        #: load()/record() scans the file.
+        self._lines: Optional[int] = None
+        self._live: Optional[Dict[str, str]] = None
 
     # -- unit digests ----------------------------------------------------
 
@@ -375,6 +384,8 @@ class SweepCheckpoint:
     def load(self) -> Dict[str, str]:
         """Digest -> payload filename for every intact journal line."""
         done: Dict[str, str] = {}
+        self._lines = 0
+        self._live = done
         try:
             with open(self.path, "r", encoding="utf-8") as fh:
                 lines = fh.read().splitlines()
@@ -396,11 +407,17 @@ class SweepCheckpoint:
                     logger.warning(
                         "checkpoint %s: version %r != %d; ignoring",
                         self.path, row.get("version"), CHECKPOINT_VERSION)
+                    self._lines = None
+                    self._live = None
                     return {}
                 continue
             unit, payload = row.get("unit"), row.get("payload")
             if unit and payload:
+                self._lines += 1
                 done[unit] = payload
+        # load() aliases the caller's mapping as the live view; keep a
+        # private copy so caller mutations cannot skew compaction
+        self._live = dict(done)
         return done
 
     def restore(self, digest: str, payload_name: str) -> Optional[Any]:
@@ -493,6 +510,72 @@ class SweepCheckpoint:
             if self.fsync:
                 fh.flush()
                 os.fsync(fh.fileno())
+        if self._lines is None or self._live is None:
+            self.load()
+        else:
+            self._lines += 1
+            self._live[digest] = ref
+        self._maybe_compact()
+
+    # -- compaction ------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        """Compact when stale lines outnumber live units.
+
+        Resumed sweeps, re-runs over overlapping grids, and units whose
+        payload refs changed all append fresh lines for digests the
+        journal already lists, so a long-lived journal grows without
+        bound even though only the *last* line per digest matters.
+        When the line count exceeds ``COMPACT_FACTOR`` times the live
+        unit count, the journal is rewritten in place.
+        """
+        if (self._lines is not None and self._live
+                and self._lines > self.COMPACT_FACTOR * len(self._live)):
+            self.compact()
+
+    def compact(self) -> int:
+        """Rewrite the journal keeping one line per unit; lines dropped.
+
+        The replacement is built in a temp file in the journal's own
+        directory and swapped in with an atomic ``os.replace``, so a
+        reader (or a crash) sees either the old journal or the new one,
+        never a partial rewrite.  Only the winning (latest) line per
+        digest survives — exactly the mapping :meth:`load` would have
+        produced — so a resume from the compacted journal restores the
+        same payload bytes and stays byte-identical.  Payload files and
+        blobs are untouched: they are content-addressed and may be
+        shared with other journals.
+        """
+        live = self.load()
+        before = self._lines or 0
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                                   suffix=".jsonl")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps({"kind": "sweep-checkpoint",
+                                     "version": CHECKPOINT_VERSION}) + "\n")
+                for unit, ref in live.items():
+                    fh.write(json.dumps({"unit": unit, "payload": ref})
+                             + "\n")
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._lines = len(live)
+        self._live = dict(live)
+        dropped = before - len(live)
+        if dropped > 0:
+            _obs.counter("resil.checkpoint_compactions").inc()
+            logger.info("checkpoint %s compacted: %d line(s) -> %d",
+                        self.path, before, len(live))
+        return dropped
 
     def __repr__(self) -> str:
         return f"SweepCheckpoint({self.path!r})"

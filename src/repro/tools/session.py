@@ -86,6 +86,9 @@ class AnalysisSession:
         #: {"from", "to", "error"} when the session degraded to the
         #: sequential fenwick path; None for a clean run
         self.fallback: Optional[Dict[str, str]] = None
+        #: resolved digest-named store directory when the run recorded
+        #: into :attr:`trace_store` (trace-gc live-reference tracking)
+        self.trace_path: Optional[str] = None
         self._static: Optional[StaticAnalysis] = None
         self._frag: Optional[FragmentationAnalysis] = None
         self._prediction: Optional[Prediction] = None
@@ -239,6 +242,7 @@ class AnalysisSession:
                 trace, self.stats = record_spilled(
                     self.program, self.trace_store, batch=self.batch,
                     spill_mb=self.spill_mb, **params)
+                self.trace_path = trace.path
             else:
                 trace, self.stats = record_trace(
                     self.program, batch=self.batch, **params)

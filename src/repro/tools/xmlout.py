@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 from repro.lang.ast import Program
 from repro.model.predictor import Prediction
+from repro.tools.atomicio import atomic_write_text
 from repro.tools.carried import CarriedMisses
 from repro.tools.flatdb import FlatDatabase
 from repro.tools.scopetree import ROOT, ScopeTree
@@ -79,6 +80,7 @@ def export(prediction: Prediction, path: Optional[str] = None) -> str:
     ET.indent(root)
     text = ET.tostring(root, encoding="unicode")
     if path is not None:
-        with open(path, "w") as handle:
-            handle.write(text)
+        # tmp + atomic rename: a crashed exporter never leaves a torn
+        # XML database for a viewer (or a resumed service job) to choke on
+        atomic_write_text(path, text)
     return text

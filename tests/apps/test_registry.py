@@ -1,0 +1,50 @@
+"""The workload registry: one canonical name -> builder mapping."""
+
+import pytest
+
+from repro.apps.registry import (
+    WORKLOADS, build_workload, workload_names, workload_params,
+)
+
+
+class TestRegistry:
+    def test_names_match_descriptions(self):
+        assert set(workload_names()) == set(WORKLOADS)
+        assert all(WORKLOADS[name] for name in workload_names())
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_workload_builds(self, name):
+        program = build_workload(name)
+        assert program.name
+        assert program.refs
+
+    def test_params_are_copies(self):
+        params = workload_params("sweep3d")
+        params["mesh"] = 999
+        assert workload_params("sweep3d")["mesh"] != 999
+
+    def test_param_override(self):
+        small = build_workload("fig1", n=8, m=8)
+        big = build_workload("fig1", n=32, m=32)
+        assert small.name == big.name
+        # bigger arrays -> different layouts
+        assert small is not big
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload_params("quantum")
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_workload("quantum")
+
+    def test_unknown_param(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            build_workload("sweep3d", warp=9)
+
+    def test_cli_build_delegates_to_registry(self):
+        import argparse
+        from repro.cli import _build
+        args = argparse.Namespace(mesh=6, micell=4)
+        assert _build("sweep3d", args).name.startswith("sweep3d")
+        assert _build("gtc", args).name.startswith("gtc")
+        with pytest.raises(SystemExit):
+            _build("quantum", args)

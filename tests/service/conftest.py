@@ -1,0 +1,29 @@
+"""Shared fixtures for the service tests."""
+
+import pytest
+
+
+@pytest.fixture
+def scoped_metrics():
+    """Isolate the metrics registry: the server flips the global enable
+    flag on start (restoring it on stop), and svc.* counters must not
+    leak into unrelated tests."""
+    from repro.obs import metrics
+
+    with metrics.scoped() as registry:
+        try:
+            yield registry
+        finally:
+            metrics.set_enabled(False)
+
+
+@pytest.fixture
+def clean_faults():
+    """Guarantee fault specs installed by a test are cleared."""
+    from repro.testing import faults
+
+    faults.clear()
+    try:
+        yield faults
+    finally:
+        faults.clear()

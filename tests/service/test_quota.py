@@ -1,0 +1,55 @@
+"""Admission-control unit tests."""
+
+import pytest
+
+from repro.service.quota import AdmissionController, TenantQuota
+
+
+class TestTenantQuota:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_concurrent=0)
+        with pytest.raises(ValueError):
+            TenantQuota(max_queued=-1)
+
+
+class TestAdmissionController:
+    def test_default_quota_applies_to_unknown_tenants(self):
+        ctl = AdmissionController(default=TenantQuota(max_queued=2))
+        assert ctl.quota_for("anyone").max_queued == 2
+
+    def test_per_tenant_override(self):
+        ctl = AdmissionController(
+            default=TenantQuota(max_queued=2),
+            per_tenant={"ci": TenantQuota(max_queued=64)})
+        assert ctl.quota_for("ci").max_queued == 64
+        assert ctl.quota_for("other").max_queued == 2
+
+    def test_admit_below_cap(self):
+        ctl = AdmissionController(default=TenantQuota(max_queued=3))
+        assert ctl.admit("t", queued=2).admitted
+
+    def test_reject_at_cap_with_retry_hint(self):
+        ctl = AdmissionController(default=TenantQuota(max_queued=3),
+                                  retry_after_s=7.5)
+        decision = ctl.admit("t", queued=3)
+        assert not decision.admitted
+        assert decision.retry_after == 7.5
+        assert "t" in decision.reason
+
+    def test_tenants_are_independent(self):
+        ctl = AdmissionController(default=TenantQuota(max_queued=1))
+        assert not ctl.admit("busy", queued=1).admitted
+        assert ctl.admit("idle", queued=0).admitted
+
+    def test_oversize_rejection(self):
+        ctl = AdmissionController(retry_after_s=1.5)
+        decision = ctl.reject_oversize("t", size=9999, limit=1024)
+        assert not decision.admitted
+        assert decision.retry_after == 1.5
+        assert "9999" in decision.reason
+
+    def test_may_start_respects_concurrency(self):
+        ctl = AdmissionController(default=TenantQuota(max_concurrent=2))
+        assert ctl.may_start("t", running=1)
+        assert not ctl.may_start("t", running=2)

@@ -1,0 +1,48 @@
+"""Atomic write helpers: all-or-nothing file replacement."""
+
+import os
+
+import pytest
+
+from repro.tools.atomicio import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        assert atomic_write_bytes(path, b"\x00\x01payload") == path
+        assert open(path, "rb").read() == b"\x00\x01payload"
+
+    def test_writes_text(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "héllo\n")
+        assert open(path, encoding="utf-8").read() == "héllo\n"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert open(path).read() == "new"
+
+    def test_no_tmp_litter_on_success(self, tmp_path):
+        atomic_write_text(str(tmp_path / "a.json"), "{}")
+        atomic_write_bytes(str(tmp_path / "b.bin"), b"x", fsync=True)
+        assert [f for f in os.listdir(str(tmp_path))
+                if f.startswith(".tmp-")] == []
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        target = tmp_path / "jobs" / "abc" / "status.json"
+        atomic_write_text(str(target), "{}")
+        assert target.read_text() == "{}"
+
+    def test_interrupted_write_leaves_old_content(self, tmp_path):
+        """A writer dying mid-write must never tear the destination."""
+        path = str(tmp_path / "report.html")
+        atomic_write_text(path, "<html>intact</html>")
+        # the crash lands inside the tmp-file write (str has no buffer
+        # interface); the destination and directory must be untouched
+        with pytest.raises(TypeError):
+            atomic_write_bytes(path, "not-bytes")
+        assert open(path).read() == "<html>intact</html>"
+        assert [f for f in os.listdir(str(tmp_path))
+                if f.startswith(".tmp-")] == []

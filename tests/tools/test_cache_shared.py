@@ -1,0 +1,156 @@
+"""Shared (read-mostly concurrent) mode of the AnalysisCache.
+
+Shared mode exists for the service: many worker processes read one
+cache while at most a few write.  Writers serialize on a lock file;
+readers take no lock at all and instead verify a sha256 header on every
+entry, so a torn or half-written file degrades to a miss (and
+quarantine) rather than a wrong answer.
+"""
+
+import multiprocessing
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.tools.cache import _VERIFIED_MAGIC, AnalysisCache
+
+
+class TestSharedFormat:
+    def test_shared_entries_carry_digest_header(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path), shared=True)
+        key = "ab" + "0" * 62
+        cache.put(key, {"x": 1})
+        raw = open(cache._path(key), "rb").read()
+        assert raw.startswith(_VERIFIED_MAGIC)
+        assert cache.get(key) == {"x": 1}
+        assert cache.verified_reads == 1
+
+    def test_plain_mode_reads_shared_entries(self, tmp_path):
+        AnalysisCache(str(tmp_path), shared=True).put("cd" + "0" * 62,
+                                                      [1, 2, 3])
+        plain = AnalysisCache(str(tmp_path))
+        assert plain.get("cd" + "0" * 62) == [1, 2, 3]
+
+    def test_shared_mode_reads_plain_entries(self, tmp_path):
+        AnalysisCache(str(tmp_path)).put("ef" + "0" * 62, "legacy")
+        shared = AnalysisCache(str(tmp_path), shared=True)
+        assert shared.get("ef" + "0" * 62) == "legacy"
+
+    def test_corrupt_body_is_a_quarantined_miss(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path), shared=True)
+        key = "12" + "0" * 62
+        cache.put(key, {"x": 1})
+        path = cache._path(key)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as fh:  # flip bytes in the pickled body
+            fh.write(raw[:-4] + b"\xde\xad\xbe\xef")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+        assert not os.path.exists(path)  # quarantined away
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path), shared=True)
+        key = "34" + "0" * 62
+        cache.put(key, list(range(100)))
+        path = cache._path(key)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as fh:  # simulate a torn write
+            fh.write(raw[:len(raw) // 2])
+        assert cache.get(key) is None
+
+    def test_repr_mentions_shared(self, tmp_path):
+        # construct under a neutral subdir: tmp_path itself embeds the
+        # test name, which contains the word "shared"
+        root = str(tmp_path / "c")
+        assert ", shared)" in repr(AnalysisCache(root, shared=True))
+        assert ", shared)" not in repr(AnalysisCache(root))
+
+
+def _writer_main(root, key, stop_path):
+    """Rewrite one key as fast as possible until told to stop."""
+    cache = AnalysisCache(root, shared=True)
+    i = 0
+    while not os.path.exists(stop_path):
+        cache.put(key, {"generation": i, "payload": list(range(256))})
+        i += 1
+
+
+class TestConcurrentReaders:
+    def test_two_readers_under_a_live_writer(self, tmp_path):
+        """Two independent shared-mode readers poll a key a writer
+        process is continuously rewriting: every successful read must
+        be an intact generation (the digest check guarantees it), and
+        no read may raise."""
+        root = str(tmp_path / "cache")
+        key = "56" + "0" * 62
+        stop = str(tmp_path / "stop")
+        AnalysisCache(root, shared=True).put(
+            key, {"generation": -1, "payload": list(range(256))})
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        writer = ctx.Process(target=_writer_main, args=(root, key, stop))
+        writer.start()
+        readers = [AnalysisCache(root, shared=True) for _ in range(2)]
+        try:
+            good = 0
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                for cache in readers:
+                    value = cache.get(key)
+                    if value is not None:
+                        assert set(value) == {"generation", "payload"}
+                        assert value["payload"] == list(range(256))
+                        good += 1
+        finally:
+            open(stop, "w").close()
+            writer.join(timeout=10)
+            assert not writer.is_alive()
+        assert good > 0
+        assert sum(c.verified_reads for c in readers) == good
+
+    def test_writer_lock_serializes_two_writers(self, tmp_path):
+        """Both writers finish and the final entry is intact — the
+        lock file prevents interleaved tmp/replace races."""
+        root = str(tmp_path / "cache")
+        key = "78" + "0" * 62
+        stop = str(tmp_path / "stop")
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        writers = [ctx.Process(target=_writer_main,
+                               args=(root, key, stop)) for _ in range(2)]
+        for w in writers:
+            w.start()
+        time.sleep(0.5)
+        open(stop, "w").close()
+        for w in writers:
+            w.join(timeout=10)
+            assert w.exitcode == 0
+        final = AnalysisCache(root, shared=True).get(key)
+        assert final is not None
+        assert final["payload"] == list(range(256))
+
+
+class TestSharedSessions:
+    def test_two_sessions_share_one_service_style_cache(self, tmp_path):
+        """The service pattern: one session (worker) populates the
+        shared cache, a second session in another 'tenant' restores
+        from it byte-identically."""
+        from tests.helpers import two_array_kernel
+        from repro.tools.session import AnalysisSession
+
+        root = str(tmp_path / "cache")
+        first = AnalysisSession(two_array_kernel(12, 12),
+                                cache=AnalysisCache(root, shared=True))
+        first.run()
+        assert not first.from_cache
+        second = AnalysisSession(two_array_kernel(12, 12),
+                                 cache=AnalysisCache(root, shared=True))
+        second.run()
+        assert second.from_cache
+        assert (second.analyzer.dump_state()
+                == first.analyzer.dump_state())
+        assert second.cache.verified_reads >= 1

@@ -1,0 +1,91 @@
+"""Checkpoint journal compaction: bounded growth, resume-identical."""
+
+import json
+import os
+
+import pytest
+
+from repro.tools.resilience import CHECKPOINT_VERSION, SweepCheckpoint
+
+
+def _lines(path):
+    return open(path, encoding="utf-8").read().splitlines()
+
+
+class TestCompaction:
+    def test_rewrites_when_stale_lines_dominate(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        ckpt = SweepCheckpoint(path)
+        # one live unit journalled three times (think: resumed sweeps
+        # re-recording) -> 3 lines > COMPACT_FACTOR * 1 -> auto-compact
+        for generation in range(3):
+            ckpt.record("unit-a" * 8, "spec", {"gen": generation})
+        lines = _lines(path)
+        assert json.loads(lines[0])["version"] == CHECKPOINT_VERSION
+        assert len(lines) == 2  # header + one live line
+        restored = ckpt.restore("unit-a" * 8,
+                                ckpt.load()["unit-a" * 8])
+        assert restored == {"gen": 2}  # the latest payload won
+
+    def test_no_compaction_while_lines_are_live(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        ckpt = SweepCheckpoint(path)
+        for i in range(6):
+            ckpt.record(f"unit-{i:02d}" + "x" * 56, f"s{i}", {"i": i})
+        assert len(_lines(path)) == 7  # header + 6 distinct units
+
+    def test_resume_mapping_survives_compaction(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        ckpt = SweepCheckpoint(path)
+        for i in range(4):
+            ckpt.record(f"unit-{i}" + "y" * 57, f"s{i}", {"i": i})
+        ckpt.record("unit-0" + "y" * 57, "s0", {"i": 0, "retry": True})
+        before = ckpt.load()
+        dropped = ckpt.compact()
+        assert dropped >= 1
+        after = SweepCheckpoint(path).load()
+        assert after == before
+        restored = ckpt.restore("unit-0" + "y" * 57,
+                                after["unit-0" + "y" * 57])
+        assert restored == {"i": 0, "retry": True}
+
+    def test_explicit_compact_reports_dropped(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        big = SweepCheckpoint(path)
+        big.COMPACT_FACTOR = 10 ** 9  # disable auto-compaction
+        for generation in range(5):
+            big.record("unit-z" * 8, "spec", {"g": generation})
+        assert len(_lines(path)) == 6
+        assert big.compact() == 4
+        assert len(_lines(path)) == 2
+        assert big.compact() == 0  # idempotent
+
+    def test_compact_leaves_no_tmp_litter(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        ckpt = SweepCheckpoint(path)
+        for generation in range(3):
+            ckpt.record("unit-a" * 8, "spec", {"g": generation})
+        leftovers = [f for f in os.listdir(str(tmp_path))
+                     if f.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_compact_empty_journal(self, tmp_path):
+        ckpt = SweepCheckpoint(str(tmp_path / "never-written.ckpt"))
+        assert ckpt.compact() == 0
+
+    def test_compacted_journal_tolerates_later_torn_line(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        ckpt = SweepCheckpoint(path)
+        for generation in range(3):
+            ckpt.record("unit-a" * 8, "spec", {"g": generation})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"unit": "tor')  # crash mid-append
+        assert SweepCheckpoint(path).load() == {
+            "unit-a" * 8: ckpt.load()["unit-a" * 8]}
+
+    def test_counter_increments(self, tmp_path, obs_on):
+        ckpt = SweepCheckpoint(str(tmp_path / "sweep.ckpt"))
+        for generation in range(3):
+            ckpt.record("unit-a" * 8, "spec", {"g": generation})
+        counters = obs_on.snapshot()["counters"]
+        assert counters.get("resil.checkpoint_compactions", 0) >= 1
