@@ -35,6 +35,14 @@ quantifies the repo's answer to that cost:
   re-record, no op-list pickle to the pool).  Byte-identity of the
   merged state is asserted in smoke mode too.
 
+* **static**: no pipeline at all — `repro.static.profile` predicts the
+  pattern databases analytically.  Two numbers: the per-analysis cost on
+  the same Sweep3D mesh (`static_us_per_analysis`), and the headline
+  `static_speedup` on a STREAM triad big enough that the numpy engine
+  takes seconds (the largest benched size).  Triad reuse is single-event
+  everywhere, so the predicted state must be byte-identical to the
+  dynamic one — the speedup provably buys no drift.
+
 A further pipeline, **batched+obs**, re-runs the batched path with the
 observability subsystem enabled (metrics registry + trace spans), to
 bound the cost of instrumentation: counters must tick at chunk
@@ -103,7 +111,10 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 def _canonical_db(analyzer):
     """Order-independent serialization of every pattern database."""
-    state = analyzer.dump_state()
+    return _canonical_state(analyzer.dump_state())
+
+
+def _canonical_state(state):
     canon = []
     for gran in state["grans"]:
         raw = sorted((key, tuple(sorted(bins.items())))
@@ -218,6 +229,73 @@ def _smoke_sweep_builder(n):
 
 
 SHARD_K = 4
+
+#: the static engine's headline leg: a STREAM triad big enough that the
+#: dynamic reference takes seconds while the analytical prediction stays
+#: sub-millisecond — and simple enough (single-event reuse everywhere)
+#: that the predicted state must be byte-identical, so the speedup is
+#: provably not buying any drift
+STATIC_TRIAD_N = 2_000_000
+SMOKE_STATIC_TRIAD_N = 20_000
+
+
+def _run_static_leg(params, triad_n, repeats):
+    """Time the static engine against the numpy reference.
+
+    Two measurements: ``static_us_per_analysis`` on the same Sweep3D
+    mesh the throughput rows use (the realistic per-analysis cost of an
+    analytical answer), and the triad speedup leg — the largest benched
+    size, where O(symbolic terms) vs O(accesses) is the whole story.
+    """
+    from repro.apps.kernels import stream_triad
+    from repro.static.profile import static_profile
+
+    grans = CFG.granularities()
+    sweep_prog = build_original(params)
+    static_profile(sweep_prog, grans)  # warm
+    sweep_t = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        state, sweep_stats = static_profile(sweep_prog, grans)
+        elapsed = time.perf_counter() - t0
+        sweep_t = elapsed if sweep_t is None else min(sweep_t, elapsed)
+
+    triad_prog = stream_triad(triad_n, 1)
+    analyzer = ReuseAnalyzer(grans, engine="numpy")
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        triad_stats = BatchExecutor(triad_prog, analyzer).run()
+        analyzer._flush()
+        dynamic_t = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    static_t = None
+    static_state = None
+    for _ in range(max(repeats, 2)):
+        t0 = time.perf_counter()
+        state, static_stats = static_profile(stream_triad(triad_n, 1),
+                                             grans)
+        elapsed = time.perf_counter() - t0
+        if static_t is None or elapsed < static_t:
+            static_t = elapsed
+            static_state = state
+    return {
+        "static_sweep_accesses": sweep_stats.accesses,
+        "static_us_per_analysis": sweep_t * 1e6,
+        "static_triad_n": triad_n,
+        "static_triad_accesses": triad_stats.accesses,
+        "static_dynamic_s": dynamic_t,
+        "static_s": static_t,
+        "static_speedup": dynamic_t / static_t,
+        "static_identical": (
+            static_stats.accesses == triad_stats.accesses
+            and _canonical_state(static_state)
+            == _canonical_db(analyzer)),
+    }
 
 
 def _run_sharded(params, jobs):
@@ -334,6 +412,9 @@ def _experiment(smoke=False):
     fanout_identical = (pickle.dumps(fanout_state)
                         == pickle.dumps(numpy_an.dump_state()))
 
+    triad_n = SMOKE_STATIC_TRIAD_N if smoke else STATIC_TRIAD_N
+    static_leg = _run_static_leg(params, triad_n, repeats)
+
     return {
         "accesses": accesses,
         "scalar_s": scalar_t,
@@ -379,6 +460,7 @@ def _experiment(smoke=False):
         # obs_batch_calls >= 16, i.e. counters tick per chunk); the
         # wall-clock bound only catches a 50%+ per-access regression.
         "obs_overhead_is_tripwire": True,
+        **static_leg,
         "smoke": smoke,
     }
 
@@ -424,6 +506,13 @@ def test_ablation_batch_throughput(benchmark, record, request):
         f"{r['fanout_speedup']:.2f}x vs numpy sequential, "
         f"{r['shard_s'] / r['fanout_s']:.2f}x vs re-recording sharded, "
         f"merged state byte-identical: {r['fanout_identical']}",
+        f"static engine: {r['static_us_per_analysis']:.0f} us per "
+        f"analysis on the Sweep3D mesh "
+        f"({r['static_sweep_accesses']} accesses modelled); triad "
+        f"n={r['static_triad_n']}: {r['static_speedup']:.0f}x over the "
+        f"numpy engine ({r['static_dynamic_s']:.2f}s -> "
+        f"{r['static_s'] * 1e3:.1f}ms), predicted state byte-identical: "
+        f"{r['static_identical']}",
         f"obs overhead: {r['obs_overhead_pct']:+.2f}% "
         f"({r['obs_events_counted']} events metered; tripwire only — "
         "the gate is chunk-level metering, see module docstring)",
@@ -442,6 +531,7 @@ def test_ablation_batch_throughput(benchmark, record, request):
     assert r["stats_equal"]
     assert r["shard_identical"]
     assert r["fanout_identical"]
+    assert r["static_identical"]
     assert r["obs_events_counted"] > 0
 
     if smoke:
@@ -478,3 +568,8 @@ def test_ablation_batch_throughput(benchmark, record, request):
     # this fails the store's replay path is slower than re-recording.
     assert r["fanout_speedup"] > r["shard_speedup"]
     assert r["trace_spill_bytes"] > 0
+    # The static engine's claim is asymptotic: O(symbolic terms) vs
+    # O(accesses).  At the largest benched size it must clear 100x over
+    # the fastest dynamic engine — with a byte-identical prediction
+    # (asserted above), so the speedup cannot be buying drift.
+    assert r["static_speedup"] >= 100.0

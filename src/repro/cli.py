@@ -113,7 +113,10 @@ def cmd_analyze(args) -> int:
                               shards=args.shards, trace_store=trace_dir,
                               spill_mb=args.spill_mb)
     spilled = " from a spilled trace" if trace_dir is not None else ""
-    if args.shards > 1:
+    if args.engine == "static":
+        print(f"estimating {program.name} analytically (no execution) ...",
+              file=sys.stderr)
+    elif args.shards > 1:
         print(f"running {program.name} under instrumentation "
               f"({args.shards} time shards{spilled}) ...", file=sys.stderr)
     else:
@@ -259,7 +262,9 @@ def cmd_serve(args) -> int:
         default_quota=TenantQuota(args.max_concurrent, args.max_queued),
         tenant_quotas=quotas,
         max_request_bytes=args.max_request_kb * 1024,
-        fsync=args.fsync)
+        fsync=args.fsync,
+        keepalive_max_requests=args.keepalive_requests,
+        keepalive_idle_s=args.keepalive_idle)
 
     async def _run() -> None:
         shutdown = asyncio.Event()
@@ -305,6 +310,55 @@ def cmd_trace(args) -> int:
         print(f"  still {over / mib:.1f} MiB over budget: protected "
               "stores are never evicted", file=sys.stderr)
     return 0
+
+
+def cmd_cache(args) -> int:
+    if args.cache_command != "gc":
+        raise SystemExit("usage: repro cache gc --max-gb N [--cache-dir D]")
+    # shared mode so the eviction pass serializes with any live writers
+    cache = AnalysisCache(args.cache_dir, shared=True)
+    result = cache.gc_entries(int(args.max_gb * 1024 ** 3),
+                              dry_run=args.dry_run)
+    mib = 1024.0 ** 2
+    tag = " (dry run)" if args.dry_run else ""
+    print(f"cache gc {cache.root}{tag}:")
+    print(f"  before   {result.total_bytes_before / mib:10.1f} MiB "
+          f"({len(result.evicted) + len(result.kept)} entries)")
+    print(f"  evicted  {result.freed_bytes / mib:10.1f} MiB "
+          f"({len(result.evicted)} entries)")
+    print(f"  after    {result.total_bytes_after / mib:10.1f} MiB "
+          f"({len(result.kept)} entries)")
+    for key in result.evicted:
+        print(f"  - {key}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.static.validate import (
+        VALIDATION_MATRIX, render, run_matrix, validate_workload,
+    )
+
+    if args.workload:
+        params = {}
+        for item in args.param or []:
+            key, _, value = item.partition("=")
+            if not _:
+                raise SystemExit(f"--param expects KEY=VALUE, got {item!r}")
+            params[key] = int(value)
+        reports = [validate_workload(args.workload, params,
+                                     tolerance=args.tolerance)]
+    else:
+        matrix = VALIDATION_MATRIX
+        if args.quick:
+            # one (small) size per workload keeps the CI smoke fast
+            seen, matrix = set(), []
+            for name, params in VALIDATION_MATRIX:
+                if name not in seen:
+                    seen.add(name)
+                    matrix.append((name, params))
+        reports = run_matrix(matrix, tolerance=args.tolerance)
+    print(render(reports))
+    return 0 if all(r.passed for r in reports) else 1
 
 
 def cmd_measure(args) -> int:
@@ -376,9 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("L2", "L3", "TLB"),
                          help="level for the detailed reports")
     analyze.add_argument("--engine", default="fenwick",
-                         choices=("fenwick", "treap", "numpy"),
+                         choices=("fenwick", "treap", "numpy", "static"),
                          help="reuse-distance engine (numpy = buffered "
-                              "array path; results are identical)")
+                              "array path, results identical; static = "
+                              "analytical estimate without executing "
+                              "the program)")
     analyze.add_argument("--shards", type=int, default=1, metavar="K",
                          help="analyze the trace as K parallel time "
                               "shards (results are byte-identical to "
@@ -440,7 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="in-memory buffer bound for trace-store "
                             "recordings (default 64)")
     sweep.add_argument("--engine", default="fenwick",
-                       choices=("fenwick", "treap", "numpy"))
+                       choices=("fenwick", "treap", "numpy", "static"))
     sweep.add_argument("--cache-dir", metavar="DIR",
                        help="analysis cache directory (default: no cache)")
     sweep.add_argument("--retries", type=int, default=2, metavar="N",
@@ -484,6 +540,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable)")
     serve.add_argument("--fsync", action="store_true",
                        help="fsync the job journal on every append")
+    serve.add_argument("--keepalive-requests", type=int, default=100,
+                       metavar="N",
+                       help="requests served per connection before the "
+                            "server closes it (1 = one request per "
+                            "connection)")
+    serve.add_argument("--keepalive-idle", type=float, default=5.0,
+                       metavar="S",
+                       help="close kept-alive connections idle for S "
+                            "seconds")
 
     trace = sub.add_parser("trace", help="trace-store maintenance")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -499,6 +564,33 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--dry-run", action="store_true",
                     help="rank and report without deleting")
 
+    val = sub.add_parser("validate", help="cross-validate the static "
+                                          "engine against a dynamic run")
+    val.add_argument("workload", nargs="?", choices=sorted(WORKLOADS),
+                     help="validate one workload (default: the full "
+                          "matrix of paper applications)")
+    val.add_argument("--param", action="append", metavar="KEY=VALUE",
+                     help="workload size parameter, e.g. mesh=8 "
+                          "(repeatable; requires a workload)")
+    val.add_argument("--quick", action="store_true",
+                     help="one size per workload instead of the full "
+                          "matrix (CI smoke)")
+    val.add_argument("--tolerance", type=float, default=0.10, metavar="R",
+                     help="largest accepted per-band relative error on "
+                          "bands holding >=2%% of the mass")
+
+    cache = sub.add_parser("cache", help="analysis-cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cgc = cache_sub.add_parser("gc", help="evict coldest entries until "
+                                          "the cache fits a size budget")
+    cgc.add_argument("--max-gb", type=float, required=True, metavar="N",
+                     help="size budget in GiB")
+    cgc.add_argument("--cache-dir", metavar="DIR",
+                     help="cache directory (default: $REPRO_CACHE_DIR "
+                          "or ~/.cache/repro)")
+    cgc.add_argument("--dry-run", action="store_true",
+                     help="rank and report without deleting")
+
     return parser
 
 
@@ -508,7 +600,7 @@ def main(argv: Optional[list] = None) -> int:
     handlers: Dict[str, Callable] = {
         "list": cmd_list, "analyze": cmd_analyze, "measure": cmd_measure,
         "sweep": cmd_sweep, "stats": cmd_stats, "serve": cmd_serve,
-        "trace": cmd_trace,
+        "trace": cmd_trace, "cache": cmd_cache, "validate": cmd_validate,
     }
     return handlers[args.command](args)
 

@@ -47,8 +47,16 @@ class JobFailed(ServiceError):
 
 
 class ServiceClient:
-    """One client per server address; a fresh connection per request
-    (the server closes after every response anyway)."""
+    """One client per server address, holding one persistent connection.
+
+    The server keeps connections alive, so submit→poll loops reuse a
+    single socket.  When the server closes it (idle timeout, its
+    per-connection request cap, or a restart), the next request
+    transparently reconnects and retries — safe because every route is
+    either idempotent or journaled before the response is written.
+    Call :meth:`close` (or use the client as a context manager) to drop
+    the socket early; constructing per-call still works.
+    """
 
     def __init__(self, host: str, port: int, tenant: str = "default",
                  timeout: float = 60.0) -> None:
@@ -56,6 +64,21 @@ class ServiceClient:
         self.port = port
         self.tenant = tenant
         self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next request)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @classmethod
     def from_state_dir(cls, state_dir: str, tenant: str = "default",
@@ -73,32 +96,45 @@ class ServiceClient:
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
                  raw: bool = False) -> Any:
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
-        try:
-            payload = (json.dumps(body).encode()
-                       if body is not None else None)
-            headers = {"X-Repro-Tenant": self.tenant}
-            if payload is not None:
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            data = response.read()
-            if response.status == 429:
-                try:
-                    retry_after = float(
-                        response.getheader("Retry-After", "1"))
-                except ValueError:
-                    retry_after = 1.0
-                raise QuotaExceeded(self._error_text(data), retry_after)
-            if response.status >= 300:
-                raise ServiceError(response.status,
-                                   self._error_text(data))
-            if raw:
-                return data
-            return json.loads(data.decode())
-        finally:
-            conn.close()
+        payload = (json.dumps(body).encode()
+                   if body is not None else None)
+        headers = {"X-Repro-Tenant": self.tenant}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        response = data = None
+        for attempt in (1, 2):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+            try:
+                self._conn.request(method, path, body=payload,
+                                   headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+            except (ConnectionError, OSError,
+                    http.client.HTTPException):
+                # a kept-alive socket the server has since dropped
+                # (idle timeout, request cap, restart); reconnect once
+                self.close()
+                if attempt == 2:
+                    raise
+                continue
+            break
+        if response.will_close:
+            self.close()
+        if response.status == 429:
+            try:
+                retry_after = float(
+                    response.getheader("Retry-After", "1"))
+            except ValueError:
+                retry_after = 1.0
+            raise QuotaExceeded(self._error_text(data), retry_after)
+        if response.status >= 300:
+            raise ServiceError(response.status,
+                               self._error_text(data))
+        if raw:
+            return data
+        return json.loads(data.decode())
 
     @staticmethod
     def _error_text(data: bytes) -> str:

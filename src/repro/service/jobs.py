@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import tempfile
 import time
 import uuid
 from dataclasses import asdict, dataclass, field
@@ -105,7 +106,7 @@ class JobSpec:
                 f"unknown params for {workload}: {', '.join(bad)} "
                 f"(known: {', '.join(sorted(defaults))})")
         engine = data.get("engine", "fenwick")
-        if engine not in ("fenwick", "treap", "numpy"):
+        if engine not in ("fenwick", "treap", "numpy", "static"):
             raise SpecError(f"unknown engine {engine!r}")
         try:
             shards = int(data.get("shards", 1))
@@ -113,6 +114,12 @@ class JobSpec:
             raise SpecError("'shards' must be an integer")
         if shards < 1:
             raise SpecError(f"shards must be >= 1, got {shards}")
+        # mirror the AnalysisSession guards at submit time so impossible
+        # combinations bounce as HTTP 400 instead of failing the job
+        if engine == "static" and shards > 1:
+            raise SpecError("engine='static' has no trace to shard")
+        if engine == "static" and data.get("use_trace_store"):
+            raise SpecError("engine='static' records no trace to spill")
         miss_model = data.get("miss_model", "sa")
         artifacts = data.get("artifacts", ["patterns", "manifest"])
         if (not isinstance(artifacts, (list, tuple)) or not artifacts
@@ -193,6 +200,11 @@ class JobStore:
 
     JOURNAL = "jobs.jsonl"
 
+    #: A journal holding more than ``COMPACT_FACTOR`` times the lines a
+    #: compacted rewrite would keep is rewritten in place (see
+    #: :meth:`compact`) — the same policy ``SweepCheckpoint`` uses.
+    COMPACT_FACTOR = 2
+
     def __init__(self, state_dir: str, fsync: bool = False) -> None:
         self.state_dir = state_dir
         self.fsync = fsync
@@ -201,6 +213,14 @@ class JobStore:
         self.resumed_ids: List[str] = []
         os.makedirs(os.path.join(state_dir, "jobs"), exist_ok=True)
         self._journal_path = os.path.join(state_dir, self.JOURNAL)
+        #: journal occupancy, tracked lazily: event lines on disk and
+        #: the subset a compaction would keep.  None until the first
+        #: append or recover scans the file.
+        self._lines: Optional[int] = None
+        self._live_lines: Optional[int] = None
+        #: start events per non-terminal job (kept on compaction so a
+        #: recover() still counts resumes correctly)
+        self._starts: Dict[str, int] = {}
 
     # -- paths ----------------------------------------------------------
 
@@ -230,6 +250,174 @@ class JobStore:
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
+        self._track(record)
+        self._maybe_compact()
+
+    def _track(self, record: Dict[str, Any]) -> None:
+        """Update journal occupancy for one appended event."""
+        if self._lines is None:
+            self._scan_occupancy()
+            return
+        self._lines += 1
+        kind = record.get("event")
+        job_id = record.get("job", "")
+        if kind == "submit":
+            self._live_lines += 1
+        elif kind == "start":
+            # start events compact to a single counted line per job
+            if not self._starts.get(job_id):
+                self._live_lines += 1
+            self._starts[job_id] = self._starts.get(job_id, 0) + 1
+        else:
+            # terminal event: its line is live, the job's start lines
+            # are not (recover() ignores them once the job is terminal)
+            self._live_lines += 1 - (1 if self._starts.pop(job_id, 0)
+                                     else 0)
+
+    def _read_events(self) -> Optional[List[Dict[str, Any]]]:
+        """Intact journal events in order; None when missing/unreadable."""
+        events: List[Dict[str, Any]] = []
+        try:
+            with open(self._journal_path, encoding="utf-8") as handle:
+                header = handle.readline()
+                try:
+                    meta = json.loads(header)
+                except json.JSONDecodeError:
+                    meta = {}
+                if (meta.get("kind") != "job-journal"
+                        or meta.get("version") != JOURNAL_VERSION):
+                    logger.warning("job journal %s has unknown header; "
+                                   "starting fresh", self._journal_path)
+                    return None
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        # torn final line from a crash mid-append
+                        logger.warning("job journal %s: dropping torn "
+                                       "line", self._journal_path)
+                        continue
+        except FileNotFoundError:
+            return None
+        return events
+
+    @staticmethod
+    def _fold_events(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """The minimal event list replaying to the same store state.
+
+        Per submitted job, in submit order: the submit line; then — when
+        the job is still queued or running — one ``start`` line whose
+        ``count`` field carries the resume counter (start events of
+        finished jobs replay to nothing); then the final event when it
+        is anything other than submit/start.  Events for jobs that were
+        never submitted are dropped, as :meth:`recover` ignores them.
+        """
+        last: Dict[str, Dict[str, Any]] = {}
+        submits: Dict[str, Dict[str, Any]] = {}
+        starts: Dict[str, int] = {}
+        last_start: Dict[str, Dict[str, Any]] = {}
+        order: List[str] = []
+        for ev in events:
+            job_id, kind = ev.get("job"), ev.get("event")
+            if not job_id or not kind:
+                continue
+            if kind == "submit":
+                if job_id not in submits:
+                    submits[job_id] = ev
+                    order.append(job_id)
+            elif kind == "start":
+                starts[job_id] = starts.get(job_id, 0) + int(
+                    ev.get("count", 1))
+                last_start[job_id] = ev
+            last[job_id] = ev
+        folded: List[Dict[str, Any]] = []
+        for job_id in order:
+            folded.append(submits[job_id])
+            final = last[job_id]
+            kind = final.get("event")
+            if kind in ("submit", "start"):
+                if starts.get(job_id):
+                    merged = dict(last_start[job_id])
+                    merged["count"] = starts[job_id]
+                    folded.append(merged)
+            else:
+                folded.append(final)
+        return folded
+
+    def _scan_occupancy(
+            self, events: Optional[List[Dict[str, Any]]] = None) -> None:
+        if events is None:
+            events = self._read_events()
+        if events is None:
+            self._lines = 0
+            self._live_lines = 0
+            self._starts = {}
+            return
+        folded = self._fold_events(events)
+        self._lines = len(events)
+        self._live_lines = len(folded)
+        self._starts = {ev["job"]: int(ev.get("count", 1))
+                        for ev in folded if ev.get("event") == "start"}
+
+    def _maybe_compact(self) -> None:
+        """Compact when stale lines outnumber the live representation.
+
+        Every lifecycle transition appends a line, so a long-lived
+        journal grows without bound even though a finished job replays
+        from just two lines (submit + terminal event).  When the line
+        count exceeds ``COMPACT_FACTOR`` times what a compacted journal
+        would hold, it is rewritten in place.
+        """
+        if (self._lines is not None and self._live_lines
+                and self._lines > self.COMPACT_FACTOR * self._live_lines):
+            self.compact()
+
+    def compact(self) -> int:
+        """Rewrite the journal dropping replay-dead lines; lines dropped.
+
+        The replacement is built in a temp file in the journal's own
+        directory and swapped in with an atomic ``os.replace``, so a
+        crash (or a concurrent ``live_trace_refs`` reader) sees either
+        the old journal or the new one, never a partial rewrite.  The
+        folded lines replay to exactly the same state — same queue
+        order, same resume counters, same terminal results — so a
+        server restarted off the compacted journal is indistinguishable
+        from one restarted off the original.
+        """
+        events = self._read_events()
+        if events is None:
+            return 0
+        folded = self._fold_events(events)
+        directory = os.path.dirname(os.path.abspath(self._journal_path))
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                                   suffix=".jsonl")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps({"kind": "job-journal",
+                                         "version": JOURNAL_VERSION})
+                             + "\n")
+                for ev in folded:
+                    handle.write(json.dumps(ev, sort_keys=True) + "\n")
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, self._journal_path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        before = len(events)
+        self._scan_occupancy()
+        dropped = before - (self._lines or 0)
+        if dropped > 0:
+            logger.info("job journal %s compacted: %d line(s) -> %d",
+                        self._journal_path, before, self._lines)
+        return dropped
 
     # -- lifecycle ------------------------------------------------------
 
@@ -287,32 +475,13 @@ class JobStore:
         """
         self.jobs.clear()
         self.resumed_ids = []
-        events: List[Dict[str, Any]] = []
-        try:
-            with open(self._journal_path, encoding="utf-8") as handle:
-                header = handle.readline()
-                try:
-                    meta = json.loads(header)
-                except json.JSONDecodeError:
-                    meta = {}
-                if (meta.get("kind") != "job-journal"
-                        or meta.get("version") != JOURNAL_VERSION):
-                    logger.warning("job journal %s has unknown header; "
-                                   "starting fresh", self._journal_path)
-                    return []
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        events.append(json.loads(line))
-                    except json.JSONDecodeError:
-                        # torn final line from a crash mid-append
-                        logger.warning("job journal %s: dropping torn "
-                                       "line", self._journal_path)
-                        continue
-        except FileNotFoundError:
+        events = self._read_events()
+        if events is None:
+            self._lines = 0
+            self._live_lines = 0
+            self._starts = {}
             return []
+        self._scan_occupancy(events)
 
         last: Dict[str, str] = {}
         tenants: Dict[str, str] = {}
@@ -329,7 +498,10 @@ class JobStore:
                 created[job_id] = ev.get("ts", 0.0)
                 order.append(job_id)
             elif kind == "start":
-                starts[job_id] = starts.get(job_id, 0) + 1
+                # compacted journals fold repeated starts into one line
+                # carrying the resume counter as "count"
+                starts[job_id] = starts.get(job_id, 0) + int(
+                    ev.get("count", 1))
             last[job_id] = kind
 
         requeued: List[Job] = []

@@ -3,8 +3,11 @@
 One process, two concerns:
 
 * an :mod:`asyncio` listener speaking just enough HTTP/1.1 (stdlib
-  only, ``Connection: close`` on every response) to serve the JSON API
-  below, and
+  only) to serve the JSON API below — persistent connections included:
+  a connection serves requests until the client sends ``Connection:
+  close``, goes idle past ``keepalive_idle_s``, or hits the
+  ``keepalive_max_requests`` per-connection cap (submit→poll loops
+  reuse one socket instead of reconnecting per request), and
 * a scheduler task that starts queued jobs as ``multiprocessing``
   children of :func:`repro.service.worker.job_process_main`, bounded by
   ``workers`` overall and by each tenant's ``max_concurrent``.
@@ -82,10 +85,19 @@ class ServiceConfig:
     retry_after_s: float = 2.0
     #: fsync journal appends and job-dir writes
     fsync: bool = False
+    #: requests served per connection before the server closes it
+    #: (1 = the old one-request-per-connection behaviour)
+    keepalive_max_requests: int = 100
+    #: close a kept-alive connection after this long with no request
+    keepalive_idle_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.keepalive_max_requests < 1:
+            raise ValueError("keepalive_max_requests must be >= 1")
+        if self.keepalive_idle_s <= 0:
+            raise ValueError("keepalive_idle_s must be > 0")
 
     @property
     def cache_dir(self) -> str:
@@ -114,6 +126,11 @@ class AnalysisService:
         self._stopping = False
         self._procs: Dict[str, multiprocessing.Process] = {}
         self._cancel_requested: set = set()
+        #: live connection handlers, closed/awaited by stop() — a
+        #: kept-alive connection may otherwise sit parked on its idle
+        #: timeout long after the listener is gone
+        self._conn_writers: set = set()
+        self._conn_tasks: set = set()
         # fork is markedly faster and inherits the warm import state;
         # fall back to the platform default elsewhere
         methods = multiprocessing.get_all_start_methods()
@@ -156,6 +173,14 @@ class AnalysisService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        for conn_writer in list(self._conn_writers):
+            conn_writer.close()
+        for task in list(self._conn_tasks):
+            try:
+                await task
+            except (ConnectionError, OSError,
+                    asyncio.CancelledError):  # pragma: no cover
+                pass
         if self._scheduler is not None:
             await self._scheduler
         for job_id, proc in list(self._procs.items()):
@@ -277,39 +302,75 @@ class AnalysisService:
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
-        _obs.counter("svc.requests").inc()
+        """Serve one connection: possibly many requests (keep-alive).
+
+        The loop ends when the client closes or asks to (``Connection:
+        close``), when no request arrives within ``keepalive_idle_s``,
+        or after ``keepalive_max_requests`` responses; the final
+        response carries ``Connection: close`` so well-behaved clients
+        reconnect instead of waiting on a dead socket.
+        """
+        served = 0
+        close = False
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
         try:
-            status, payload, ctype, extra = await self._dispatch(reader)
-        except Exception:  # pragma: no cover - last-resort guard
-            logger.exception("request handling failed")
-            status, payload, ctype, extra = 500, json.dumps(
-                {"error": "internal error"}).encode(), \
-                "application/json", {}
-        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                f"Content-Type: {ctype}\r\n"
-                f"Content-Length: {len(payload)}\r\n"
-                "Connection: close\r\n")
-        for name, value in extra.items():
-            head += f"{name}: {value}\r\n"
-        try:
-            writer.write(head.encode("latin-1") + b"\r\n" + payload)
-            await writer.drain()
+            while not close and not self._stopping:
+                try:
+                    request = await asyncio.wait_for(
+                        reader.readline(),
+                        timeout=self.config.keepalive_idle_s)
+                except asyncio.TimeoutError:
+                    break
+                if not request:  # client closed between requests
+                    break
+                _obs.counter("svc.requests").inc()
+                served += 1
+                try:
+                    (status, payload, ctype, extra), close = \
+                        await self._dispatch(request, reader)
+                except Exception:  # pragma: no cover - last-resort guard
+                    logger.exception("request handling failed")
+                    status, payload, ctype, extra = 500, json.dumps(
+                        {"error": "internal error"}).encode(), \
+                        "application/json", {}
+                    close = True
+                if served >= self.config.keepalive_max_requests:
+                    close = True
+                token = "close" if close else "keep-alive"
+                head = (f"HTTP/1.1 {status} "
+                        f"{_REASONS.get(status, 'Unknown')}\r\n"
+                        f"Content-Type: {ctype}\r\n"
+                        f"Content-Length: {len(payload)}\r\n"
+                        f"Connection: {token}\r\n")
+                for name, value in extra.items():
+                    head += f"{name}: {value}\r\n"
+                writer.write(head.encode("latin-1") + b"\r\n" + payload)
+                await writer.drain()
         except (ConnectionError, OSError):  # pragma: no cover
             pass
         finally:
+            self._conn_writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    async def _dispatch(self, reader: asyncio.StreamReader,
-                        ) -> Tuple[int, bytes, str, Dict[str, str]]:
-        request = await reader.readline()
+    async def _dispatch(self, request: bytes,
+                        reader: asyncio.StreamReader,
+                        ) -> Tuple[Tuple[int, bytes, str, Dict[str, str]],
+                                   bool]:
         parts = request.decode("latin-1", "replace").split()
         if len(parts) < 2:
-            return self._json(400, {"error": "malformed request line"})
+            return self._json(400, {"error": "malformed request line"}), \
+                True
         method, path = parts[0].upper(), parts[1]
+        version = parts[2].upper() if len(parts) > 2 else "HTTP/1.0"
         headers: Dict[str, str] = {}
         while True:
             line = await reader.readline()
@@ -317,19 +378,26 @@ class AnalysisService:
                 break
             name, _, value = line.decode("latin-1", "replace").partition(":")
             headers[name.strip().lower()] = value.strip()
+        # HTTP/1.1 defaults to keep-alive; 1.0 must opt in
+        conn_header = headers.get("connection", "").lower()
+        close = (conn_header == "close"
+                 or (version != "HTTP/1.1"
+                     and conn_header != "keep-alive"))
         try:
             length = int(headers.get("content-length", "0") or "0")
         except ValueError:
-            return self._json(400, {"error": "bad Content-Length"})
+            return self._json(400, {"error": "bad Content-Length"}), True
         if length > self.config.max_request_bytes:
             decision = self.admission.reject_oversize(
                 headers.get("x-repro-tenant", "default"), length,
                 self.config.max_request_bytes)
+            # the oversized body was never read, so the connection
+            # cannot be reused
             return self._json(
                 429, {"error": decision.reason},
-                {"Retry-After": f"{decision.retry_after:g}"})
+                {"Retry-After": f"{decision.retry_after:g}"}), True
         body = await reader.readexactly(length) if length else b""
-        return self._route(method, path, headers, body)
+        return self._route(method, path, headers, body), close
 
     @staticmethod
     def _json(status: int, obj: Any,

@@ -7,18 +7,30 @@ from repro.static.formulas import (
 from repro.static.fragmentation import (
     FragmentationAnalysis, FragmentationInfo, analyze_group,
 )
+from repro.static.itermodel import (
+    MAX_POINTS, ItemClass, IterModel, RefVec, StaticUnsupported,
+    enumerate_program,
+)
 from repro.static.lower import lower_program, lower_routine
+from repro.static.profile import StaticProfiler, static_profile
 from repro.static.related import RelatedGroup, StaticAnalysis
 from repro.static.usedef import (
     address_slice_of_ref, backward_slice, feeding_loads, loop_vars_reaching,
     params_reaching,
 )
+from repro.static.validate import (
+    VALIDATION_MATRIX, BandReport, ValidationReport, compare_states,
+    run_matrix, validate_program, validate_workload,
+)
 
 __all__ = [
-    "FragmentationAnalysis", "FragmentationInfo", "RelatedGroup",
-    "StaticAnalysis", "StrideInfo", "SymFormula", "address_formula",
+    "BandReport", "FragmentationAnalysis", "FragmentationInfo", "ItemClass",
+    "IterModel", "MAX_POINTS", "RefVec", "RelatedGroup", "StaticAnalysis",
+    "StaticProfiler", "StaticUnsupported", "StrideInfo", "SymFormula",
+    "VALIDATION_MATRIX", "ValidationReport", "address_formula",
     "address_slice_of_ref", "analyze_group", "backward_slice",
-    "feeding_loads", "first_location", "formula_of_reg",
-    "loop_vars_reaching", "lower_program", "lower_routine",
-    "params_reaching", "stride_of",
+    "compare_states", "enumerate_program", "feeding_loads",
+    "first_location", "formula_of_reg", "loop_vars_reaching",
+    "lower_program", "lower_routine", "params_reaching", "run_matrix",
+    "static_profile", "stride_of", "validate_program", "validate_workload",
 ]

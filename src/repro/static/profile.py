@@ -1,0 +1,534 @@
+"""Static reuse-profile estimation: the vectorized region-event pipeline.
+
+Consumes the item classes produced by :mod:`repro.static.itermodel` and
+emits a :meth:`~repro.core.analyzer.ReuseAnalyzer.dump_state`-shaped
+snapshot — per-granularity pattern databases keyed ``(rid, src_sid,
+carry_sid)``, cold counts, and footprints — without replaying a single
+access.  The model:
+
+**Regions and events.**  Each (item, reference) pair touches a contiguous
+byte interval per occurrence (the inner loop's footprint, or the exact
+address for straight-line items).  Per granularity, the interval becomes a
+*region event* keyed by its first block, weighted by the distinct blocks
+it covers.  References whose region coincides with an earlier reference's
+region in the same item are deduplicated (their accesses are all intra-item
+reuses); everything else enters the global event stream.
+
+**Global order.**  Item chains are root paths in one tree, so a single
+lexsort over the interleaved (iteration digit, body position) columns
+reconstructs the exact global interleaving of every event — the same
+order the executor would produce.
+
+**Distances.**  A region re-touch at start-to-start weight gap ``ΔW``
+crosses ``satfn(ΔW) - 1`` distinct blocks, where ``satfn(x) = Σ_a
+min(f_a·x, cap_a)`` mixes each array's share ``f_a`` of the touch stream,
+saturated at its footprint ``cap_a`` — exact for uniformly cycling
+streams (each array's term saturates exactly when the window wraps its
+footprint) and a mean-field estimate elsewhere.  Intra-item reuses
+(spatial chains, loop-invariant references, load-then-store pairs) get a
+per-occurrence expected distance from a plan-order window scan with
+probabilistic block dedup — exact when strides divide the block size.
+
+**Attribution.**  The carrying scope of a cross-item reuse is the deepest
+scope whose current execution contains both endpoints: found by comparing
+iteration-digit columns outer-to-inner, which reproduces the dynamic
+scope-stack bisect without a stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.analyzer import STATE_VERSION
+from repro.core.histogram import bin_of_array
+from repro.lang.ast import Program
+from repro.lang.executor import RunStats
+from repro.static.itermodel import (
+    MAX_POINTS, ItemClass, StaticUnsupported, enumerate_program,
+)
+
+#: Pack stride for histogram bins inside the int64 aggregation key
+#: (bin indices top out at EXACT_LIMIT + (62-8)*SUBBINS < 512).
+_BIN_SPACE = 512
+
+#: A region event covering at least this fraction of its array's footprint
+#: acts as a *cover*: later partial touches of the array (indirect gathers,
+#: scatters) that miss their block-level key still link back to it.
+_COVER_FRACTION = 0.5
+
+
+def static_profile(program: Program, granularities: Dict[str, int],
+                   params: Optional[Dict[str, int]] = None,
+                   max_points: int = MAX_POINTS
+                   ) -> Tuple[Dict, RunStats]:
+    """Predict the full analysis state of ``program`` without running it.
+
+    Returns ``(state, stats)`` where ``state`` loads into a
+    :class:`~repro.core.analyzer.ReuseAnalyzer` via ``load_state`` /
+    ``from_state`` and ``stats`` is an exactly synthesized
+    :class:`~repro.lang.executor.RunStats`.
+    """
+    items, stats = enumerate_program(program, params, max_points)
+    profiler = StaticProfiler(program, items)
+    return profiler.state(granularities, stats.accesses), stats
+
+
+class StaticProfiler:
+    """Flatten item classes into row arrays and run the per-granularity
+    event pipeline."""
+
+    def __init__(self, program: Program, items: List[ItemClass]) -> None:
+        self.program = program
+        self.items = items
+        self.n_scopes = len(program.scopes)
+        # Rows are mapped to data objects by address, not by name: aliased
+        # symbols (same storage under two names) must share a footprint.
+        objs = program.layout.symtab.objects()
+        self.arr_bases = np.array([obj.base for obj in objs],
+                                  dtype=np.int64)
+        self.n_arrays = len(objs)
+        self._flatten()
+
+    # -- row assembly ----------------------------------------------------
+
+    def _flatten(self) -> None:
+        items = self.items
+        total = sum(item.n_occ * len(item.refs) for item in items)
+        self.n_rows = total
+        self.rid = np.empty(total, dtype=np.int64)
+        self.src_sid = np.empty(total, dtype=np.int64)
+        self.lo = np.empty(total, dtype=np.int64)
+        self.hi = np.empty(total, dtype=np.int64)
+        self.trip = np.empty(total, dtype=np.int64)
+        refpos = np.empty(total, dtype=np.int64)
+        depth = max((len(item.chain) for item in items), default=1)
+        self.L = depth
+        # D: per-level ordering/iteration digits; S: per-level scope sids
+        # (-2 marks body-position levels, -3 padding past the chain end).
+        self.D = np.full((total, depth), -1, dtype=np.int64)
+        self.S = np.full((total, depth), -3, dtype=np.int64)
+        self.item_base: List[int] = []
+        off = 0
+        for item in items:
+            self.item_base.append(off)
+            n_occ = item.n_occ
+            for j, ref in enumerate(item.refs):
+                sl = slice(off, off + n_occ)
+                self.rid[sl] = ref.rid
+                self.src_sid[sl] = item.inner_sid
+                last = ref.addr0 + ref.stride * (item.trip - 1)
+                self.lo[sl] = np.minimum(ref.addr0, last)
+                self.hi[sl] = np.maximum(ref.addr0, last) + ref.elem - 1
+                self.trip[sl] = item.trip
+                refpos[sl] = j
+                for lvl, (kind, sid, dig) in enumerate(item.chain):
+                    self.D[sl, lvl] = dig
+                    self.S[sl, lvl] = -2 if kind == "pos" else sid
+                off += n_occ
+        self.arr_id = np.searchsorted(self.arr_bases, self.lo,
+                                      side="right") - 1
+        np.clip(self.arr_id, 0, None, out=self.arr_id)
+        # Global time order: lexsort outer digits first, then the
+        # reference's plan position within its item.
+        keys = (refpos,) + tuple(self.D[:, lvl]
+                                 for lvl in range(depth - 1, -1, -1))
+        self.order = np.lexsort(keys)
+
+    # -- per-granularity pipeline ----------------------------------------
+
+    def state(self, granularities: Dict[str, int], clock: int) -> Dict:
+        grans = []
+        for name, block_size in granularities.items():
+            raw, cold, blocks = self._granularity(block_size)
+            grans.append({
+                "name": name,
+                "block_size": block_size,
+                "raw": raw,
+                "cold": cold,
+                "blocks": blocks,
+            })
+        return {"version": STATE_VERSION, "clock": int(clock),
+                "grans": grans}
+
+    def _granularity(self, block_size: int
+                     ) -> Tuple[Dict, Dict[int, int], int]:
+        shift = block_size.bit_length() - 1
+        lo_blk = self.lo >> shift
+        hi_blk = self.hi >> shift
+        nblocks = np.minimum(hi_blk - lo_blk + 1, self.trip)
+        key = lo_blk
+        dup = self._dup_mask(key)
+        caps = self._caps(lo_blk, hi_blk)
+
+        packs: List[np.ndarray] = []
+        weights: List[np.ndarray] = []
+
+        # -- active events in global time order --------------------------
+        act = ~dup
+        order_act = self.order[act[self.order]]
+        w = nblocks[order_act].astype(np.float64)
+        w_start = np.cumsum(w) - w
+        keys_o = key[order_act]
+        n_events = order_act.size
+        srt = np.lexsort((np.arange(n_events), keys_o))
+        ks = keys_o[srt]
+        adj = ks[1:] == ks[:-1]
+        prev_of = np.full(n_events, -1, dtype=np.int64)
+        prev_of[srt[1:][adj]] = srt[:-1][adj]
+        # Re-touch gap per event in *array-local* time: weight-distance
+        # (counting only this array's touches) until the next touch of
+        # the same region.  Keys are address-based, so a same-key chain
+        # never crosses arrays.  A window containing T of an array's
+        # touch weight re-touches a region instead of finding a fresh
+        # one whenever the region's gap is shorter than T, so the
+        # expected distinct weight is E_a(T) = Σ_e w_e·min(T, gap_e)/W_a
+        # — exact for cyclic streams, and the gap distribution captures
+        # repeat structure (a block re-touched within a phase stops
+        # contributing for windows longer than the phase).
+        arr_o = self.arr_id[order_act]
+        nxt_of = np.full(n_events, -1, dtype=np.int64)
+        nxt_of[srt[:-1][adj]] = srt[1:][adj]
+        ord_arr = np.lexsort((np.arange(n_events), arr_o))
+        w_loc = np.empty(n_events, dtype=np.float64)
+        cum_arr = np.cumsum(w[ord_arr])
+        seg_new = np.concatenate(
+            ([True], arr_o[ord_arr[1:]] != arr_o[ord_arr[:-1]])
+        ) if n_events else np.empty(0, dtype=bool)
+        seg_id = np.cumsum(seg_new) - 1 if n_events else seg_new
+        seg_base = (cum_arr - w[ord_arr])[seg_new] if n_events else cum_arr
+        w_loc[ord_arr] = cum_arr - w[ord_arr] - seg_base[seg_id]
+        arr_w = np.zeros(self.n_arrays, dtype=np.float64)
+        np.add.at(arr_w, arr_o, w)
+        has_nxt = nxt_of >= 0
+        gap = np.where(has_nxt,
+                       w_loc[np.where(has_nxt, nxt_of, 0)] - w_loc,
+                       arr_w[arr_o] - w_loc)
+        # Periodic continuation: a region's last touch wraps to its
+        # first (steady-state assumption), keeping cycling streams
+        # exact.
+        run_starts = np.flatnonzero(
+            np.concatenate(([True], ~adj))) if n_events else np.empty(
+                0, dtype=np.int64)
+        if run_starts.size:
+            run_ends = np.concatenate((run_starts[1:] - 1,
+                                       [n_events - 1]))
+            heads = srt[run_starts]
+            tails = srt[run_ends]
+            gap[tails] = arr_w[arr_o[tails]] - w_loc[tails] + w_loc[heads]
+        # Per-array lookup structures: events in time order (for the
+        # window touch weight T_a) and gaps in sorted order (for the
+        # expectation prefix sums).
+        per_array = []
+        for a in range(self.n_arrays):
+            ev = np.flatnonzero(arr_o == a)
+            if not ev.size:
+                per_array.append(None)
+                continue
+            ga = np.sort(gap[ev])
+            g_ord = np.argsort(gap[ev])
+            wa = w[ev][g_ord]
+            per_array.append((w_start[ev], np.cumsum(w[ev]),
+                              ga, np.cumsum(wa), np.cumsum(wa * ga),
+                              float(arr_w[a]), float(caps[a])))
+        self._link_covers(prev_of, order_act, nblocks, caps)
+
+        def estimate(cur: np.ndarray, prv: np.ndarray) -> np.ndarray:
+            # Distinct blocks in the reuse window = Σ_a E_a(T_a) where
+            # T_a is the array's touch weight actually inside the
+            # window.  T_a is local, so phase boundaries (a window whose
+            # composition differs from the stationary mix) are seen;
+            # the array's footprint caps the double-count of
+            # overlapping same-array regions.
+            delta_w = w_start[cur] - w_start[prv]
+            x = w_start[cur]
+            x_lo = x - delta_w
+            out = np.zeros(cur.size, dtype=np.float64)
+            for entry in per_array:
+                if entry is None:
+                    continue
+                starts_a, cums_a, ga, cum_wa, cum_wga, W_a, cap_a = entry
+                hi_i = np.searchsorted(starts_a, x, side="left")
+                lo_i = np.searchsorted(starts_a, x_lo, side="left")
+                T = (np.where(hi_i > 0,
+                              cums_a[np.maximum(hi_i - 1, 0)], 0.0)
+                     - np.where(lo_i > 0,
+                                cums_a[np.maximum(lo_i - 1, 0)], 0.0))
+                split = np.searchsorted(ga, T)
+                below_w = np.where(split > 0,
+                                   cum_wa[np.maximum(split - 1, 0)], 0.0)
+                below_wg = np.where(split > 0,
+                                    cum_wga[np.maximum(split - 1, 0)],
+                                    0.0)
+                e_a = (below_wg + T * (cum_wa[-1] - below_w)) / W_a
+                # A window holding exactly one event of the array has no
+                # within-window repeats: its distinct weight is the
+                # event's weight, regardless of the stationary mix.
+                e_a = np.where(hi_i - lo_i == 1, T, e_a)
+                out += np.minimum(e_a, cap_a)
+            d_est = np.minimum(np.minimum(out, delta_w),
+                               float(caps.sum()))
+            return np.maximum(np.rint(d_est).astype(np.int64) - 1, 0)
+
+        def emit(cur: np.ndarray, prv: np.ndarray,
+                 wgt: np.ndarray) -> None:
+            dist = estimate(cur, prv)
+            g_prev = order_act[prv]
+            g_cur = order_act[cur]
+            carry = self._carry(g_prev, g_cur)
+            pack = ((self.rid[g_cur] * self.n_scopes
+                     + self.src_sid[g_prev]) * self.n_scopes
+                    + carry) * _BIN_SPACE + bin_of_array(dist)
+            packs.append(pack)
+            weights.append(wgt)
+
+        # -- overlap links -----------------------------------------------
+        # A row whose block interval overlaps the temporally previous row
+        # of the same array re-touches the shared blocks almost
+        # immediately (adjacent-cell rows, >block-size strides whose
+        # rows straddle block boundaries).  Key-based linking would fold
+        # those near reuses into the far same-key link; split them out:
+        # the overlap weight links to the neighbouring row at that pair's
+        # (short) distance, and only the remainder follows the key link.
+        lo_o = lo_blk[order_act]
+        hi_o = hi_blk[order_act]
+        full_span = (hi_o - lo_o + 1).astype(np.float64) == w
+        idx = np.arange(n_events)
+        srt_a = np.lexsort((idx, arr_o))
+        adj_a = arr_o[srt_a[1:]] == arr_o[srt_a[:-1]]
+        prev_arr = np.full(n_events, -1, dtype=np.int64)
+        prev_arr[srt_a[1:][adj_a]] = srt_a[:-1][adj_a]
+        # Walk a few same-array events back for the nearest overlapping
+        # partner (interleaved refs of one array sweep together, so the
+        # partner need not be the immediately previous event), stopping
+        # at the same-key predecessor — anything older is already
+        # covered by the key link.
+        partner = prev_arr.copy()
+        chosen = np.full(n_events, -1, dtype=np.int64)
+        ov = np.zeros(n_events, dtype=np.float64)
+        for _ in range(3):
+            open_ = np.flatnonzero(full_span & (chosen < 0)
+                                   & (partner >= 0)
+                                   & (partner != prev_of))
+            if not open_.size:
+                break
+            p = partner[open_]
+            ovk = (np.minimum(hi_o[open_], hi_o[p])
+                   - np.maximum(lo_o[open_], lo_o[p]) + 1
+                   ).astype(np.float64)
+            ok = (ovk > 0) & full_span[p]
+            take = open_[ok]
+            chosen[take] = p[ok]
+            ov[take] = np.minimum(np.minimum(ovk[ok], w[take]),
+                                  w[p[ok]])
+            rest = open_[~ok]
+            partner[rest] = prev_arr[partner[rest]]
+        cur_ov = np.flatnonzero(chosen >= 0)
+        if cur_ov.size:
+            emit(cur_ov, chosen[cur_ov], ov[cur_ov])
+
+        # -- reuse links -------------------------------------------------
+        linked = prev_of >= 0
+        cur = np.flatnonzero(linked)
+        if cur.size:
+            emit(cur, prev_of[cur], w[cur] - ov[cur])
+
+        # -- cold -------------------------------------------------------
+        cold_ev = np.flatnonzero(~linked)
+        cold_counts = np.bincount(self.rid[order_act[cold_ev]],
+                                  weights=w[cold_ev] - ov[cold_ev],
+                                  minlength=len(self.program.refs))
+        cold = {int(r): int(round(c))
+                for r, c in enumerate(cold_counts) if round(c) > 0}
+
+        # -- intra-item reuses -------------------------------------------
+        for item, base in zip(self.items, self.item_base):
+            n_occ = item.n_occ
+            for j, ref in enumerate(item.refs):
+                sl = slice(base + j * n_occ, base + (j + 1) * n_occ)
+                cnt = self.trip[sl] - np.where(dup[sl], 0, nblocks[sl])
+                if not cnt.any():
+                    continue
+                d_exp = _window_distance(item, j, block_size, shift)
+                dist = np.maximum(np.rint(d_exp).astype(np.int64), 0)
+                const = ((ref.rid * self.n_scopes + item.inner_sid)
+                         * self.n_scopes + item.inner_sid) * _BIN_SPACE
+                live = cnt > 0
+                packs.append(const + bin_of_array(dist[live]))
+                weights.append(cnt[live].astype(np.float64))
+
+        raw = self._aggregate(packs, weights)
+        return raw, cold, int(caps.sum())
+
+    # -- pieces ----------------------------------------------------------
+
+    def _dup_mask(self, key: np.ndarray) -> np.ndarray:
+        """Rows whose region key repeats an earlier ref's in the same item."""
+        dup = np.zeros(self.n_rows, dtype=bool)
+        for item, base in zip(self.items, self.item_base):
+            n_occ = item.n_occ
+            nrefs = len(item.refs)
+            for j in range(1, nrefs):
+                slj = slice(base + j * n_occ, base + (j + 1) * n_occ)
+                hit = np.zeros(n_occ, dtype=bool)
+                kj = key[slj]
+                for j2 in range(j):
+                    sl2 = slice(base + j2 * n_occ, base + (j2 + 1) * n_occ)
+                    hit |= kj == key[sl2]
+                dup[slj] = hit
+        return dup
+
+    def _caps(self, lo_blk: np.ndarray, hi_blk: np.ndarray) -> np.ndarray:
+        """Per-array footprint: union length of all touched block intervals."""
+        caps = np.zeros(self.n_arrays, dtype=np.int64)
+        ordc = np.lexsort((lo_blk, self.arr_id))
+        aid = self.arr_id[ordc]
+        lob = lo_blk[ordc]
+        hib = hi_blk[ordc]
+        for a in range(self.n_arrays):
+            s = np.searchsorted(aid, a, "left")
+            e = np.searchsorted(aid, a, "right")
+            if s == e:
+                continue
+            la, ha = lob[s:e], hib[s:e]
+            runmax = np.maximum.accumulate(ha)
+            floor = np.empty_like(runmax)
+            floor[0] = la[0] - 1
+            floor[1:] = runmax[:-1]
+            start = np.maximum(la, floor + 1)
+            caps[a] = int(np.maximum(ha - start + 1, 0).sum())
+        return caps
+
+    def _link_covers(self, prev_of: np.ndarray, order_act: np.ndarray,
+                     nblocks: np.ndarray, caps: np.ndarray) -> None:
+        """Link partial touches to the latest full sweep of their array.
+
+        Block-keyed linking misses reuse between a *partial* region (an
+        indirect gather/scatter touching one block) and a *covering*
+        region (a streaming pass over the whole array) because their keys
+        differ.  For each array that has cover events, any other event of
+        the array links to the latest cover preceding it when that is
+        more recent than its block-key predecessor.
+        """
+        arr_o = self.arr_id[order_act]
+        nb_o = nblocks[order_act]
+        for a in range(self.n_arrays):
+            if caps[a] < 2:
+                continue
+            in_a = arr_o == a
+            if not in_a.any():
+                continue
+            cover = in_a & (nb_o >= max(
+                2, int(np.ceil(caps[a] * _COVER_FRACTION))))
+            if not cover.any():
+                continue
+            part = in_a & ~cover
+            if not part.any():
+                continue
+            cpos = np.flatnonzero(cover)
+            t = np.flatnonzero(part)
+            ci = np.searchsorted(cpos, t) - 1
+            cand = np.where(ci >= 0, cpos[np.maximum(ci, 0)], -1)
+            prev_of[t] = np.maximum(prev_of[t], cand)
+
+    def _carry(self, g_prev: np.ndarray, g_cur: np.ndarray) -> np.ndarray:
+        """Carrying scope per link: the deepest scope of the destination's
+        chain whose current execution began before the source event —
+        i.e. the deepest common level with every level strictly above it
+        equal in both sid and iteration digit."""
+        carry = np.full(g_cur.size, -1, dtype=np.int64)
+        prefix = np.ones(g_cur.size, dtype=bool)
+        for lvl in range(self.L):
+            sp = self.S[g_prev, lvl]
+            sc = self.S[g_cur, lvl]
+            dp = self.D[g_prev, lvl]
+            dc = self.D[g_cur, lvl]
+            here = prefix & (sc >= 0) & (sp == sc)
+            if here.any():
+                carry[here] = sc[here]
+            prefix &= (sp == sc) & (dp == dc)
+            if not prefix.any():
+                break
+        return carry
+
+    def _aggregate(self, packs: List[np.ndarray],
+                   weights: List[np.ndarray]) -> Dict:
+        raw: Dict[Tuple[int, int, int], Dict[int, int]] = {}
+        if not packs:
+            return raw
+        allp = np.concatenate(packs)
+        allw = np.concatenate(weights)
+        uniq, inverse = np.unique(allp, return_inverse=True)
+        totals = np.bincount(inverse, weights=allw)
+        ns = self.n_scopes
+        for packed, count in zip(uniq.tolist(), totals.tolist()):
+            count = int(round(count))
+            if count <= 0:
+                continue
+            b = packed % _BIN_SPACE
+            rest = packed // _BIN_SPACE
+            carry = rest % ns
+            rest //= ns
+            src = rest % ns
+            rid = rest // ns
+            raw.setdefault((rid, src, carry), {})[b] = count
+        return raw
+
+
+def _window_distance(item: ItemClass, j: int, block_size: int,
+                     shift: int) -> np.ndarray:
+    """Expected reuse distance for intra-item re-touches of reference j.
+
+    Walks the plan-order window backwards from the reference (earlier
+    references this iteration, then later references the previous
+    iteration, then the reference's own previous iteration), accumulating
+    match probability and the expected count of distinct blocks passed.
+    Straight-line items use exact block comparisons; symbolic nests use
+    phase-averaged overlap ``max(0, 1 - |Δ|/B)`` with pairwise dedup of
+    same-array window entries.
+    """
+    refs = item.refs
+    exact = item.kind != "nest"
+    if exact:
+        a_j = refs[j].addr0
+        entries = [(refs[k].addr0, refs[k].array)
+                   for k in range(j - 1, -1, -1)]
+    else:
+        t_mid = item.trip // 2
+        a_j = refs[j].addr0 + refs[j].stride * t_mid
+        entries = [(refs[k].addr0 + refs[k].stride * t_mid, refs[k].array)
+                   for k in range(j - 1, -1, -1)]
+        entries += [(refs[k].addr0 + refs[k].stride * (t_mid - 1),
+                     refs[k].array)
+                    for k in range(len(refs) - 1, j, -1)]
+    n_occ = item.n_occ
+    remaining = np.ones(n_occ, dtype=np.float64)
+    seen = np.zeros(n_occ, dtype=np.float64)
+    d_mass = np.zeros(n_occ, dtype=np.float64)
+    processed: List[Tuple[np.ndarray, str]] = []
+    blk_j = a_j >> shift
+    for a_k, arr_k in entries:
+        if exact:
+            cmp_k = a_k >> shift
+            p_same = (cmp_k == blk_j).astype(np.float64)
+        else:
+            cmp_k = a_k - a_j
+            p_same = np.clip(1.0 - np.abs(cmp_k) / block_size, 0.0, 1.0)
+        d_mass += remaining * p_same * seen
+        remaining = remaining * (1.0 - p_same)
+        p_new = 1.0 - p_same
+        for cmp_prev, arr_prev in processed:
+            if arr_prev != arr_k:
+                continue
+            if exact:
+                p_new = p_new * (cmp_k != cmp_prev)
+            else:
+                p_new = p_new * np.clip(np.abs(cmp_k - cmp_prev)
+                                        / block_size, 0.0, 1.0)
+        seen = seen + p_new
+        processed.append((cmp_k, arr_k))
+    # Whatever is still unmatched resolves at the reference's own previous
+    # iteration (symbolic nests) or at the window's end: distance = every
+    # distinct block the window put between.
+    return d_mass + remaining * seen

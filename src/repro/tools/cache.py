@@ -40,7 +40,8 @@ import pickle
 import tempfile
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 try:  # POSIX advisory locks for the shared writer path
     import fcntl
@@ -117,6 +118,25 @@ def program_fingerprint(program: Program) -> str:
         emit(f"|routine:{name}")
         _walk_body(program.routines[name].body, emit)
     return h.hexdigest()
+
+
+@dataclass
+class CacheGCResult:
+    """What one :meth:`AnalysisCache.gc_entries` pass did."""
+
+    #: cache keys removed (coldest first)
+    evicted: List[str]
+    #: cache keys left in place
+    kept: List[str]
+    freed_bytes: int
+    total_bytes_before: int
+    total_bytes_after: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"evicted": list(self.evicted), "kept": list(self.kept),
+                "freed_bytes": self.freed_bytes,
+                "total_bytes_before": self.total_bytes_before,
+                "total_bytes_after": self.total_bytes_after}
 
 
 class AnalysisCache:
@@ -449,6 +469,89 @@ class AnalysisCache:
             logger.info("swept %d stale temp file(s) under %s",
                         removed, self.root)
         return removed
+
+    def _scan_entries(self) -> List[tuple]:
+        """(atime, key, path, bytes) for every analysis entry on disk.
+
+        Covers only the keyed ``<key[:2]>/<key>.pkl`` entries —
+        quarantined files, the blob store (which has its own GC via
+        checkpoint journals), and in-flight temp files are not entries.
+        """
+        entries: List[tuple] = []
+        try:
+            subdirs = os.listdir(self.root)
+        except OSError:
+            return entries
+        for sub in subdirs:
+            if len(sub) != 2:
+                continue
+            subpath = os.path.join(self.root, sub)
+            if not os.path.isdir(subpath):
+                continue
+            for fname in os.listdir(subpath):
+                if not fname.endswith(".pkl") or fname.startswith(".tmp-"):
+                    continue
+                path = os.path.join(subpath, fname)
+                try:
+                    st = os.stat(path)
+                except OSError:  # pragma: no cover - raced a writer
+                    continue
+                entries.append((st.st_atime, fname[:-len(".pkl")],
+                                path, st.st_size))
+        return entries
+
+    def gc_entries(self, max_bytes: int,
+                   dry_run: bool = False) -> CacheGCResult:
+        """Evict coldest entries until they fit ``max_bytes``.
+
+        Entries are ranked by access time, coldest first (on relatime
+        mounts the ordering is approximate but still favours untouched
+        entries), and unlinked until the total drops to ``max_bytes``
+        or below.  Every entry is recomputable,
+        so eviction can never lose data — a future lookup just misses
+        and recomputes.
+
+        Safe against live writers: the pass runs under the shared-mode
+        writer flock (a no-op for exclusive caches, whose single owner
+        is the caller), and lock-free readers treat a file vanishing
+        mid-read as a plain miss.  ``dry_run`` ranks and reports
+        without deleting and without taking the lock.
+        """
+        entries = self._scan_entries()
+        total = sum(e[3] for e in entries)
+        result = CacheGCResult(evicted=[], kept=[], freed_bytes=0,
+                               total_bytes_before=total,
+                               total_bytes_after=total)
+        excess = total - int(max_bytes)
+        ranked = sorted(entries)
+        lock = self._writer_lock() if not dry_run else None
+        try:
+            if lock is not None:
+                lock.__enter__()
+            for _atime, key, path, size in ranked:
+                if excess <= 0:
+                    result.kept.append(key)
+                    continue
+                if not dry_run:
+                    try:
+                        os.unlink(path)
+                    except FileNotFoundError:  # pragma: no cover - raced
+                        continue
+                result.evicted.append(key)
+                result.freed_bytes += size
+                excess -= size
+        finally:
+            if lock is not None:
+                lock.__exit__(None, None, None)
+        result.total_bytes_after = total - result.freed_bytes
+        if result.evicted and not dry_run:
+            self._obs_evictions.inc(len(result.evicted))
+            logger.info("cache gc %s: evicted %d entr%s, freed %d bytes "
+                        "(%d -> %d)", self.root, len(result.evicted),
+                        "y" if len(result.evicted) == 1 else "ies",
+                        result.freed_bytes, result.total_bytes_before,
+                        result.total_bytes_after)
+        return result
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))

@@ -75,8 +75,24 @@ class AnalysisSession:
                              "(LRU state is order-dependent)")
         if trace_store is not None and simulate:
             raise ValueError("spilled traces cannot drive the simulator")
-        self.analyzer = ReuseAnalyzer(self.config.granularities(),
-                                      engine=engine)
+        if engine == "static":
+            # The static engine never produces an access stream: there is
+            # nothing to simulate, shard, or spill.
+            if simulate:
+                raise ValueError("engine='static' predicts histograms "
+                                 "analytically and cannot drive the "
+                                 "simulator")
+            if self.shards > 1:
+                raise ValueError("engine='static' has no trace to shard")
+            if trace_store is not None:
+                raise ValueError("engine='static' records no trace to "
+                                 "spill")
+        # engine="static" computes the pattern databases analytically and
+        # loads them into a fenwick-backed analyzer, which then serves
+        # queries exactly like a dynamic run's would
+        self.analyzer = ReuseAnalyzer(
+            self.config.granularities(),
+            engine="fenwick" if engine == "static" else engine)
         self.sim: Optional[HierarchySim] = (
             HierarchySim(self.config) if simulate else None
         )
@@ -142,7 +158,9 @@ class AnalysisSession:
                 try:
                     _faults.fire("session.run", program=self.program.name,
                                  engine=self.engine, shards=self.shards)
-                    if self.shards > 1 or self.trace_store is not None:
+                    if self.engine == "static":
+                        self._run_static(params, phases, key)
+                    elif self.shards > 1 or self.trace_store is not None:
                         self._run_sharded(params, phases, key)
                     else:
                         self._run_sequential(params, phases, key)
@@ -179,6 +197,41 @@ class AnalysisSession:
                     key, {"analyzer_state":
                           self.analyzer.dump_state(),
                           "stats": self.stats})
+            phases["cache_store"] = time.perf_counter() - t0
+
+    def _run_static(self, params: Dict[str, int],
+                    phases: Dict[str, float],
+                    key: Optional[str]) -> None:
+        """Predict the pattern databases analytically — no execution.
+
+        :func:`repro.static.profile.static_profile` enumerates the
+        lowered iteration space symbolically and synthesizes the same
+        state dict a dynamic run would have produced, in O(item classes)
+        instead of O(accesses).  Loading it into the analyzer makes the
+        whole downstream pipeline (predictor, scaling, reports,
+        recommendations) work unchanged; :attr:`stats` is synthesized to
+        match what an executor would have counted.  Programs the
+        iteration model cannot enumerate raise
+        :class:`~repro.static.itermodel.StaticUnsupported`, which the
+        caller degrades to a dynamic fenwick run.
+        """
+        from repro.static.profile import static_profile
+        t0 = time.perf_counter()
+        with _trace.span("static.estimate",
+                         program=self.program.name) as esp:
+            state, self.stats = static_profile(
+                self.program, self.config.granularities(), params=params)
+            esp.set(accesses=self.stats.accesses)
+        self.analyzer.load_state(state)
+        phases["static_estimate"] = time.perf_counter() - t0
+        self._ran = True
+        logger.info("%s estimated statically: %d accesses modelled",
+                    self.program.name, self.stats.accesses)
+        if key is not None:
+            t0 = time.perf_counter()
+            with _trace.span("cache.store"):
+                self.cache.put(key, {"analyzer_state": state,
+                                     "stats": self.stats})
             phases["cache_store"] = time.perf_counter() - t0
 
     def _degrade(self, exc: BaseException, params: Dict[str, int],

@@ -39,11 +39,20 @@ class TestJobSpec:
         ({"workload": "sweep3d", "artifacts": ["gold"]}, "artifacts"),
         ({"workload": "sweep3d", "surprise": 1}, "unknown spec fields"),
         ({"workload": "sweep3d", "spill_mb": "big"}, "spill_mb"),
+        ({"workload": "sweep3d", "engine": "static", "shards": 2},
+         "no trace to shard"),
+        ({"workload": "sweep3d", "engine": "static",
+          "use_trace_store": True}, "no trace to spill"),
         ("not a dict", "object"),
     ])
     def test_rejects(self, body, fragment):
         with pytest.raises(SpecError, match=fragment):
             JobSpec.from_dict(body)
+
+    def test_static_engine_accepted(self):
+        spec = JobSpec.from_dict({"workload": "sweep3d",
+                                  "engine": "static"})
+        assert spec.engine == "static"
 
     def test_artifact_kinds_have_filenames(self):
         for name, fname in ARTIFACT_KINDS.items():

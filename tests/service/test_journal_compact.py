@@ -1,0 +1,134 @@
+"""Job-journal compaction: bounded growth, replay-identical recovery.
+
+The journal is append-only, so restart churn (every ``recover`` appends
+a fresh ``start`` line per requeued job) and ordinary job turnover both
+grow it without bound.  Compaction rewrites it to the minimal
+replay-equivalent form — submit + one counted start line for live jobs,
+submit + final event for terminal ones — atomically, and triggers
+automatically once dead lines outnumber live ones.
+"""
+
+import json
+import os
+
+from repro.service.jobs import JobSpec, JobStore
+
+
+def _spec():
+    return JobSpec.from_dict({"workload": "fig1"})
+
+
+def _journal_lines(state_dir):
+    path = os.path.join(state_dir, JobStore.JOURNAL)
+    with open(path, encoding="utf-8") as fh:
+        return fh.read().splitlines()
+
+
+def _snapshot(store):
+    """Everything recovery reconstructs, as comparable plain data."""
+    return {
+        job_id: (job.state, job.tenant, job.resumed, job.totals,
+                 job.artifacts, job.error)
+        for job_id, job in store.jobs.items()
+    }
+
+
+class TestCompaction:
+    def test_recovery_identical_after_compact(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        queued = store.submit("t", _spec())
+        running = store.submit("t", _spec())
+        done = store.submit("t", _spec())
+        failed = store.submit("t", _spec())
+        cancelled = store.submit("t", _spec())
+        store.mark_started(running.id)
+        for job in (done, failed):
+            store.mark_started(job.id)
+        store.mark_done(done.id, {"L2": 2.0},
+                        [{"name": "patterns", "digest": "d", "bytes": 3}])
+        store.mark_failed(failed.id, "boom")
+        store.mark_cancelled(cancelled.id)
+
+        before = JobStore(str(tmp_path))
+        requeued_before = {j.id for j in before.recover()}
+
+        dropped = store.compact()
+        assert dropped > 0
+
+        after = JobStore(str(tmp_path))
+        requeued_after = {j.id for j in after.recover()}
+        assert requeued_after == requeued_before == {queued.id, running.id}
+        assert _snapshot(after) == _snapshot(before)
+
+    def test_terminal_jobs_fold_to_two_lines(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        for _ in range(4):
+            job = store.submit("t", _spec())
+            store.mark_started(job.id)
+            store.mark_done(job.id, {"L2": 1.0}, [])
+        store.compact()
+        lines = _journal_lines(str(tmp_path))
+        # header + (submit + done) per job: start lines are redundant
+        # once the job is terminal
+        assert len(lines) == 1 + 2 * 4
+        events = [json.loads(line)["event"] for line in lines[1:]]
+        assert events == ["submit", "done"] * 4
+
+    def test_restart_churn_folds_starts_and_keeps_counters(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        ids = [store.submit("t", _spec()).id for _ in range(4)]
+        for job_id in ids:
+            store.mark_started(job_id)
+        for _ in range(8):
+            fresh = JobStore(str(tmp_path))
+            for job in fresh.recover():
+                fresh.mark_started(job.id)
+        fresh.compact()
+        lines = _journal_lines(str(tmp_path))
+        # header + (submit + one merged start) per job
+        assert len(lines) == 1 + 2 * 4
+
+        recovered = JobStore(str(tmp_path))
+        recovered.recover()
+        assert [recovered.jobs[i].resumed for i in ids] == [9, 9, 9, 9]
+
+    def test_compact_is_idempotent(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        for _ in range(3):
+            job = store.submit("t", _spec())
+            store.mark_started(job.id)
+            store.mark_done(job.id, {}, [])
+        assert store.compact() >= 0
+        content = open(os.path.join(str(tmp_path),
+                                    JobStore.JOURNAL)).read()
+        assert store.compact() == 0
+        assert open(os.path.join(str(tmp_path),
+                                 JobStore.JOURNAL)).read() == content
+
+    def test_auto_compaction_bounds_growth(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        for _ in range(40):
+            job = store.submit("t", _spec())
+            store.mark_started(job.id)
+            store.mark_done(job.id, {}, [])
+        lines = _journal_lines(str(tmp_path))
+        # every terminal job compacts to 2 lines; auto-compaction fires
+        # whenever the journal exceeds twice that, so it never holds
+        # more than ~2x the live set (plus the lines appended since the
+        # last rewrite)
+        assert len(lines) <= 1 + 2 * 2 * 40
+
+        recovered = JobStore(str(tmp_path))
+        recovered.recover()
+        assert len(recovered.jobs) == 40
+        assert all(j.state == "done" for j in recovered.jobs.values())
+
+    def test_no_auto_compaction_on_linear_journal(self, tmp_path):
+        """A journal already in minimal form must not be rewritten on
+        every append (that would be quadratic in job count)."""
+        store = JobStore(str(tmp_path))
+        for _ in range(10):
+            store.submit("t", _spec())
+        lines = _journal_lines(str(tmp_path))
+        assert len(lines) == 1 + 10
+        assert [json.loads(l)["event"] for l in lines[1:]] == ["submit"] * 10

@@ -1,0 +1,151 @@
+"""HTTP keep-alive: persistent connections, caps, timeouts, reconnect.
+
+The server holds each connection open across requests (HTTP/1.1
+semantics) up to a per-connection request cap and an idle timeout; the
+bundled client reuses one socket and transparently reconnects when the
+server drops it.  These tests speak raw sockets where the wire behavior
+itself is the contract, and go through :class:`ServiceClient` for the
+reuse/reconnect path.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, ServiceThread
+
+
+def _recv_response(sock):
+    """Read one HTTP response (headers + Content-Length body) off
+    ``sock``; returns (status_line, headers_dict, body)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise ConnectionError("server closed mid-headers")
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    need = int(headers.get("content-length", "0"))
+    while len(body) < need:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise ConnectionError("server closed mid-body")
+        body += chunk
+    return lines[0], headers, body
+
+
+def _get(sock, path, version="HTTP/1.1", extra=""):
+    sock.sendall(f"GET {path} {version}\r\nHost: x\r\n{extra}\r\n"
+                 .encode("latin-1"))
+    return _recv_response(sock)
+
+
+def _closed(sock, timeout=5.0):
+    sock.settimeout(timeout)
+    try:
+        return sock.recv(1) == b""
+    except socket.timeout:
+        return False
+
+
+@pytest.fixture
+def service(tmp_path, scoped_metrics):
+    config = ServiceConfig(state_dir=str(tmp_path), workers=1,
+                           keepalive_max_requests=3,
+                           keepalive_idle_s=0.3)
+    with ServiceThread(config) as svc:
+        yield svc
+
+
+class TestWireProtocol:
+    def test_connection_reused_across_requests(self, service):
+        with socket.create_connection(("127.0.0.1", service.port)) as sock:
+            for _ in range(2):
+                status, headers, body = _get(sock, "/v1/healthz")
+                assert "200" in status
+                assert headers["connection"] == "keep-alive"
+                assert b'"ok"' in body
+
+    def test_request_cap_closes_connection(self, service):
+        with socket.create_connection(("127.0.0.1", service.port)) as sock:
+            for i in range(3):
+                status, headers, _ = _get(sock, "/v1/healthz")
+                assert "200" in status
+                expected = "close" if i == 2 else "keep-alive"
+                assert headers["connection"] == expected
+            assert _closed(sock)
+
+    def test_idle_timeout_closes_connection(self, service):
+        with socket.create_connection(("127.0.0.1", service.port)) as sock:
+            _get(sock, "/v1/healthz")
+            start = time.monotonic()
+            assert _closed(sock)
+            # closed by the 0.3s idle timer, not by test timeout
+            assert time.monotonic() - start < 4.0
+
+    def test_http10_closes_by_default(self, service):
+        with socket.create_connection(("127.0.0.1", service.port)) as sock:
+            _, headers, _ = _get(sock, "/v1/healthz", version="HTTP/1.0")
+            assert headers["connection"] == "close"
+            assert _closed(sock)
+
+    def test_http10_opts_into_keepalive(self, service):
+        with socket.create_connection(("127.0.0.1", service.port)) as sock:
+            _, headers, _ = _get(sock, "/v1/healthz", version="HTTP/1.0",
+                                 extra="Connection: keep-alive\r\n")
+            assert headers["connection"] == "keep-alive"
+            _, headers, _ = _get(sock, "/v1/healthz", version="HTTP/1.0",
+                                 extra="Connection: keep-alive\r\n")
+            assert headers["connection"] == "keep-alive"
+
+    def test_explicit_close_honored(self, service):
+        with socket.create_connection(("127.0.0.1", service.port)) as sock:
+            _, headers, _ = _get(sock, "/v1/healthz",
+                                 extra="Connection: close\r\n")
+            assert headers["connection"] == "close"
+            assert _closed(sock)
+
+
+class TestClientReuse:
+    def test_single_connection_for_many_requests(self, tmp_path,
+                                                 scoped_metrics):
+        config = ServiceConfig(state_dir=str(tmp_path), workers=1,
+                               keepalive_max_requests=100)
+        with ServiceThread(config) as svc:
+            with ServiceClient("127.0.0.1", svc.port) as client:
+                for _ in range(5):
+                    assert client.health()["ok"]
+                conn = client._conn
+                assert conn is not None
+                counters = client.metrics()["counters"]
+                # still the same socket object after 6 requests
+                assert client._conn is conn
+                assert counters["svc.requests"] == 6
+
+    def test_reconnects_past_request_cap(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            # cap is 3: requests 4..8 only succeed if the client
+            # transparently reopens the dropped connection
+            for _ in range(8):
+                assert client.health()["ok"]
+
+    def test_reconnects_after_idle_timeout(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            assert client.health()["ok"]
+            time.sleep(0.8)  # > keepalive_idle_s: server drops the socket
+            assert client.health()["ok"]
+
+
+class TestConfigValidation:
+    def test_rejects_bad_keepalive_settings(self, tmp_path):
+        with pytest.raises(ValueError):
+            ServiceConfig(state_dir=str(tmp_path), keepalive_max_requests=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(state_dir=str(tmp_path), keepalive_idle_s=0.0)

@@ -217,3 +217,29 @@ class TestObservability:
         assert logging.getLogger("repro").level == logging.ERROR
         assert main(["list"]) == 0
         assert logging.getLogger("repro").level == logging.WARNING
+
+
+class TestStaticCli:
+    def test_analyze_static_engine(self, capsys):
+        assert main(["analyze", "sweep3d", "--mesh", "6",
+                     "--engine", "static", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "estimating sweep3d-original analytically" in captured.err
+        assert "predicted misses" in captured.out
+
+    def test_validate_single_workload(self, capsys):
+        assert main(["validate", "triad",
+                     "--param", "n=64", "--param", "steps=2"]) == 0
+        out = capsys.readouterr().out
+        assert "triad(n=64, steps=2): PASS" in out
+        assert "1/1 validation size(s) within tolerance" in out
+
+    def test_validate_bad_param(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "triad", "--param", "n64"])
+
+    def test_validate_impossible_tolerance_fails(self, capsys):
+        # sweep3d is approximate, so a zero tolerance must exit nonzero
+        assert main(["validate", "sweep3d", "--param", "mesh=6",
+                     "--tolerance", "0"]) == 1
+        assert "FAIL" in capsys.readouterr().out
