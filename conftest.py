@@ -35,6 +35,11 @@ def pytest_addoption(parser):
                      help="benchmarks: miniature inputs, equivalence "
                           "assertions only (no perf thresholds, no "
                           "archived JSON)")
+    parser.addoption("--pin-cpu", action="store_true", default=False,
+                     help="benchmarks: pin the process to one CPU "
+                          "(os.sched_setaffinity) to cut scheduler "
+                          "migration noise out of timing legs; recorded "
+                          "as bench_pinned in the archived JSON")
 
 
 def pytest_collection_modifyitems(config, items):

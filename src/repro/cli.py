@@ -73,7 +73,7 @@ from repro.obs.manifest import RunManifest
 from repro.tools import AnalysisCache, AnalysisSession, SweepTask, run_sweep
 
 
-def _build(name: str, args) -> "Program":
+def _size_overrides(name: str, args) -> Dict[str, int]:
     # the registry owns defaults; analyze only overrides the sizing
     # knobs it exposes as flags
     overrides = {}
@@ -81,8 +81,12 @@ def _build(name: str, args) -> "Program":
         overrides["mesh"] = args.mesh
     elif name == "gtc":
         overrides["micell"] = args.micell
+    return overrides
+
+
+def _build(name: str, args) -> "Program":
     try:
-        return build_workload(name, **overrides)
+        return build_workload(name, **_size_overrides(name, args))
     except ValueError as exc:
         raise SystemExit(f"{exc}; see `python -m repro list`")
 
@@ -101,6 +105,8 @@ def cmd_list(_args) -> int:
 def cmd_analyze(args) -> int:
     if args.profile or args.trace_out or args.manifest_out:
         obs.set_enabled(True)
+    if args.closed_form and args.engine != "static":
+        raise SystemExit("--closed-form requires --engine static")
     program = _build(args.workload, args)
     cache = None if args.no_cache else AnalysisCache()
     trace_dir = args.trace_dir
@@ -109,11 +115,21 @@ def cmd_analyze(args) -> int:
         # throwaway directory instead of a reusable one
         import tempfile
         trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
+    cf_spec = None
+    if args.closed_form:
+        cf_spec = {"workload": args.workload,
+                   "params": _size_overrides(args.workload, args)}
     session = AnalysisSession(program, cache=cache, engine=args.engine,
                               shards=args.shards, trace_store=trace_dir,
-                              spill_mb=args.spill_mb)
+                              spill_mb=args.spill_mb,
+                              closed_form=args.closed_form,
+                              closed_form_spec=cf_spec)
     spilled = " from a spilled trace" if trace_dir is not None else ""
-    if args.engine == "static":
+    if args.closed_form:
+        print(f"estimating {program.name} from its closed-form "
+              "derivation (no execution, no enumeration) ...",
+              file=sys.stderr)
+    elif args.engine == "static":
         print(f"estimating {program.name} analytically (no execution) ...",
               file=sys.stderr)
     elif args.shards > 1:
@@ -188,6 +204,8 @@ def cmd_sweep(args) -> int:
             raise SystemExit(
                 f"nothing to resume: checkpoint {args.checkpoint!r} "
                 "does not exist")
+    if args.closed_form and args.engine != "static":
+        raise SystemExit("--closed-form requires --engine static")
     tasks = []
     if args.app == "sweep3d":
         for n in args.mesh:
@@ -195,14 +213,20 @@ def cmd_sweep(args) -> int:
                 key=f"sweep3d-n{n}", builder=build_original,
                 args=(SweepParams(n=n),), engine=args.engine,
                 shards=args.shards, cache_dir=args.cache_dir,
-                trace_dir=args.trace_dir, spill_mb=args.spill_mb))
+                trace_dir=args.trace_dir, spill_mb=args.spill_mb,
+                closed_form=({"workload": "sweep3d",
+                              "params": {"mesh": n}}
+                             if args.closed_form else None)))
     elif args.app == "gtc":
         for m in args.micell:
             tasks.append(SweepTask(
                 key=f"gtc-m{m}", builder=build_gtc,
                 args=(None, GTCParams(micell=m)), engine=args.engine,
                 shards=args.shards, cache_dir=args.cache_dir,
-                trace_dir=args.trace_dir, spill_mb=args.spill_mb))
+                trace_dir=args.trace_dir, spill_mb=args.spill_mb,
+                closed_form=({"workload": "gtc",
+                              "params": {"micell": m}}
+                             if args.closed_form else None)))
     else:
         raise SystemExit(f"unknown app {args.app!r}; use sweep3d or gtc")
     policy = RetryPolicy(retries=args.retries, timeout=args.timeout)
@@ -346,7 +370,8 @@ def cmd_validate(args) -> int:
                 raise SystemExit(f"--param expects KEY=VALUE, got {item!r}")
             params[key] = int(value)
         reports = [validate_workload(args.workload, params,
-                                     tolerance=args.tolerance)]
+                                     tolerance=args.tolerance,
+                                     closed_form=args.closed_form)]
     else:
         matrix = VALIDATION_MATRIX
         if args.quick:
@@ -356,7 +381,8 @@ def cmd_validate(args) -> int:
                 if name not in seen:
                     seen.add(name)
                     matrix.append((name, params))
-        reports = run_matrix(matrix, tolerance=args.tolerance)
+        reports = run_matrix(matrix, tolerance=args.tolerance,
+                             closed_form=args.closed_form)
     print(render(reports))
     return 0 if all(r.passed for r in reports) else 1
 
@@ -435,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "array path, results identical; static = "
                               "analytical estimate without executing "
                               "the program)")
+    analyze.add_argument("--closed-form", action="store_true",
+                         help="with --engine static: evaluate the "
+                              "cached closed-form derivation instead of "
+                              "enumerating (byte-identical state)")
     analyze.add_argument("--shards", type=int, default=1, metavar="K",
                          help="analyze the trace as K parallel time "
                               "shards (results are byte-identical to "
@@ -497,6 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "recordings (default 64)")
     sweep.add_argument("--engine", default="fenwick",
                        choices=("fenwick", "treap", "numpy", "static"))
+    sweep.add_argument("--closed-form", action="store_true",
+                       help="with --engine static: derive the "
+                            "closed-form profile once parent-side and "
+                            "evaluate it at every sweep size")
     sweep.add_argument("--cache-dir", metavar="DIR",
                        help="analysis cache directory (default: no cache)")
     sweep.add_argument("--retries", type=int, default=2, metavar="N",
@@ -575,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--quick", action="store_true",
                      help="one size per workload instead of the full "
                           "matrix (CI smoke)")
+    val.add_argument("--closed-form", action="store_true",
+                     help="additionally evaluate the closed-form "
+                          "derivation at each size and check it is "
+                          "byte-identical to the enumerated state")
     val.add_argument("--tolerance", type=float, default=0.10, metavar="R",
                      help="largest accepted per-band relative error on "
                           "bands holding >=2%% of the mass")

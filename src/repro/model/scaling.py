@@ -158,6 +158,31 @@ class ScalingModel:
             )
         return model
 
+    @staticmethod
+    def fit_closed_form(derivation, sizes: Sequence[int],
+                        granularity: str = "line",
+                        extrapolate: bool = False) -> "ScalingModel":
+        """Fit the Fig 11-style scaling curves from closed-form
+        evaluations instead of dynamic runs.
+
+        A :class:`~repro.static.closedform.Derivation` turns each
+        training size into a pattern database in microseconds (closed
+        form) or one enumeration (fallback) — never an execution — so
+        the training grid can hold dozens of sizes for free.  The
+        evaluated states are byte-identical to ``engine="static"``,
+        which makes this exactly the model a static sweep would have
+        fitted.
+        """
+        from repro.core.analyzer import ReuseAnalyzer
+        used: List[float] = []
+        dbs: List[PatternDB] = []
+        for size in sizes:
+            state, _stats, _fallbacks = derivation.evaluate(
+                int(size), extrapolate=extrapolate)
+            dbs.append(ReuseAnalyzer.from_state(state).db(granularity))
+            used.append(float(size))
+        return ScalingModel.fit(used, dbs)
+
     def predict_histograms(self, size: float) -> Dict[PatternKey, Histogram]:
         return {key: ps.predict_histogram(size)
                 for key, ps in self.patterns.items()}

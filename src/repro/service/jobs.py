@@ -70,6 +70,10 @@ class JobSpec:
     #: state dir (required for shards > 1 jobs that want disk replay)
     use_trace_store: bool = False
     spill_mb: Optional[float] = None
+    #: evaluate the cached closed-form derivation instead of enumerating
+    #: (engine="static" only; byte-identical state, shared derivation
+    #: across jobs via the analysis cache)
+    closed_form: bool = False
     #: artifact kinds to publish (subset of ARTIFACT_KINDS)
     artifacts: Tuple[str, ...] = ("patterns", "manifest")
 
@@ -84,7 +88,8 @@ class JobSpec:
         if not isinstance(data, dict):
             raise SpecError("job spec must be a JSON object")
         known = {"workload", "params", "engine", "shards", "miss_model",
-                 "use_trace_store", "spill_mb", "artifacts"}
+                 "use_trace_store", "spill_mb", "closed_form",
+                 "artifacts"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise SpecError(f"unknown spec fields: {', '.join(unknown)}")
@@ -120,6 +125,8 @@ class JobSpec:
             raise SpecError("engine='static' has no trace to shard")
         if engine == "static" and data.get("use_trace_store"):
             raise SpecError("engine='static' records no trace to spill")
+        if data.get("closed_form") and engine != "static":
+            raise SpecError("closed_form requires engine='static'")
         miss_model = data.get("miss_model", "sa")
         artifacts = data.get("artifacts", ["patterns", "manifest"])
         if (not isinstance(artifacts, (list, tuple)) or not artifacts
@@ -136,7 +143,9 @@ class JobSpec:
         return cls(workload=workload, params=dict(params), engine=engine,
                    shards=shards, miss_model=str(miss_model),
                    use_trace_store=bool(data.get("use_trace_store", False)),
-                   spill_mb=spill_mb, artifacts=tuple(artifacts))
+                   spill_mb=spill_mb,
+                   closed_form=bool(data.get("closed_form", False)),
+                   artifacts=tuple(artifacts))
 
 
 @dataclass

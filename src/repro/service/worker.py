@@ -100,6 +100,12 @@ def run_job(job_dir: str, cache_dir: str,
             shards=spec.shards,
             trace_store=(trace_dir if spec.use_trace_store else None),
             spill_mb=spec.spill_mb,
+            closed_form=spec.closed_form,
+            # the derivation cache entry lives in the shared analysis
+            # cache, so restarted services and sibling jobs reuse it
+            closed_form_spec=({"workload": spec.workload,
+                               "params": params}
+                              if spec.closed_form else None),
         )
         _write_status(job_dir, phase="analyze", pid=os.getpid())
         session.run()

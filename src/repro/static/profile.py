@@ -37,6 +37,7 @@ scope-stack bisect without a stack.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -49,14 +50,24 @@ from repro.static.itermodel import (
     MAX_POINTS, ItemClass, StaticUnsupported, enumerate_program,
 )
 
-#: Pack stride for histogram bins inside the int64 aggregation key
-#: (bin indices top out at EXACT_LIMIT + (62-8)*SUBBINS < 512).
-_BIN_SPACE = 512
+#: ``(rid, src, carry)`` triples are packed into one int64 with the carry
+#: shifted by one so the "no carrying scope" sentinel (-1) packs cleanly.
 
 #: A region event covering at least this fraction of its array's footprint
 #: acts as a *cover*: later partial touches of the array (indirect gathers,
 #: scatters) that miss their block-level key still link back to it.
 _COVER_FRACTION = 0.5
+
+#: Quantile resolution for co-traversal-corrected links: a link whose true
+#: distance varies with the block's position t through the sweep is split
+#: into this many equal-weight sub-links at the t-segment midpoints.
+_QUANTILES = 4
+
+#: Work / memory guards for the exact-freshness simulation and the
+#: co-traversal prefix tables — beyond these the corrections are skipped
+#: (the estimate falls back to the uncorrected model, never fails).
+_FRESH_SIM_BUDGET = 2_000_000
+_COTRAV_CELL_BUDGET = 8_000_000
 
 
 def static_profile(program: Program, granularities: Dict[str, int],
@@ -73,6 +84,66 @@ def static_profile(program: Program, granularities: Dict[str, int],
     items, stats = enumerate_program(program, params, max_points)
     profiler = StaticProfiler(program, items)
     return profiler.state(granularities, stats.accesses), stats
+
+
+def static_atoms(program: Program, granularities: Dict[str, int],
+                 params: Optional[Dict[str, int]] = None,
+                 max_points: int = MAX_POINTS
+                 ) -> Tuple[List[Dict], RunStats, int]:
+    """Predict the profile *atoms* of ``program`` without running it.
+
+    Atoms are the unbinned canonical form of the static profile: per
+    granularity, unique ``(rid, src, carry)``/distance pairs with exact
+    integer counts, plus cold counts and the footprint.  They carry
+    strictly more information than the state dict —
+    :func:`atoms_to_state` reproduces ``static_profile``'s state from
+    them exactly — which is what the closed-form engine fits its
+    per-cell polynomials over.  Returns ``(atoms, stats, n_scopes)``.
+    """
+    items, stats = enumerate_program(program, params, max_points)
+    profiler = StaticProfiler(program, items)
+    return (profiler.atoms(granularities), stats, profiler.n_scopes)
+
+
+def unpack_key(pack: int, n_scopes: int) -> Tuple[int, int, int]:
+    """Invert the atom key packing back to ``(rid, src, carry)``."""
+    carry = pack % (n_scopes + 1) - 1
+    rest = pack // (n_scopes + 1)
+    return rest // n_scopes, rest % n_scopes, carry
+
+
+def atoms_to_state(atoms: List[Dict], clock: int, n_scopes: int) -> Dict:
+    """Synthesize the analyzer state dict from profile atoms.
+
+    This is the single place histogram binning happens for the static
+    engine: both the enumerated and the closed-form paths call it, so
+    states agree byte-for-byte whenever the atoms agree.
+    """
+    grans = []
+    for ga in atoms:
+        acc: Dict[Tuple[int, int, int], Dict[int, float]] = {}
+        if ga["pack"].size:
+            bins = bin_of_array(ga["dist"])
+            for p, b, c in zip(ga["pack"].tolist(), bins.tolist(),
+                               ga["count"].tolist()):
+                key = unpack_key(p, n_scopes)
+                bucket = acc.setdefault(key, {})
+                bucket[b] = bucket.get(b, 0.0) + c
+        raw: Dict[Tuple[int, int, int], Dict[int, int]] = {}
+        for key, bucket in acc.items():
+            rounded = {b: int(round(c)) for b, c in bucket.items()
+                       if round(c) > 0}
+            if rounded:
+                raw[key] = rounded
+        grans.append({
+            "name": ga["name"],
+            "block_size": ga["block_size"],
+            "raw": raw,
+            "cold": ga["cold"],
+            "blocks": ga["blocks"],
+        })
+    return {"version": STATE_VERSION, "clock": int(clock),
+            "grans": grans}
 
 
 class StaticProfiler:
@@ -109,13 +180,17 @@ class StaticProfiler:
         # (-2 marks body-position levels, -3 padding past the chain end).
         self.D = np.full((total, depth), -1, dtype=np.int64)
         self.S = np.full((total, depth), -3, dtype=np.int64)
+        self.item_id = np.empty(total, dtype=np.int64)
+        self.occ = np.empty(total, dtype=np.int64)
         self.item_base: List[int] = []
         off = 0
-        for item in items:
+        for it_idx, item in enumerate(items):
             self.item_base.append(off)
             n_occ = item.n_occ
             for j, ref in enumerate(item.refs):
                 sl = slice(off, off + n_occ)
+                self.item_id[sl] = it_idx
+                self.occ[sl] = np.arange(n_occ)
                 self.rid[sl] = ref.rid
                 self.src_sid[sl] = item.inner_sid
                 last = ref.addr0 + ref.stride * (item.trip - 1)
@@ -127,6 +202,7 @@ class StaticProfiler:
                     self.D[sl, lvl] = dig
                     self.S[sl, lvl] = -2 if kind == "pos" else sid
                 off += n_occ
+        self.refpos = refpos
         self.arr_id = np.searchsorted(self.arr_bases, self.lo,
                                       side="right") - 1
         np.clip(self.arr_id, 0, None, out=self.arr_id)
@@ -139,18 +215,24 @@ class StaticProfiler:
     # -- per-granularity pipeline ----------------------------------------
 
     def state(self, granularities: Dict[str, int], clock: int) -> Dict:
-        grans = []
+        return atoms_to_state(self.atoms(granularities), clock,
+                              self.n_scopes)
+
+    def atoms(self, granularities: Dict[str, int]) -> List[Dict]:
+        """Per-granularity profile atoms — the unbinned canonical form."""
+        out = []
         for name, block_size in granularities.items():
-            raw, cold, blocks = self._granularity(block_size)
-            grans.append({
+            (pk, dist, cnt), cold, blocks = self._granularity(block_size)
+            out.append({
                 "name": name,
                 "block_size": block_size,
-                "raw": raw,
+                "pack": pk,
+                "dist": dist,
+                "count": cnt,
                 "cold": cold,
                 "blocks": blocks,
             })
-        return {"version": STATE_VERSION, "clock": int(clock),
-                "grans": grans}
+        return out
 
     def _granularity(self, block_size: int
                      ) -> Tuple[Dict, Dict[int, int], int]:
@@ -161,14 +243,17 @@ class StaticProfiler:
         key = lo_blk
         dup = self._dup_mask(key)
         caps = self._caps(lo_blk, hi_blk)
+        near = self._near_extra(nblocks, dup, key, shift)
 
         packs: List[np.ndarray] = []
+        dists: List[np.ndarray] = []
         weights: List[np.ndarray] = []
 
         # -- active events in global time order --------------------------
         act = ~dup
         order_act = self.order[act[self.order]]
         w = nblocks[order_act].astype(np.float64)
+        ne_o = near[order_act]
         w_start = np.cumsum(w) - w
         keys_o = key[order_act]
         n_events = order_act.size
@@ -234,18 +319,22 @@ class StaticProfiler:
                               float(arr_w[a]), float(caps[a])))
         self._link_covers(prev_of, order_act, nblocks, caps)
 
-        def estimate(cur: np.ndarray, prv: np.ndarray) -> np.ndarray:
+        def estimate(cur: np.ndarray, prv: np.ndarray,
+                     delta: Optional[np.ndarray] = None) -> np.ndarray:
             # Distinct blocks in the reuse window = Σ_a E_a(T_a) where
             # T_a is the array's touch weight actually inside the
             # window.  T_a is local, so phase boundaries (a window whose
             # composition differs from the stationary mix) are seen;
             # the array's footprint caps the double-count of
-            # overlapping same-array regions.
+            # overlapping same-array regions.  ``delta`` (links ×
+            # arrays) adjusts each array's distinct weight for aligned
+            # co-traversals whose true in-window share differs from the
+            # event-order window.
             delta_w = w_start[cur] - w_start[prv]
             x = w_start[cur]
             x_lo = x - delta_w
             out = np.zeros(cur.size, dtype=np.float64)
-            for entry in per_array:
+            for a, entry in enumerate(per_array):
                 if entry is None:
                     continue
                 starts_a, cums_a, ga, cum_wa, cum_wga, W_a, cap_a = entry
@@ -266,21 +355,26 @@ class StaticProfiler:
                 # within-window repeats: its distinct weight is the
                 # event's weight, regardless of the stationary mix.
                 e_a = np.where(hi_i - lo_i == 1, T, e_a)
+                if delta is not None:
+                    e_a = np.maximum(e_a + delta[:, a], 0.0)
                 out += np.minimum(e_a, cap_a)
+            if delta is not None:
+                delta_w = np.maximum(delta_w + delta.sum(axis=1), 0.0)
             d_est = np.minimum(np.minimum(out, delta_w),
                                float(caps.sum()))
             return np.maximum(np.rint(d_est).astype(np.int64) - 1, 0)
 
-        def emit(cur: np.ndarray, prv: np.ndarray,
-                 wgt: np.ndarray) -> None:
-            dist = estimate(cur, prv)
+        def emit(cur: np.ndarray, prv: np.ndarray, wgt: np.ndarray,
+                 delta: Optional[np.ndarray] = None) -> None:
+            dist = estimate(cur, prv, delta)
             g_prev = order_act[prv]
             g_cur = order_act[cur]
             carry = self._carry(g_prev, g_cur)
             pack = ((self.rid[g_cur] * self.n_scopes
-                     + self.src_sid[g_prev]) * self.n_scopes
-                    + carry) * _BIN_SPACE + bin_of_array(dist)
+                     + self.src_sid[g_prev]) * (self.n_scopes + 1)
+                    + carry + 1)
             packs.append(pack)
+            dists.append(dist)
             weights.append(wgt)
 
         # -- overlap links -----------------------------------------------
@@ -328,17 +422,76 @@ class StaticProfiler:
         if cur_ov.size:
             emit(cur_ov, chosen[cur_ov], ov[cur_ov])
 
+        # -- co-traversal alignment tables -------------------------------
+        # Events of one item occurrence sweep their index range together,
+        # element-wise, yet occupy disjoint stretches of the event-order
+        # weight axis.  For a link endpoint inside such an item, a
+        # co-event at an earlier plan position is wholly *outside* the
+        # [prv, cur) window even though the fraction of its sweep past
+        # the reused block's position t is really inside (and dually for
+        # later plan positions).  co_lo/co_hi hold, per event and array,
+        # the aligned co-event weight at earlier/later plan positions;
+        # the link correction is +(1-t)·(co_lo[prv]-co_lo[cur]) +
+        # t·(co_hi[cur]-co_hi[prv]) — identically zero for links between
+        # occurrences of one item class, so steady-state self links (and
+        # the triad exactness contract) are untouched.
+        co_lo = co_hi = None
+        nest_item = np.array([it.kind == "nest" for it in self.items],
+                             dtype=bool)
+        it_o = self.item_id[order_act]
+        eligible = nest_item[it_o] & full_span
+        if (eligible.any()
+                and n_events * self.n_arrays <= _COTRAV_CELL_BUDGET):
+            occ_o = self.occ[order_act]
+            run_new = np.concatenate(
+                ([True], (it_o[1:] != it_o[:-1]) | (occ_o[1:] != occ_o[:-1])))
+            run_id = np.cumsum(run_new) - 1
+            we = np.where(eligible, w, 0.0)
+            co_lo = np.zeros((n_events, self.n_arrays))
+            co_hi = np.zeros((n_events, self.n_arrays))
+            first = np.flatnonzero(run_new)
+            for a in range(self.n_arrays):
+                wa = np.where(arr_o == a, we, 0.0)
+                cum = np.cumsum(wa)
+                excl = cum - wa
+                base = excl[first]
+                lo_pref = excl - base[run_id]
+                run_tot = np.concatenate((base[1:], [cum[-1]])) - base
+                co_lo[:, a] = lo_pref
+                co_hi[:, a] = run_tot[run_id] - lo_pref - wa
+            co_lo[~eligible] = 0.0
+            co_hi[~eligible] = 0.0
+
         # -- reuse links -------------------------------------------------
         linked = prev_of >= 0
         cur = np.flatnonzero(linked)
         if cur.size:
-            emit(cur, prev_of[cur], w[cur] - ov[cur])
+            prv = prev_of[cur]
+            wlink = np.maximum(w[cur] - ov[cur] - ne_o[cur], 0.0)
+            if co_lo is not None:
+                c_lo = co_lo[prv] - co_lo[cur]
+                c_hi = co_hi[cur] - co_hi[prv]
+                corr = (np.abs(c_lo).sum(axis=1)
+                        + np.abs(c_hi).sum(axis=1)) > 0.0
+            else:
+                corr = np.zeros(cur.size, dtype=bool)
+            plain = ~corr
+            if plain.any():
+                emit(cur[plain], prv[plain], wlink[plain])
+            if corr.any():
+                cc, pc, wc = cur[corr], prv[corr], wlink[corr] / _QUANTILES
+                lo_c, hi_c = c_lo[corr], c_hi[corr]
+                for q in range(_QUANTILES):
+                    t = (q + 0.5) / _QUANTILES
+                    emit(cc, pc, wc, delta=(1.0 - t) * lo_c + t * hi_c)
 
         # -- cold -------------------------------------------------------
         cold_ev = np.flatnonzero(~linked)
-        cold_counts = np.bincount(self.rid[order_act[cold_ev]],
-                                  weights=w[cold_ev] - ov[cold_ev],
-                                  minlength=len(self.program.refs))
+        cold_counts = np.bincount(
+            self.rid[order_act[cold_ev]],
+            weights=np.maximum(w[cold_ev] - ov[cold_ev] - ne_o[cold_ev],
+                               0.0),
+            minlength=len(self.program.refs))
         cold = {int(r): int(round(c))
                 for r, c in enumerate(cold_counts) if round(c) > 0}
 
@@ -347,21 +500,117 @@ class StaticProfiler:
             n_occ = item.n_occ
             for j, ref in enumerate(item.refs):
                 sl = slice(base + j * n_occ, base + (j + 1) * n_occ)
-                cnt = self.trip[sl] - np.where(dup[sl], 0, nblocks[sl])
+                cnt = (self.trip[sl] - np.where(dup[sl], 0, nblocks[sl])
+                       + near[sl])
                 if not cnt.any():
                     continue
                 d_exp = _window_distance(item, j, block_size, shift)
                 dist = np.maximum(np.rint(d_exp).astype(np.int64), 0)
                 const = ((ref.rid * self.n_scopes + item.inner_sid)
-                         * self.n_scopes + item.inner_sid) * _BIN_SPACE
+                         * (self.n_scopes + 1) + item.inner_sid + 1)
                 live = cnt > 0
-                packs.append(const + bin_of_array(dist[live]))
+                packs.append(np.full(int(live.sum()), const,
+                                     dtype=np.int64))
+                dists.append(dist[live])
                 weights.append(cnt[live].astype(np.float64))
 
-        raw = self._aggregate(packs, weights)
-        return raw, cold, int(caps.sum())
+        atoms = self._aggregate(packs, dists, weights)
+        return atoms, cold, int(caps.sum())
 
     # -- pieces ----------------------------------------------------------
+
+    def _near_extra(self, nblocks: np.ndarray, dup: np.ndarray,
+                    key: np.ndarray, shift: int) -> np.ndarray:
+        """Per-row weight of block-first-touches that are really near reuses.
+
+        A nest reference's region weight (``nblocks``) counts every block
+        whose *first touch by that reference* lands on it — but when
+        same-array co-references sweep the same index range at the same
+        stride (AoS field accesses, stencil taps), a block can have been
+        touched an iteration or two earlier by a co-reference's trailing
+        bytes.  Dynamically those touches are near reuses inside the item,
+        not fresh blocks feeding the long cross-item link.  The exact
+        fresh count follows the intra-block phase, which is periodic in
+        the iteration number with period ``B / gcd(stride, B)``: simulate
+        one warmup plus two periods, verify periodicity, extrapolate.
+        """
+        near = np.zeros(self.n_rows, dtype=np.float64)
+        B = 1 << shift
+        for item, base in zip(self.items, self.item_base):
+            if item.kind != "nest" or len(item.refs) < 2:
+                continue
+            n_occ = item.n_occ
+            groups: Dict[int, List[int]] = {}
+            for j in range(len(item.refs)):
+                groups.setdefault(
+                    int(self.arr_id[base + j * n_occ]), []).append(j)
+            for js in groups.values():
+                if len(js) < 2:
+                    continue
+                strides = np.unique(np.concatenate(
+                    [np.asarray(item.refs[j].stride,
+                                dtype=np.int64).reshape(-1)
+                     for j in js]))
+                if strides.size != 1 or strides[0] == 0:
+                    continue
+                s = int(strides[0])
+                # co-reference offsets must be occurrence-invariant
+                a0 = np.asarray(item.refs[js[0]].addr0,
+                                dtype=np.int64).reshape(-1)
+                offs, ok = [], True
+                for j in js:
+                    d = (np.asarray(item.refs[j].addr0,
+                                    dtype=np.int64).reshape(-1) - a0)
+                    if d.size == 0 or (d != d[0]).any():
+                        ok = False
+                        break
+                    offs.append(int(d[0]))
+                if not ok:
+                    continue
+                a0 = np.broadcast_to(a0, (n_occ,))
+                trips = self.trip[base + js[0] * n_occ:
+                                  base + (js[0] + 1) * n_occ]
+                pairs = np.stack([a0 % B, trips], axis=1)
+                uph, inv = np.unique(pairs, axis=0, return_inverse=True)
+                fresh = _fresh_counts(uph, offs, s, shift)
+                if fresh is None:
+                    continue
+                # Active rows first touch only the blocks their own
+                # accesses reach first; the region weight beyond that is
+                # near reuse.  Deduplicated co-rows still produce their
+                # own fresh touches — fold those back onto the active
+                # event carrying their region key (the earliest same-key
+                # group member), and leave their intra weight reduced.
+                slices = {j: slice(base + j * n_occ, base + (j + 1) * n_occ)
+                          for j in js}
+                for gj, j in enumerate(js):
+                    sl = slices[j]
+                    extra = nblocks[sl] - fresh[inv, gj]
+                    near[sl] = np.where(dup[sl], 0.0, extra)
+                for gj, j in enumerate(js):
+                    sl = slices[j]
+                    dj = dup[sl]
+                    if not dj.any():
+                        continue
+                    fj = fresh[inv, gj]
+                    near[sl] = np.where(dj, -fj, near[sl])
+                    kj = key[sl]
+                    claimed = np.zeros(n_occ, dtype=bool)
+                    for gj2, j2 in enumerate(js):
+                        if j2 >= j:
+                            break
+                        sl2 = slices[j2]
+                        take = (dj & ~claimed & ~dup[sl2]
+                                & (kj == key[sl2]))
+                        if take.any():
+                            near[sl2][take] -= fj[take]
+                            claimed |= take
+                    # a dup row whose key belongs to a ref outside the
+                    # group keeps the old accounting
+                    orphan = dj & ~claimed
+                    if orphan.any():
+                        near[sl][orphan] = 0.0
+        return near
 
     def _dup_mask(self, key: np.ndarray) -> np.ndarray:
         """Rows whose region key repeats an earlier ref's in the same item."""
@@ -453,27 +702,76 @@ class StaticProfiler:
         return carry
 
     def _aggregate(self, packs: List[np.ndarray],
-                   weights: List[np.ndarray]) -> Dict:
-        raw: Dict[Tuple[int, int, int], Dict[int, int]] = {}
+                   dists: List[np.ndarray],
+                   weights: List[np.ndarray]
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fold emissions into profile *atoms*: unique ``(key, distance)``
+        pairs with integer counts, sorted by key then distance.  Atoms
+        are the canonical intermediate form — the state dict is a pure
+        function of them (see :func:`atoms_to_raw`), which is what lets
+        the closed-form engine predict atoms and synthesize byte-
+        identical states."""
+        empty = np.empty(0, dtype=np.int64)
         if not packs:
-            return raw
+            return empty, empty, empty
         allp = np.concatenate(packs)
+        alld = np.concatenate(dists)
         allw = np.concatenate(weights)
-        uniq, inverse = np.unique(allp, return_inverse=True)
-        totals = np.bincount(inverse, weights=allw)
-        ns = self.n_scopes
-        for packed, count in zip(uniq.tolist(), totals.tolist()):
-            count = int(round(count))
-            if count <= 0:
-                continue
-            b = packed % _BIN_SPACE
-            rest = packed // _BIN_SPACE
-            carry = rest % ns
-            rest //= ns
-            src = rest % ns
-            rid = rest // ns
-            raw.setdefault((rid, src, carry), {})[b] = count
-        return raw
+        order = np.lexsort((alld, allp))
+        p_s, d_s, w_s = allp[order], alld[order], allw[order]
+        first = np.concatenate(
+            ([True], (p_s[1:] != p_s[:-1]) | (d_s[1:] != d_s[:-1])))
+        starts = np.flatnonzero(first)
+        # Counts stay float64 (emission weights are dyadic rationals, so
+        # they are exact); rounding to integers happens once per
+        # histogram bin in atoms_to_state.
+        counts = np.add.reduceat(w_s, starts)
+        keep = counts > 0
+        return p_s[starts][keep], d_s[starts][keep], counts[keep]
+
+
+def _fresh_counts(cases: np.ndarray, offs: List[int], stride: int,
+                  shift: int) -> Optional[np.ndarray]:
+    """Exact per-reference fresh-block-touch counts for one co-ref group.
+
+    ``cases`` holds ``(phase, trip)`` rows — starting phase (base address
+    mod block size) and iteration count.  For each case walks the group's
+    accesses in plan order, attributing each block's first touch to the
+    reference that reaches it first.  Returns an array of shape
+    ``(len(cases), len(offs))`` of fresh counts, or ``None`` when the
+    pattern is aperiodic or the simulation would exceed the work budget.
+    """
+    B = 1 << shift
+    period = B // math.gcd(abs(stride), B)
+    spread = max(offs) - min(offs)
+    warm = int((spread + B) // abs(stride)) + 2
+    sims = np.minimum(cases[:, 1], warm + 2 * period)
+    if int(sims.sum()) * len(offs) > _FRESH_SIM_BUDGET:
+        return None
+    out = np.zeros((len(cases), len(offs)), dtype=np.float64)
+    for pi, (phase, trip) in enumerate(cases):
+        trip = int(trip)
+        sim = min(trip, warm + 2 * period)
+        fresh = np.zeros((sim, len(offs)), dtype=bool)
+        touched = set()
+        p = int(phase)
+        for m in range(sim):
+            for gj, off in enumerate(offs):
+                blk = (p + off + stride * m) >> shift
+                if blk not in touched:
+                    touched.add(blk)
+                    fresh[m, gj] = True
+        if trip <= sim:
+            out[pi] = fresh[:trip].sum(axis=0)
+            continue
+        per1 = fresh[warm:warm + period]
+        per2 = fresh[warm + period:warm + 2 * period]
+        if not np.array_equal(per1, per2):
+            return None
+        full, rest = divmod(trip - warm, period)
+        out[pi] = (fresh[:warm].sum(axis=0) + full * per1.sum(axis=0)
+                   + per1[:rest].sum(axis=0))
+    return out
 
 
 def _window_distance(item: ItemClass, j: int, block_size: int,

@@ -54,6 +54,9 @@ VALIDATION_MATRIX: Tuple[Tuple[str, Dict[str, int]], ...] = (
     ("cg", {"grid": 12}),
     ("cg", {"grid": 18}),
     ("gtc", {"micell": 2, "mpsi": 8, "mtheta": 12, "mzeta": 4}),
+    # the mid-size band excluded before PR 9: passes once the profiler
+    # models cross-reference freshness and co-traversal alignment
+    ("gtc", {"micell": 3, "mpsi": 8, "mtheta": 12, "mzeta": 4}),
     ("gtc", {"micell": 3, "mpsi": 10, "mtheta": 14, "mzeta": 5}),
 )
 
@@ -85,6 +88,13 @@ class ValidationReport:
     static_s: float
     tolerance: float
     bands: List[BandReport] = field(default_factory=list)
+    #: closed-form state byte-identical to the enumerated static state;
+    #: None when the closed-form path was not exercised
+    closed_form_identical: Optional[bool] = None
+    #: references the closed-form evaluation spliced from enumeration
+    closed_form_fallbacks: int = 0
+    #: wall seconds of the closed-form evaluation (0 when not exercised)
+    closedform_s: float = 0.0
 
     @property
     def max_gated_err(self) -> float:
@@ -92,8 +102,9 @@ class ValidationReport:
 
     @property
     def passed(self) -> bool:
-        return all(b.rel_err <= self.tolerance
-                   for b in self.bands if b.gated)
+        return (all(b.rel_err <= self.tolerance
+                    for b in self.bands if b.gated)
+                and self.closed_form_identical is not False)
 
     @property
     def speedup(self) -> float:
@@ -107,6 +118,13 @@ class ValidationReport:
                  f"[{self.accesses} accesses; dynamic {self.dynamic_s:.2f}s,"
                  f" static {self.static_s * 1e3:.1f}ms,"
                  f" {self.speedup:.0f}x]"]
+        if self.closed_form_identical is not None:
+            verdict = ("byte-identical" if self.closed_form_identical
+                       else "STATE MISMATCH")
+            lines.append(
+                f"  closed-form: {verdict}, "
+                f"{self.closed_form_fallbacks} fallback ref(s), "
+                f"eval {self.closedform_s * 1e3:.2f}ms")
         for b in self.bands:
             flag = " " if b.rel_err <= self.tolerance or not b.gated else "*"
             gate = "gated" if b.gated else "     "
@@ -170,13 +188,20 @@ def validate_program(program: Program,
                      params: Optional[Dict[str, int]] = None,
                      engine: str = "numpy",
                      tolerance: float = TOLERANCE,
-                     min_share: float = MIN_SHARE) -> ValidationReport:
+                     min_share: float = MIN_SHARE,
+                     closed_form_spec: Optional[Dict] = None
+                     ) -> ValidationReport:
     """Run both engines on ``program`` and compare their histograms.
 
     The dynamic side executes the program under a reference engine
     (``numpy`` by default — byte-identical to fenwick and much faster);
     the static side predicts without executing.  Timings for both land
     in the report, so it doubles as the speedup measurement.
+
+    ``closed_form_spec`` (``{"workload": name, "params": {...}}``)
+    additionally evaluates the closed-form derivation at these bounds
+    and records whether its state is byte-identical to the enumerated
+    one — a mismatch fails the report regardless of band errors.
     """
     from repro.core.analyzer import ReuseAnalyzer
     from repro.lang.batch import BatchExecutor
@@ -204,18 +229,36 @@ def validate_program(program: Program,
         tolerance=tolerance,
         bands=compare_states(dynamic_state, static_state,
                              tolerance=tolerance, min_share=min_share))
+    if closed_form_spec:
+        from repro.apps.registry import workload_params
+        from repro.static.closedform import get_derivation
+        deriv = get_derivation(closed_form_spec["workload"],
+                               dict(closed_form_spec.get("params") or {}),
+                               granularities=granularities)
+        wl_params = dict(closed_form_spec.get("params") or {})
+        value = int(wl_params.get(
+            deriv.free,
+            workload_params(closed_form_spec["workload"])[deriv.free]))
+        t0 = time.perf_counter()
+        cf_state, _cf_stats, fallbacks = deriv.evaluate(value)
+        report.closedform_s = time.perf_counter() - t0
+        report.closed_form_identical = cf_state == static_state
+        report.closed_form_fallbacks = fallbacks
     return report
 
 
 def validate_workload(name: str, params: Optional[Dict[str, int]] = None,
                       engine: str = "numpy",
                       tolerance: float = TOLERANCE,
-                      min_share: float = MIN_SHARE) -> ValidationReport:
+                      min_share: float = MIN_SHARE,
+                      closed_form: bool = False) -> ValidationReport:
     """Build a registry workload and cross-validate it."""
     from repro.apps.registry import build_workload
     program = build_workload(name, **(params or {}))
-    report = validate_program(program, engine=engine, tolerance=tolerance,
-                              min_share=min_share)
+    report = validate_program(
+        program, engine=engine, tolerance=tolerance, min_share=min_share,
+        closed_form_spec=({"workload": name, "params": dict(params or {})}
+                          if closed_form else None))
     report.workload = name
     report.params = dict(params or {})
     return report
@@ -224,14 +267,15 @@ def validate_workload(name: str, params: Optional[Dict[str, int]] = None,
 def run_matrix(matrix: Optional[Sequence[Tuple[str, Dict[str, int]]]] = None,
                engine: str = "numpy",
                tolerance: float = TOLERANCE,
-               min_share: float = MIN_SHARE) -> List[ValidationReport]:
+               min_share: float = MIN_SHARE,
+               closed_form: bool = False) -> List[ValidationReport]:
     """Validate every (workload, params) pair; defaults to the CI grid."""
     reports = []
     for name, params in (matrix if matrix is not None
                          else VALIDATION_MATRIX):
         reports.append(validate_workload(
             name, params, engine=engine, tolerance=tolerance,
-            min_share=min_share))
+            min_share=min_share, closed_form=closed_form))
     return reports
 
 

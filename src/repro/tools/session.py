@@ -54,7 +54,10 @@ class AnalysisSession:
                  shards: int = 1,
                  shard_jobs: Optional[int] = None,
                  trace_store: Optional[str] = None,
-                 spill_mb: Optional[float] = None) -> None:
+                 spill_mb: Optional[float] = None,
+                 closed_form: bool = False,
+                 closed_form_spec: Optional[Dict] = None,
+                 derivation=None) -> None:
         self.program = program
         self.config = config or MachineConfig.scaled_itanium2()
         self.miss_model = miss_model
@@ -75,6 +78,19 @@ class AnalysisSession:
                              "(LRU state is order-dependent)")
         if trace_store is not None and simulate:
             raise ValueError("spilled traces cannot drive the simulator")
+        #: evaluate the cached closed-form derivation instead of
+        #: enumerating (engine="static" only); the synthesized state is
+        #: byte-identical either way
+        self.closed_form = bool(closed_form)
+        #: ``{"workload": name, "params": {...}}`` (optional ``free``,
+        #: ``samples``) naming the registry workload and the resolved
+        #: bounds this program was built with — built programs do not
+        #: record their bounds, so closed-form evaluation needs them
+        #: spelled out
+        self.closed_form_spec = dict(closed_form_spec or {}) or None
+        #: pre-built :class:`~repro.static.closedform.Derivation` (sweep
+        #: parents derive once and ship it to every unit)
+        self.derivation = derivation
         if engine == "static":
             # The static engine never produces an access stream: there is
             # nothing to simulate, shard, or spill.
@@ -87,6 +103,14 @@ class AnalysisSession:
             if trace_store is not None:
                 raise ValueError("engine='static' records no trace to "
                                  "spill")
+            if self.closed_form and self.closed_form_spec is None:
+                raise ValueError(
+                    "closed_form=True needs closed_form_spec "
+                    "({'workload': ..., 'params': {...}}): built "
+                    "programs do not record the bounds they were "
+                    "built with")
+        elif self.closed_form:
+            raise ValueError("closed_form=True requires engine='static'")
         # engine="static" computes the pattern databases analytically and
         # loads them into a fenwick-backed analyzer, which then serves
         # queries exactly like a dynamic run's would
@@ -217,11 +241,18 @@ class AnalysisSession:
         """
         from repro.static.profile import static_profile
         t0 = time.perf_counter()
-        with _trace.span("static.estimate",
-                         program=self.program.name) as esp:
-            state, self.stats = static_profile(
-                self.program, self.config.granularities(), params=params)
-            esp.set(accesses=self.stats.accesses)
+        state = None
+        if self.closed_form:
+            state = self._closed_form_state()
+        if state is not None:
+            phases["closedform_evaluate"] = time.perf_counter() - t0
+        else:
+            with _trace.span("static.estimate",
+                             program=self.program.name) as esp:
+                state, self.stats = static_profile(
+                    self.program, self.config.granularities(),
+                    params=params)
+                esp.set(accesses=self.stats.accesses)
         self.analyzer.load_state(state)
         phases["static_estimate"] = time.perf_counter() - t0
         self._ran = True
@@ -233,6 +264,53 @@ class AnalysisSession:
                 self.cache.put(key, {"analyzer_state": state,
                                      "stats": self.stats})
             phases["cache_store"] = time.perf_counter() - t0
+
+    def _closed_form_state(self) -> Optional[Dict]:
+        """Evaluate the closed-form derivation for this session's bounds.
+
+        Resolves the derivation from :attr:`derivation` (shipped by a
+        sweep parent), the in-process memo, or the analysis cache —
+        deriving fresh only when all three miss.  Returns the state dict
+        (byte-identical to enumeration) and sets :attr:`stats`; returns
+        None when no derivation can be built, letting the enumerated
+        static path take over.
+        """
+        from repro.static.closedform import (
+            ClosedFormUnsupported, get_derivation,
+        )
+        spec = self.closed_form_spec
+        workload = spec["workload"]
+        wl_params = dict(spec.get("params") or {})
+        try:
+            deriv = self.derivation
+            if (deriv is not None and deriv.gran_spec
+                    != tuple(self.config.granularities().items())):
+                # shipped for another machine config: resolve our own
+                deriv = None
+            if deriv is None:
+                with _trace.span("closedform.derive", workload=workload):
+                    deriv = get_derivation(
+                        workload, wl_params, free=spec.get("free"),
+                        granularities=self.config.granularities(),
+                        samples=spec.get("samples"), cache=self.cache)
+                self.derivation = deriv
+            value = wl_params.get(deriv.free)
+            if value is None:
+                from repro.apps.registry import workload_params
+                value = workload_params(workload)[deriv.free]
+            value = int(value)
+            with _trace.span("closedform.evaluate", workload=workload,
+                             value=value) as esp:
+                state, self.stats, fallbacks = deriv.evaluate(
+                    value, extrapolate=bool(spec.get("extrapolate")))
+                esp.set(accesses=self.stats.accesses,
+                        fallbacks=fallbacks)
+            return state
+        except (ClosedFormUnsupported, KeyError) as exc:
+            logger.warning("%s: closed-form path unavailable (%s); "
+                           "enumerating", self.program.name, exc)
+            _obs.counter("static.closedform_fallbacks").inc()
+            return None
 
     def _degrade(self, exc: BaseException, params: Dict[str, int],
                  phases: Dict[str, float], key: Optional[str]) -> None:

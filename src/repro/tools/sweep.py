@@ -94,12 +94,22 @@ class SweepTask:
     #: resolved store path; set by run_sweep after the parent records,
     #: not by callers
     trace_path: Optional[str] = None
+    #: closed-form spec ``{"workload": name, "params": {...}}`` (optional
+    #: ``free``/``samples``) for static analyze tasks.  run_sweep groups
+    #: tasks sharing a kernel shape, derives once parent-side (sampling
+    #: on the sweep's own sizes), and ships the derivation to each unit
+    #: under the ``"derivation"`` key of this dict.
+    closed_form: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("analyze", "measure"):
             raise ValueError(f"unknown sweep mode {self.mode!r}")
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.closed_form and (self.mode != "analyze"
+                                 or self.engine != "static"):
+            raise ValueError("closed_form requires mode='analyze' and "
+                             "engine='static'")
 
 
 @dataclass
@@ -176,12 +186,17 @@ def _execute_task(task: SweepTask) -> SweepOutcome:
     # shards run sequentially — pool workers are daemonic and may not
     # spawn children.  run_sweep instead expands sharded tasks into
     # per-shard pool units before they get here.
+    cf_spec = dict(task.closed_form or {})
+    derivation = cf_spec.pop("derivation", None)
     session = AnalysisSession(program, config=task.config,
                               miss_model=task.miss_model, engine=task.engine,
                               cache=cache, batch=task.batch,
                               shards=task.shards, shard_jobs=1,
                               trace_store=task.trace_dir,
-                              spill_mb=task.spill_mb)
+                              spill_mb=task.spill_mb,
+                              closed_form=bool(task.closed_form),
+                              closed_form_spec=cf_spec or None,
+                              derivation=derivation)
     session.run(**task.params)
     return SweepOutcome(key=task.key, mode="analyze",
                         engine=task.engine, shards=task.shards,
@@ -941,6 +956,62 @@ def run_sweep(tasks: Sequence[SweepTask],
         record_stats[ti] = stats
         for si in range(count):
             specs[base + si] = ("shard", task, si)
+
+    # Parent-side closed-form derivation: static tasks that request
+    # closed_form and share one kernel shape derive ONCE here — sampled
+    # on the sweep's own sizes, so every task's bound is a verified hull
+    # member — and the derivation ships to each unit.  Like the trace
+    # rewrite above, this patches specs after digests were taken, so
+    # checkpoints stay valid.  A failed derivation leaves its group
+    # untouched: units derive (or enumerate) on their own side.
+    cf_groups: Dict[Tuple, List[int]] = {}
+    for ti, task in enumerate(tasks):
+        spec = task.closed_form
+        if not spec or "derivation" in spec or "workload" not in spec:
+            continue
+        from repro.static.closedform import PRIMARY_FREE
+        free = spec.get("free") or PRIMARY_FREE.get(spec["workload"])
+        if free is None or free not in (spec.get("params") or {}):
+            continue
+        fixed = tuple(sorted((k, v) for k, v in spec["params"].items()
+                             if k != free))
+        cf_groups.setdefault((spec["workload"], free, fixed),
+                             []).append(ti)
+    for (workload, free, fixed), tis in cf_groups.items():
+        from repro.static.closedform import default_samples, get_derivation
+        values = sorted({int(tasks[ti].closed_form["params"][free])
+                         for ti in tis})
+        try:
+            samples = tasks[tis[0]].closed_form.get("samples")
+            if samples is None:
+                samples = default_samples(workload, free, values)
+            cache = None
+            cache_dirs = {tasks[ti].cache_dir for ti in tis
+                          if tasks[ti].cache_dir}
+            if len(cache_dirs) == 1:
+                from repro.tools.cache import AnalysisCache
+                cache = AnalysisCache(cache_dirs.pop())
+            cfg = tasks[tis[0]].config
+            with _trace.span("closedform.derive", workload=workload,
+                             tasks=len(tis)):
+                deriv = get_derivation(
+                    workload, {**dict(fixed), free: values[-1]},
+                    free=free,
+                    granularities=(cfg.granularities()
+                                   if cfg is not None else None),
+                    samples=samples, cache=cache)
+        except Exception as exc:
+            logger.warning("sweep closed-form derivation failed for "
+                           "%s/%s (%s: %s); %d unit(s) evaluate on "
+                           "their own", workload, free,
+                           type(exc).__name__, exc, len(tis))
+            continue
+        for ti in tis:
+            task = replace(tasks[ti], closed_form={
+                **tasks[ti].closed_form, "samples": list(samples),
+                "derivation": deriv})
+            tasks[ti] = task
+            specs[plan[ti][0]] = ("task", task, 0)
 
     def on_done(i: int, result: Any) -> None:
         if ckpt is None or i in restored:
