@@ -27,6 +27,12 @@ Commands
     Bound a columnar trace-store directory: evict least-recently-used
     stores until the directory fits ``--max-gb``, never touching stores
     referenced by live service jobs (``--state-dir``).
+``jobs list`` / ``jobs gc``
+    Inspect a service job store, and expire terminal job records past a
+    retention window (``--keep-days``), unpinning their artifact blobs.
+``cache gc``
+    Bound the analysis cache; with ``--state-dir`` also reclaim
+    artifact blobs no job record pins.
 ``list``
     Show the available workloads and variants.
 
@@ -60,6 +66,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, Optional
 
@@ -288,7 +295,16 @@ def cmd_serve(args) -> int:
         max_request_bytes=args.max_request_kb * 1024,
         fsync=args.fsync,
         keepalive_max_requests=args.keepalive_requests,
-        keepalive_idle_s=args.keepalive_idle)
+        keepalive_idle_s=args.keepalive_idle,
+        walltime_s=args.walltime,
+        max_rss_mb=args.max_rss_mb,
+        heartbeat_s=args.heartbeat,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        kill_grace_s=args.kill_grace,
+        poison_threshold=args.poison_threshold,
+        queue_max=args.queue_max,
+        max_inflight_rss_mb=args.max_inflight_rss_mb,
+        drain_timeout_s=args.drain_timeout)
 
     async def _run() -> None:
         shutdown = asyncio.Event()
@@ -339,8 +355,12 @@ def cmd_trace(args) -> int:
 def cmd_cache(args) -> int:
     if args.cache_command != "gc":
         raise SystemExit("usage: repro cache gc --max-gb N [--cache-dir D]")
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.state_dir:
+        # the service keeps its shared cache inside the state dir
+        cache_dir = os.path.join(args.state_dir, "cache")
     # shared mode so the eviction pass serializes with any live writers
-    cache = AnalysisCache(args.cache_dir, shared=True)
+    cache = AnalysisCache(cache_dir, shared=True)
     result = cache.gc_entries(int(args.max_gb * 1024 ** 3),
                               dry_run=args.dry_run)
     mib = 1024.0 ** 2
@@ -354,7 +374,56 @@ def cmd_cache(args) -> int:
           f"({len(result.kept)} entries)")
     for key in result.evicted:
         print(f"  - {key}")
+    if args.state_dir:
+        # with a state dir we know which blobs job records still pin,
+        # so unpinned artifact blobs can be reclaimed too
+        from repro.service.jobs import JobStore
+        store = JobStore(args.state_dir)
+        store.recover()
+        blobs = cache.gc_blobs(store.pinned_blob_digests(),
+                               dry_run=args.dry_run)
+        print(f"blob gc {cache.root}{tag}:")
+        print(f"  removed  {blobs.freed_bytes / mib:10.1f} MiB "
+              f"({len(blobs.evicted)} blobs)")
+        print(f"  pinned   {(blobs.total_bytes_after) / mib:10.1f} MiB "
+              f"({len(blobs.kept)} blobs, referenced by job records)")
+        for digest in blobs.evicted:
+            print(f"  - {digest}")
     return 0
+
+
+def cmd_jobs(args) -> int:
+    from repro.service.jobs import JobStore
+
+    store = JobStore(args.state_dir)
+    store.recover()
+    if args.jobs_command == "list":
+        fmt = "{:<14} {:<10} {:<14} {:<10} {:>7} {:>7}"
+        print(fmt.format("JOB", "TENANT", "STATE", "WORKLOAD",
+                         "RESUMED", "CRASHES"))
+        for job in sorted(store.jobs.values(),
+                          key=lambda j: (j.created, j.id)):
+            print(fmt.format(job.id, job.tenant, job.state,
+                             job.spec.workload, job.resumed,
+                             job.crashes))
+            if job.error:
+                print(f"    error: {job.error}")
+        return 0
+    if args.jobs_command == "gc":
+        result = store.gc(args.keep_days, dry_run=args.dry_run)
+        mib = 1024.0 ** 2
+        tag = " (dry run)" if args.dry_run else ""
+        print(f"jobs gc {args.state_dir}{tag}:")
+        print(f"  removed  {len(result.removed)} terminal job(s) "
+              f"older than {args.keep_days:g} day(s) "
+              f"({result.freed_bytes / mib:.1f} MiB of job dirs)")
+        print(f"  kept     {result.kept} job record(s)")
+        print(f"  unpinned {len(result.unpinned)} artifact blob(s) — "
+              "run 'repro cache gc --state-dir' to reclaim them")
+        for job_id in result.removed:
+            print(f"  - {job_id}")
+        return 0
+    raise SystemExit("usage: repro jobs {list,gc} --state-dir S")
 
 
 def cmd_validate(args) -> int:
@@ -583,6 +652,41 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="close kept-alive connections idle for S "
                             "seconds")
+    serve.add_argument("--walltime", type=float, default=0.0,
+                       metavar="S",
+                       help="kill jobs running longer than S seconds "
+                            "(0 = no ceiling)")
+    serve.add_argument("--max-rss-mb", type=float, default=0.0,
+                       metavar="MB",
+                       help="kill workers whose heartbeat reports more "
+                            "resident MiB than this (0 = no ceiling)")
+    serve.add_argument("--heartbeat", type=float, default=0.5,
+                       metavar="S",
+                       help="worker heartbeat period (status.json "
+                            "re-stamp)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="kill workers silent for S seconds "
+                            "(0 = never)")
+    serve.add_argument("--kill-grace", type=float, default=5.0,
+                       metavar="S",
+                       help="SIGTERM -> SIGKILL escalation grace")
+    serve.add_argument("--poison-threshold", type=int, default=3,
+                       metavar="N",
+                       help="worker-killing crashes before a job is "
+                            "quarantined as failed_poison")
+    serve.add_argument("--queue-max", type=int, default=0, metavar="N",
+                       help="total queued jobs (all tenants) before "
+                            "submissions shed with 503 (0 = unbounded)")
+    serve.add_argument("--max-inflight-rss-mb", type=float, default=0.0,
+                       metavar="MB",
+                       help="summed worker RSS before submissions shed "
+                            "with 503 (0 = disabled)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="on SIGTERM, let running jobs finish for "
+                            "up to S seconds before interrupting them "
+                            "(0 = interrupt immediately)")
 
     trace = sub.add_parser("trace", help="trace-store maintenance")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -624,10 +728,31 @@ def build_parser() -> argparse.ArgumentParser:
     cgc.add_argument("--max-gb", type=float, required=True, metavar="N",
                      help="size budget in GiB")
     cgc.add_argument("--cache-dir", metavar="DIR",
-                     help="cache directory (default: $REPRO_CACHE_DIR "
-                          "or ~/.cache/repro)")
+                     help="cache directory (default: <state-dir>/cache "
+                          "when --state-dir is given, else "
+                          "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    cgc.add_argument("--state-dir", metavar="DIR",
+                     help="service state dir: also remove artifact "
+                          "blobs no job record pins (run 'repro jobs "
+                          "gc' first to expire old records)")
     cgc.add_argument("--dry-run", action="store_true",
                      help="rank and report without deleting")
+
+    jobs = sub.add_parser("jobs", help="service job-store maintenance")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jlist = jobs_sub.add_parser("list", help="list job records (state, "
+                                             "resume/crash counters)")
+    jlist.add_argument("--state-dir", required=True, metavar="DIR")
+    jgc = jobs_sub.add_parser("gc", help="delete terminal job records "
+                                         "past a retention window and "
+                                         "unpin their artifact blobs")
+    jgc.add_argument("--state-dir", required=True, metavar="DIR")
+    jgc.add_argument("--keep-days", type=float, required=True,
+                     metavar="N",
+                     help="keep terminal jobs finished within the last "
+                          "N days (live jobs are never touched)")
+    jgc.add_argument("--dry-run", action="store_true",
+                     help="report without deleting")
 
     return parser
 
@@ -639,6 +764,7 @@ def main(argv: Optional[list] = None) -> int:
         "list": cmd_list, "analyze": cmd_analyze, "measure": cmd_measure,
         "sweep": cmd_sweep, "stats": cmd_stats, "serve": cmd_serve,
         "trace": cmd_trace, "cache": cmd_cache, "validate": cmd_validate,
+        "jobs": cmd_jobs,
     }
     return handlers[args.command](args)
 

@@ -20,7 +20,14 @@ Layers
 ``quota``
     Multi-tenant admission control: per-tenant concurrent/queued caps
     and request-size limits; violations surface as HTTP 429 with a
-    ``Retry-After`` header.
+    ``Retry-After`` header.  Server-wide overload watermarks
+    (:class:`~repro.service.quota.OverloadPolicy`) shed with 503
+    instead — the server's problem, not the tenant's.
+``supervise``
+    Scheduler-side supervision of running workers: heartbeat liveness,
+    walltime/RSS ceilings with SIGTERM→SIGKILL escalation, orphan
+    reaping after a server crash, and the requeue/poison-quarantine
+    bookkeeping for worker-killing specs.
 ``worker``
     The child-process entry point: builds the workload from
     :mod:`repro.apps.registry`, runs an
@@ -38,11 +45,15 @@ Metrics live under the ``svc.*`` namespace (see
 :mod:`repro.obs.metrics`).
 """
 
-from repro.service.jobs import Job, JobSpec, JobStore
-from repro.service.quota import AdmissionController, QuotaDecision, TenantQuota
+from repro.service.jobs import Job, JobSpec, JobStore, JobsGCResult
+from repro.service.quota import (
+    AdmissionController, OverloadPolicy, QuotaDecision, TenantQuota,
+)
 from repro.service.server import AnalysisService, ServiceConfig, ServiceThread
+from repro.service.supervise import SupervisionPolicy, Supervisor
 from repro.service.client import (
     JobFailed, QuotaExceeded, ServiceClient, ServiceError,
+    ServiceUnavailable,
 )
 
 __all__ = [
@@ -52,11 +63,16 @@ __all__ = [
     "Job",
     "JobSpec",
     "JobStore",
+    "JobsGCResult",
+    "OverloadPolicy",
     "QuotaDecision",
     "QuotaExceeded",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
     "ServiceThread",
+    "ServiceUnavailable",
+    "SupervisionPolicy",
+    "Supervisor",
     "TenantQuota",
 ]

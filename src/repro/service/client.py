@@ -1,8 +1,9 @@
 """Blocking HTTP client for the analysis service (stdlib ``http.client``).
 
 Thin by design — every method maps 1:1 onto a server route, raises
-:class:`QuotaExceeded` on 429 (with the server's ``Retry-After`` hint)
-and :class:`ServiceError` on any other non-2xx.  Used by the test suite
+:class:`QuotaExceeded` on 429, :class:`ServiceUnavailable` on 503
+(both with the server's ``Retry-After`` hint) and
+:class:`ServiceError` on any other non-2xx.  Used by the test suite
 and the CI smoke job; scripts can use it too::
 
     client = ServiceClient.from_state_dir("/var/lib/repro-svc")
@@ -17,7 +18,7 @@ import http.client
 import json
 import os
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 
 class ServiceError(RuntimeError):
@@ -37,6 +38,14 @@ class QuotaExceeded(ServiceError):
         self.retry_after = retry_after
 
 
+class ServiceUnavailable(ServiceError):
+    """503: the server is shedding load or draining for shutdown."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(503, message)
+        self.retry_after = retry_after
+
+
 class JobFailed(ServiceError):
     """A waited-on job reached a terminal state other than done."""
 
@@ -50,12 +59,17 @@ class ServiceClient:
     """One client per server address, holding one persistent connection.
 
     The server keeps connections alive, so submit→poll loops reuse a
-    single socket.  When the server closes it (idle timeout, its
-    per-connection request cap, or a restart), the next request
-    transparently reconnects and retries — safe because every route is
-    either idempotent or journaled before the response is written.
-    Call :meth:`close` (or use the client as a context manager) to drop
-    the socket early; constructing per-call still works.
+    single socket.  When a **GET** dies on a stale or dropped socket
+    (the server's idle timeout, its per-connection request cap, a
+    restart, ECONNRESET mid-response) the client reconnects and retries
+    exactly once — GETs here are reads (status/list/artifacts/health)
+    and safe to repeat.  **POSTs are never retried**: a submit whose
+    response was lost may already be journaled server-side, and
+    retrying would enqueue the job twice; callers that see a
+    connection error on :meth:`submit` should list jobs to find out
+    what happened rather than resubmit blindly.  Call :meth:`close`
+    (or use the client as a context manager) to drop the socket early;
+    constructing per-call still works.
     """
 
     def __init__(self, host: str, port: int, tenant: str = "default",
@@ -95,12 +109,22 @@ class ServiceClient:
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
-                 raw: bool = False) -> Any:
+                 raw: bool = False,
+                 tolerate: Tuple[int, ...] = ()) -> Any:
+        """One request, reconnect-and-retry-once for idempotent GETs.
+
+        POST is never retried (see the class docstring: a lost submit
+        response does not mean a lost submit).  ``tolerate`` lists
+        non-2xx statuses to return as parsed bodies instead of raising
+        — ``health()`` uses it so a draining server's 503 still yields
+        the degraded payload.
+        """
         payload = (json.dumps(body).encode()
                    if body is not None else None)
         headers = {"X-Repro-Tenant": self.tenant}
         if payload is not None:
             headers["Content-Type"] = "application/json"
+        retryable = method == "GET"
         response = data = None
         for attempt in (1, 2):
             if self._conn is None:
@@ -114,21 +138,26 @@ class ServiceClient:
             except (ConnectionError, OSError,
                     http.client.HTTPException):
                 # a kept-alive socket the server has since dropped
-                # (idle timeout, request cap, restart); reconnect once
+                # (idle timeout, request cap, restart) or a connection
+                # reset mid-response
                 self.close()
-                if attempt == 2:
+                if not retryable or attempt == 2:
                     raise
                 continue
             break
         if response.will_close:
             self.close()
-        if response.status == 429:
+        if response.status in tolerate:
+            return data if raw else json.loads(data.decode())
+        if response.status in (429, 503):
             try:
                 retry_after = float(
                     response.getheader("Retry-After", "1"))
             except ValueError:
                 retry_after = 1.0
-            raise QuotaExceeded(self._error_text(data), retry_after)
+            exc = (QuotaExceeded if response.status == 429
+                   else ServiceUnavailable)
+            raise exc(self._error_text(data), retry_after)
         if response.status >= 300:
             raise ServiceError(response.status,
                                self._error_text(data))
@@ -146,7 +175,9 @@ class ServiceClient:
     # -- API ------------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
-        return self._request("GET", "/v1/healthz")
+        """Liveness + queue gauges; a draining server answers 503 but
+        still returns its (degraded, ``ok: false``) payload."""
+        return self._request("GET", "/v1/healthz", tolerate=(503,))
 
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/metrics")
@@ -186,7 +217,8 @@ class ServiceClient:
         deadline = time.monotonic() + timeout
         while True:
             job = self.status(job_id)
-            if job["state"] in ("done", "failed", "cancelled"):
+            if job["state"] in ("done", "failed", "cancelled",
+                                "failed_poison"):
                 if job["state"] != "done":
                     raise JobFailed(job)
                 return job

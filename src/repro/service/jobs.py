@@ -7,8 +7,8 @@ durable with the same discipline the sweep checkpoints use
 (:mod:`repro.tools.resilience`):
 
 * an append-only JSONL **journal** (``jobs.jsonl``) records lifecycle
-  events — submit, start, done, fail, cancel — one JSON object per
-  line, torn final lines tolerated;
+  events — submit, start, requeue, done, fail, cancel, poison — one
+  JSON object per line, torn final lines tolerated;
 * a **job directory** (``jobs/<id>/``) holds the immutable
   ``spec.json``, the worker-updated ``status.json`` (phase progress,
   metric snapshots), and the terminal ``result.json`` (totals, artifact
@@ -18,7 +18,15 @@ On startup :meth:`JobStore.recover` replays the journal: jobs whose last
 event is ``submit`` are queued again; jobs whose last event is ``start``
 (the server died mid-run) are re-queued and counted as resumed — the
 worker's artifacts are content-addressed, so a re-run deduplicates
-against whatever the killed attempt already published.
+against whatever the killed attempt already published.  Jobs whose last
+event is ``requeue`` (the supervisor killed the worker, or it crashed)
+go back on the queue with their crash counter intact; ``poison`` is
+terminal quarantine after repeated worker-killing crashes.
+
+Journal writes, compaction, and recovery all hold a file lock
+(``jobs.jsonl.lock``) so a ``recover()`` — in this process or another —
+can never observe the compaction tmp-rename window or race a concurrent
+append out of the rewrite.
 """
 
 from __future__ import annotations
@@ -26,11 +34,19 @@ from __future__ import annotations
 import json
 import logging
 import os
+import shutil
 import tempfile
+import threading
 import time
 import uuid
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from repro.tools.atomicio import atomic_write_text
 
@@ -48,9 +64,11 @@ ARTIFACT_KINDS: Dict[str, str] = {
     "xml": "db.xml",              # paper's XML database format
 }
 
-#: job lifecycle states
-STATES = ("queued", "running", "done", "failed", "cancelled")
-TERMINAL_STATES = ("done", "failed", "cancelled")
+#: job lifecycle states; ``failed_poison`` is terminal quarantine for
+#: specs that killed their worker ``poison_threshold`` times
+STATES = ("queued", "running", "done", "failed", "cancelled",
+          "failed_poison")
+TERMINAL_STATES = ("done", "failed", "cancelled", "failed_poison")
 
 
 class SpecError(ValueError):
@@ -166,6 +184,12 @@ class Job:
     #: times this job was re-queued after a server restart found it
     #: mid-run (content-addressed artifacts make the re-run idempotent)
     resumed: int = 0
+    #: times this job's worker died without writing a result (crash,
+    #: supervised kill); at the poison threshold the job quarantines
+    crashes: int = 0
+    #: earliest wall-clock time the scheduler may relaunch this job
+    #: (requeue backoff); in-memory only, resets to 0 across restarts
+    not_before: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -180,6 +204,7 @@ class Job:
             "artifacts": list(self.artifacts),
             "totals": dict(self.totals),
             "resumed": self.resumed,
+            "crashes": self.crashes,
         }
 
     @property
@@ -189,6 +214,17 @@ class Job:
 
 def new_job_id() -> str:
     return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class JobsGCResult:
+    """Outcome of a :meth:`JobStore.gc` retention pass."""
+
+    removed: List[str]        # terminal job ids deleted (or would-be)
+    kept: int                 # job records remaining
+    unpinned: List[str]       # blob digests no remaining record pins
+    freed_bytes: int          # job-dir bytes reclaimed (excludes blobs)
+    dry_run: bool = False
 
 
 class JobStore:
@@ -230,6 +266,16 @@ class JobStore:
         #: start events per non-terminal job (kept on compaction so a
         #: recover() still counts resumes correctly)
         self._starts: Dict[str, int] = {}
+        #: non-terminal jobs with at least one requeue line on disk
+        self._requeues: Dict[str, bool] = {}
+        #: journal lock: an OS file lock (flock on the sidecar ``.lock``
+        #: file) serializes append/compact/recover across processes; the
+        #: RLock + depth counter make it reentrant within this store so
+        #: an append that triggers auto-compaction doesn't self-deadlock
+        self._lock_path = self._journal_path + ".lock"
+        self._tlock = threading.RLock()
+        self._lock_depth = 0
+        self._lock_handle = None
 
     # -- paths ----------------------------------------------------------
 
@@ -247,20 +293,55 @@ class JobStore:
 
     # -- journal --------------------------------------------------------
 
+    @contextmanager
+    def _journal_lock(self) -> Iterator[None]:
+        """Exclusive journal access: append, compact, and recover hold it.
+
+        Without the lock a ``recover()`` racing auto-compaction can read
+        the journal in the tmp-rename window, and an append racing a
+        concurrent store's compaction can be silently dropped by the
+        read-fold-replace rewrite.  The flock is taken once at the
+        outermost entry (reentrant within the store), so nested
+        append → auto-compact calls don't deadlock.
+        """
+        self._tlock.acquire()
+        self._lock_depth += 1
+        try:
+            if self._lock_depth == 1 and fcntl is not None:
+                try:
+                    self._lock_handle = open(self._lock_path, "a")
+                    fcntl.flock(self._lock_handle, fcntl.LOCK_EX)
+                except OSError:  # pragma: no cover - exotic filesystems
+                    if self._lock_handle is not None:
+                        self._lock_handle.close()
+                    self._lock_handle = None
+            yield
+        finally:
+            if self._lock_depth == 1 and self._lock_handle is not None:
+                try:
+                    fcntl.flock(self._lock_handle, fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover
+                    pass
+                self._lock_handle.close()
+                self._lock_handle = None
+            self._lock_depth -= 1
+            self._tlock.release()
+
     def _append(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True)
-        new = not os.path.exists(self._journal_path)
-        with open(self._journal_path, "a", encoding="utf-8") as handle:
-            if new:
-                handle.write(json.dumps(
-                    {"kind": "job-journal",
-                     "version": JOURNAL_VERSION}) + "\n")
-            handle.write(line + "\n")
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-        self._track(record)
-        self._maybe_compact()
+        with self._journal_lock():
+            new = not os.path.exists(self._journal_path)
+            with open(self._journal_path, "a", encoding="utf-8") as handle:
+                if new:
+                    handle.write(json.dumps(
+                        {"kind": "job-journal",
+                         "version": JOURNAL_VERSION}) + "\n")
+                handle.write(line + "\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+            self._track(record)
+            self._maybe_compact()
 
     def _track(self, record: Dict[str, Any]) -> None:
         """Update journal occupancy for one appended event."""
@@ -277,10 +358,17 @@ class JobStore:
             if not self._starts.get(job_id):
                 self._live_lines += 1
             self._starts[job_id] = self._starts.get(job_id, 0) + 1
+        elif kind == "requeue":
+            # requeue events compact to the last one (cumulative crashes)
+            if not self._requeues.get(job_id):
+                self._live_lines += 1
+            self._requeues[job_id] = True
         else:
-            # terminal event: its line is live, the job's start lines
-            # are not (recover() ignores them once the job is terminal)
+            # terminal event: its line is live, the job's start/requeue
+            # lines are not (recover() ignores them once terminal)
             self._live_lines += 1 - (1 if self._starts.pop(job_id, 0)
+                                     else 0) \
+                                  - (1 if self._requeues.pop(job_id, False)
                                      else 0)
 
     def _read_events(self) -> Optional[List[Dict[str, Any]]]:
@@ -319,15 +407,19 @@ class JobStore:
 
         Per submitted job, in submit order: the submit line; then — when
         the job is still queued or running — one ``start`` line whose
-        ``count`` field carries the resume counter (start events of
-        finished jobs replay to nothing); then the final event when it
-        is anything other than submit/start.  Events for jobs that were
-        never submitted are dropped, as :meth:`recover` ignores them.
+        ``count`` field carries the resume counter plus the last
+        ``requeue`` line (which carries the cumulative crash counter),
+        ordered so the job's *final* event kind is preserved (recover
+        keys the live state off it); then the final event when it is
+        terminal.  Start/requeue lines of finished jobs replay to
+        nothing and are dropped.  Events for jobs that were never
+        submitted are dropped, as :meth:`recover` ignores them.
         """
         last: Dict[str, Dict[str, Any]] = {}
         submits: Dict[str, Dict[str, Any]] = {}
         starts: Dict[str, int] = {}
         last_start: Dict[str, Dict[str, Any]] = {}
+        last_requeue: Dict[str, Dict[str, Any]] = {}
         order: List[str] = []
         for ev in events:
             job_id, kind = ev.get("job"), ev.get("event")
@@ -341,17 +433,28 @@ class JobStore:
                 starts[job_id] = starts.get(job_id, 0) + int(
                     ev.get("count", 1))
                 last_start[job_id] = ev
+            elif kind == "requeue":
+                last_requeue[job_id] = ev
             last[job_id] = ev
         folded: List[Dict[str, Any]] = []
         for job_id in order:
             folded.append(submits[job_id])
             final = last[job_id]
             kind = final.get("event")
-            if kind in ("submit", "start"):
+            if kind in ("submit", "start", "requeue"):
+                merged = None
                 if starts.get(job_id):
                     merged = dict(last_start[job_id])
                     merged["count"] = starts[job_id]
-                    folded.append(merged)
+                if kind == "requeue":
+                    if merged is not None:
+                        folded.append(merged)
+                    folded.append(last_requeue[job_id])
+                else:
+                    if job_id in last_requeue:
+                        folded.append(last_requeue[job_id])
+                    if merged is not None:
+                        folded.append(merged)
             else:
                 folded.append(final)
         return folded
@@ -364,12 +467,15 @@ class JobStore:
             self._lines = 0
             self._live_lines = 0
             self._starts = {}
+            self._requeues = {}
             return
         folded = self._fold_events(events)
         self._lines = len(events)
         self._live_lines = len(folded)
         self._starts = {ev["job"]: int(ev.get("count", 1))
                         for ev in folded if ev.get("event") == "start"}
+        self._requeues = {ev["job"]: True for ev in folded
+                          if ev.get("event") == "requeue"}
 
     def _maybe_compact(self) -> None:
         """Compact when stale lines outnumber the live representation.
@@ -395,11 +501,25 @@ class JobStore:
         order, same resume counters, same terminal results — so a
         server restarted off the compacted journal is indistinguishable
         from one restarted off the original.
+
+        Runs under the journal lock: concurrent appends (even from
+        another process's store) wait rather than being folded away by
+        the read-modify-replace, and a concurrent ``recover()`` never
+        sees the rename window.
         """
-        events = self._read_events()
-        if events is None:
-            return 0
-        folded = self._fold_events(events)
+        with self._journal_lock():
+            events = self._read_events()
+            if events is None:
+                return 0
+            folded = self._fold_events(events)
+            return self._rewrite(events, folded)
+
+    def _rewrite(self, events: List[Dict[str, Any]],
+                 keep: List[Dict[str, Any]]) -> int:
+        """Atomically replace the journal with ``keep``; lines dropped.
+
+        Caller must hold the journal lock.
+        """
         directory = os.path.dirname(os.path.abspath(self._journal_path))
         fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
                                    suffix=".jsonl")
@@ -408,7 +528,7 @@ class JobStore:
                 handle.write(json.dumps({"kind": "job-journal",
                                          "version": JOURNAL_VERSION})
                              + "\n")
-                for ev in folded:
+                for ev in keep:
                     handle.write(json.dumps(ev, sort_keys=True) + "\n")
                 if self.fsync:
                     handle.flush()
@@ -471,17 +591,49 @@ class JobStore:
         job.finished = time.time()
         self._append({"event": "cancel", "job": job_id, "ts": job.finished})
 
+    def mark_requeued(self, job_id: str, error: str = "") -> None:
+        """The worker died without a result: back on the queue.
+
+        Bumps the durable crash counter — the journal line carries the
+        cumulative count, so the poison threshold survives restarts and
+        compaction.
+        """
+        job = self.jobs[job_id]
+        job.state = "queued"
+        job.crashes += 1
+        job.error = error
+        self._append({"event": "requeue", "job": job_id,
+                      "crashes": job.crashes, "error": error,
+                      "ts": time.time()})
+
+    def mark_poisoned(self, job_id: str, error: str) -> None:
+        """Quarantine a job whose spec keeps killing workers."""
+        job = self.jobs[job_id]
+        job.state = "failed_poison"
+        job.finished = time.time()
+        job.error = error
+        self._append({"event": "poison", "job": job_id,
+                      "error": error, "ts": job.finished})
+
     # -- recovery -------------------------------------------------------
 
     def recover(self) -> List[Job]:
         """Replay the journal; return jobs re-queued for execution.
 
         Jobs with a terminal event are loaded read-only (result.json
-        hydrates totals/artifacts).  Jobs last seen ``queued`` go back
-        on the queue as-is; jobs last seen ``running`` are re-queued
-        with ``resumed`` bumped — the previous attempt's process died
-        with the server.
+        hydrates totals/artifacts; ``finished`` comes from the event
+        timestamp, so retention GC has a clock to age against).  Jobs
+        last seen ``queued`` or ``requeue`` go back on the queue — the
+        latter with the durable crash counter restored; jobs last seen
+        ``running`` are re-queued with ``resumed`` bumped — the previous
+        attempt's process died with the server.  Holds the journal lock
+        so a concurrent compaction can't slip its tmp-rename under the
+        replay.
         """
+        with self._journal_lock():
+            return self._recover_locked()
+
+    def _recover_locked(self) -> List[Job]:
         self.jobs.clear()
         self.resumed_ids = []
         events = self._read_events()
@@ -489,13 +641,15 @@ class JobStore:
             self._lines = 0
             self._live_lines = 0
             self._starts = {}
+            self._requeues = {}
             return []
         self._scan_occupancy(events)
 
-        last: Dict[str, str] = {}
+        last: Dict[str, Dict[str, Any]] = {}
         tenants: Dict[str, str] = {}
         created: Dict[str, float] = {}
         starts: Dict[str, int] = {}
+        crashes: Dict[str, int] = {}
         order: List[str] = []
         for ev in events:
             job_id = ev.get("job")
@@ -511,8 +665,14 @@ class JobStore:
                 # carrying the resume counter as "count"
                 starts[job_id] = starts.get(job_id, 0) + int(
                     ev.get("count", 1))
-            last[job_id] = kind
+            elif kind == "requeue":
+                # the requeue line carries the cumulative crash count
+                crashes[job_id] = max(crashes.get(job_id, 0),
+                                      int(ev.get("crashes", 1)))
+            last[job_id] = ev
 
+        terminal_map = {"done": "done", "fail": "failed",
+                        "cancel": "cancelled", "poison": "failed_poison"}
         requeued: List[Job] = []
         for job_id in order:
             try:
@@ -524,17 +684,24 @@ class JobStore:
                 continue
             job = Job(id=job_id, tenant=tenants.get(job_id, "default"),
                       spec=spec, created=created.get(job_id, 0.0))
-            state = last.get(job_id, "submit")
-            if state in ("done", "fail", "cancel"):
-                job.state = {"done": "done", "fail": "failed",
-                             "cancel": "cancelled"}[state]
+            job.crashes = crashes.get(job_id, 0)
+            final = last.get(job_id, {})
+            kind = final.get("event", "submit")
+            if kind in terminal_map:
+                job.state = terminal_map[kind]
+                job.finished = float(final.get("ts", 0.0) or 0.0)
+                job.error = final.get("error", "")
                 self._hydrate_result(job)
-            elif state == "start":
+            elif kind == "start":
                 # server died mid-run: run it again
                 job.resumed = starts.get(job_id, 1)
                 self.resumed_ids.append(job_id)
                 requeued.append(job)
             else:
+                # submit or requeue: back on the queue (the crash
+                # counter above already restored the requeue history)
+                job.resumed = starts.get(job_id, 0)
+                job.error = final.get("error", "")
                 requeued.append(job)
             self.jobs[job_id] = job
         if requeued:
@@ -552,6 +719,73 @@ class JobStore:
         job.totals = dict(result.get("totals", {}))
         job.artifacts = list(result.get("artifacts", []))
         job.error = result.get("error", job.error)
+
+    # -- retention ------------------------------------------------------
+
+    def pinned_blob_digests(self) -> Set[str]:
+        """Artifact blob digests referenced by any job still on record.
+
+        ``repro cache gc --state-dir`` treats these as pinned: a blob a
+        job record can still serve must survive blob GC.  Callers want a
+        recovered store — run :meth:`recover` first.
+        """
+        return {a.get("digest") for job in self.jobs.values()
+                for a in job.artifacts if a.get("digest")}
+
+    def gc(self, keep_days: float, now: Optional[float] = None,
+           dry_run: bool = False) -> "JobsGCResult":
+        """Drop terminal jobs finished more than ``keep_days`` ago.
+
+        Removes their job directories and journal events (atomic
+        rewrite under the journal lock), and reports the artifact blob
+        digests those records were the last to reference — unpinned,
+        ready for ``repro cache gc`` to reclaim.  Live (queued/running)
+        jobs are never touched.  ``dry_run`` computes the same report
+        without deleting anything.
+        """
+        if self._lines is None:
+            self.recover()
+        now = time.time() if now is None else now
+        cutoff = now - keep_days * 86400.0
+        doomed = [job for job in self.jobs.values()
+                  if job.terminal
+                  and (job.finished or job.created) <= cutoff]
+        doomed_ids = {job.id for job in doomed}
+        kept_digests = {a.get("digest")
+                        for job in self.jobs.values()
+                        if job.id not in doomed_ids
+                        for a in job.artifacts if a.get("digest")}
+        unpinned = sorted({a.get("digest") for job in doomed
+                           for a in job.artifacts
+                           if a.get("digest")} - kept_digests)
+        freed = 0
+        for job in doomed:
+            job_dir = self.job_dir(job.id)
+            for root, _dirs, files in os.walk(job_dir):
+                for name in files:
+                    try:
+                        freed += os.path.getsize(os.path.join(root, name))
+                    except OSError:
+                        pass
+        result = JobsGCResult(
+            removed=sorted(doomed_ids),
+            kept=sum(1 for j in self.jobs.values()
+                     if j.id not in doomed_ids),
+            unpinned=unpinned, freed_bytes=freed, dry_run=dry_run)
+        if dry_run or not doomed:
+            return result
+        with self._journal_lock():
+            events = self._read_events() or []
+            keep = [ev for ev in self._fold_events(events)
+                    if ev.get("job") not in doomed_ids]
+            self._rewrite(events, keep)
+            for job_id in doomed_ids:
+                self.jobs.pop(job_id, None)
+                shutil.rmtree(self.job_dir(job_id), ignore_errors=True)
+        logger.info("jobs gc: removed %d terminal job(s) older than "
+                    "%.1f day(s), unpinned %d blob digest(s)",
+                    len(doomed_ids), keep_days, len(unpinned))
+        return result
 
     # -- queries --------------------------------------------------------
 

@@ -15,6 +15,13 @@ otherwise).  Each tenant gets a :class:`TenantQuota`:
 
 Oversized request bodies are rejected the same way (429), since body
 size is the request-rate knob a client can actually back off on.
+
+Quota (429) answers "*you* are over *your* share"; overload shedding
+(:class:`OverloadPolicy`, 503) answers "*the server* is over *its*
+capacity" — a bounded global queue and an in-flight RSS watermark that
+protect the host no matter how the per-tenant arithmetic adds up.  A
+well-behaved client backs off on both, but only the 429 is the client's
+fault.
 """
 
 from __future__ import annotations
@@ -92,3 +99,48 @@ class AdmissionController:
     def may_start(self, tenant: str, running: int) -> bool:
         """Scheduler-side check: can this tenant start one more job?"""
         return running < self.quota_for(tenant).max_concurrent
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Server-wide load-shedding watermarks (HTTP 503, not 429).
+
+    ``queue_max``
+        total queued jobs across all tenants before new submissions are
+        shed (0 = unbounded).
+    ``max_inflight_rss_mb``
+        sum of running workers' heartbeat-reported RSS before new
+        submissions are shed (0 = disabled) — admission is the one
+        lever that helps when memory, not queue depth, is the scarce
+        resource.
+    ``retry_after_s``
+        the ``Retry-After`` hint sent with a shed response.
+    """
+
+    queue_max: int = 0
+    max_inflight_rss_mb: float = 0.0
+    retry_after_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.queue_max < 0:
+            raise ValueError("queue_max must be >= 0")
+        if self.max_inflight_rss_mb < 0:
+            raise ValueError("max_inflight_rss_mb must be >= 0")
+
+    def check(self, queued_total: int,
+              inflight_rss_mb: float) -> QuotaDecision:
+        """Shed when either watermark is crossed; counts ``svc.shed``."""
+        reason = ""
+        if self.queue_max and queued_total >= self.queue_max:
+            reason = (f"queue is full ({queued_total} job(s) waiting, "
+                      f"limit {self.queue_max})")
+        elif (self.max_inflight_rss_mb
+                and inflight_rss_mb >= self.max_inflight_rss_mb):
+            reason = (f"in-flight memory at {inflight_rss_mb:.0f} MiB "
+                      f"exceeds the {self.max_inflight_rss_mb:g} MiB "
+                      f"watermark")
+        if reason:
+            _obs.counter("svc.shed").inc()
+            return QuotaDecision(admitted=False, reason=reason,
+                                 retry_after=self.retry_after_s)
+        return QuotaDecision(admitted=True)

@@ -34,6 +34,18 @@ Admission: tenant queue depth over quota, or an oversized request body,
 returns ``429`` with a ``Retry-After`` header.  A tenant at its
 *concurrency* cap is not rejected — its jobs queue and start when a
 slot frees, without blocking other tenants.
+
+Robustness: a :class:`~repro.service.supervise.Supervisor` runs inside
+the scheduler tick, killing workers that blow their walltime, memory
+ceiling, or heartbeat timeout (SIGTERM, escalating to SIGKILL); worker
+deaths without a result requeue with capped backoff until the poison
+threshold quarantines the job (``failed_poison``).  Server-wide
+overload sheds submissions with ``503`` + ``Retry-After`` (distinct
+from the per-tenant ``429``: 503 means *the server* is saturated, 429
+means *this tenant* is over its share), and SIGTERM drains gracefully:
+stop accepting, let running jobs finish up to ``drain_timeout_s``,
+journal the rest as queued.  ``healthz`` degrades to 503 while
+draining so load balancers stop routing here first.
 """
 
 from __future__ import annotations
@@ -52,7 +64,12 @@ from repro.obs import metrics as _obs
 from repro.service.jobs import (
     ARTIFACT_KINDS, JobStore, JobSpec, SpecError,
 )
-from repro.service.quota import AdmissionController, TenantQuota
+from repro.service.quota import (
+    AdmissionController, OverloadPolicy, TenantQuota,
+)
+from repro.service.supervise import (
+    SupervisionPolicy, Supervisor, reap_orphans,
+)
 from repro.tools.atomicio import atomic_write_text
 
 logger = logging.getLogger("repro.service.server")
@@ -61,7 +78,7 @@ _REASONS = {200: "OK", 201: "Created", 202: "Accepted",
             400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 409: "Conflict",
             413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 #: name of the discovery file written into the state dir on startup
 SERVICE_FILE = "service.json"
@@ -90,6 +107,30 @@ class ServiceConfig:
     keepalive_max_requests: int = 100
     #: close a kept-alive connection after this long with no request
     keepalive_idle_s: float = 5.0
+    # -- supervision (0 disables each ceiling) --------------------------
+    #: kill a job running longer than this
+    walltime_s: float = 0.0
+    #: kill a worker whose heartbeat reports more resident MiB than this
+    max_rss_mb: float = 0.0
+    #: worker heartbeat period (status.json re-stamp)
+    heartbeat_s: float = 0.5
+    #: kill a worker silent for this long (0 disables)
+    heartbeat_timeout_s: float = 30.0
+    #: SIGTERM → SIGKILL escalation grace
+    kill_grace_s: float = 5.0
+    #: worker-killing crashes before a job quarantines as failed_poison
+    poison_threshold: int = 3
+    # -- overload shedding ----------------------------------------------
+    #: total queued jobs (all tenants) before submissions shed with 503
+    queue_max: int = 0
+    #: summed worker heartbeat RSS (MiB) before submissions shed
+    max_inflight_rss_mb: float = 0.0
+    #: Retry-After hint on 503 shed responses
+    shed_retry_after_s: float = 5.0
+    #: on stop, let running jobs finish for up to this long before
+    #: SIGTERM (0 = legacy immediate interrupt; ``repro serve`` passes
+    #: its own operator-facing default)
+    drain_timeout_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -98,6 +139,10 @@ class ServiceConfig:
             raise ValueError("keepalive_max_requests must be >= 1")
         if self.keepalive_idle_s <= 0:
             raise ValueError("keepalive_idle_s must be > 0")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
+        # SupervisionPolicy/OverloadPolicy validate their own fields at
+        # construction in AnalysisService.__init__
 
     @property
     def cache_dir(self) -> str:
@@ -119,11 +164,24 @@ class AnalysisService:
             default=config.default_quota,
             per_tenant=config.tenant_quotas,
             retry_after_s=config.retry_after_s)
+        self.supervisor = Supervisor(self.store, SupervisionPolicy(
+            walltime_s=config.walltime_s,
+            max_rss_mb=config.max_rss_mb,
+            heartbeat_timeout_s=config.heartbeat_timeout_s,
+            kill_grace_s=config.kill_grace_s,
+            poison_threshold=config.poison_threshold))
+        self.overload = OverloadPolicy(
+            queue_max=config.queue_max,
+            max_inflight_rss_mb=config.max_inflight_rss_mb,
+            retry_after_s=config.shed_retry_after_s)
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._scheduler: Optional[asyncio.Task] = None
         self._wake = asyncio.Event()
         self._stopping = False
+        #: draining: still serving polls, not accepting or launching
+        self._draining = False
+        self._stopped = False
         self._procs: Dict[str, multiprocessing.Process] = {}
         self._cancel_requested: set = set()
         #: live connection handlers, closed/awaited by stop() — a
@@ -149,6 +207,10 @@ class AnalysisService:
         requeued = self.store.recover()
         if self.store.resumed_ids:
             _obs.counter("svc.resumed").inc(len(self.store.resumed_ids))
+            # a SIGKILLed server can't have terminated its children;
+            # verify-and-kill any still running before re-launching
+            reap_orphans(self.store, self.store.resumed_ids,
+                         grace_s=self.config.kill_grace_s)
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -162,12 +224,31 @@ class AnalysisService:
                     len(requeued), len(self.store.resumed_ids))
 
     async def stop(self) -> None:
-        """Graceful stop: close the listener, SIGTERM running jobs.
+        """Graceful stop: drain, close the listener, SIGTERM leftovers.
 
-        Running jobs get no terminal journal event — the next start
-        re-queues them (``resumed``), and their content-addressed
+        With ``drain_timeout_s > 0`` the service first *drains*: new
+        submissions bounce with 503, nothing new launches, ``healthz``
+        reports degraded — but running jobs keep running (and clients
+        keep polling over live connections) until they finish or the
+        deadline passes.  Whatever is still running then is SIGTERMed;
+        those jobs get no terminal journal event, so the next start
+        re-queues them (``resumed``) and their content-addressed
         artifacts dedup whatever this attempt already published.
+        Queued jobs simply stay journaled as queued.
         """
+        if self._stopped:  # idempotent: drain tests stop() explicitly
+            return
+        self._stopped = True
+        self._draining = True
+        self._wake.set()
+        if self.config.drain_timeout_s > 0 and self._procs:
+            logger.info("draining: waiting up to %gs for %d running "
+                        "job(s)", self.config.drain_timeout_s,
+                        len(self._procs))
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            # the scheduler keeps ticking (and reaping) while we wait
+            while self._procs and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
         self._stopping = True
         self._wake.set()
         if self._server is not None:
@@ -187,6 +268,9 @@ class AnalysisService:
             if proc.is_alive():
                 proc.terminate()
             proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - wedged child
+                proc.kill()
+                proc.join(timeout=5.0)
             logger.info("job %s interrupted by shutdown (will resume)",
                         job_id)
         self._procs.clear()
@@ -211,18 +295,28 @@ class AnalysisService:
             self._reap(loop)
             if self._stopping:
                 return
-            self._launch(loop)
+            # ceilings stay enforced while draining — a wedged job must
+            # not be able to hold the drain to its full deadline
+            self.supervisor.check(self._procs)
+            if not self._draining:
+                self._launch(loop)
             _obs.gauge("svc.queue_depth").set(
                 sum(1 for j in self.store.jobs.values()
                     if j.state == "queued"))
             _obs.gauge("svc.running").set(len(self._procs))
+            _obs.gauge("svc.inflight_rss_mb").set(
+                round(self.supervisor.inflight_rss_mb(self._procs), 1))
 
     def _launch(self, loop: asyncio.AbstractEventLoop) -> None:
         """Start queued jobs while worker slots and tenant quota allow."""
+        now = time.time()
         for job_id in self._queued_fifo():
             if len(self._procs) >= self.config.workers:
                 return
             job = self.store.jobs[job_id]
+            if job.not_before > now:
+                # crash-requeued: still inside its backoff window
+                continue
             if not self.admission.may_start(
                     job.tenant, self.store.running_count(job.tenant)):
                 continue
@@ -234,7 +328,7 @@ class AnalysisService:
                 args=(self.store.job_dir(job_id), self.config.cache_dir,
                       self.config.trace_dir, _obs.is_enabled(),
                       logging.getLogger("repro").level or None,
-                      _faults.active_specs()),
+                      _faults.active_specs(), self.config.heartbeat_s),
                 daemon=False)
             proc.start()
             self._procs[job_id] = proc
@@ -268,6 +362,7 @@ class AnalysisService:
             if job is None:  # pragma: no cover - defensive
                 continue
             result = self._read_result(job_id)
+            kill = self.supervisor.take_kill(job_id)
             if job_id in self._cancel_requested:
                 self._cancel_requested.discard(job_id)
                 self.store.mark_cancelled(job_id)
@@ -275,20 +370,52 @@ class AnalysisService:
                 logger.info("job %s cancelled mid-run", job_id)
             elif (proc.exitcode == 0
                     and result.get("status") == "done"):
+                # a kill record can linger if the worker finished in the
+                # same tick it was condemned; the result wins
                 self.store.mark_done(job_id, result.get("totals", {}),
                                      result.get("artifacts", []))
                 _obs.counter("svc.completed").inc()
                 if job.started:
                     _obs.timer("svc.job_latency").observe(
                         time.time() - job.started)
-            else:
-                error = result.get("error") or (
-                    f"worker exited with code {proc.exitcode}")
-                self.store.mark_failed(job_id, error)
+            elif (kill is None and proc.exitcode == 1
+                    and result.get("status") == "failed"):
+                # the worker caught the exception itself and reported:
+                # a deterministic job failure, not a worker death —
+                # re-running would fail identically, so fail terminally
+                self.store.mark_failed(job_id, result.get("error", ""))
                 _obs.counter("svc.failed").inc()
+            else:
+                # supervised kill, or the worker died without writing a
+                # result (signal, os._exit, OOM): requeue toward poison
+                self._crashed(job_id, proc, kill)
             metrics = result.get("metrics")
             if metrics:
                 _obs.registry().merge(metrics)
+
+    def _crashed(self, job_id: str, proc, kill) -> None:
+        """Route a worker death through the requeue/poison machinery."""
+        from repro.tools.resilience import WorkerFailure
+        job = self.store.jobs[job_id]
+        failure = WorkerFailure.from_exit(
+            proc.exitcode, kill.detail if kill is not None else "")
+        if job.crashes + 1 >= self.supervisor.policy.poison_threshold:
+            self.store.mark_poisoned(
+                job_id, f"{failure.summary}; quarantined after "
+                        f"{job.crashes + 1} worker-killing crash(es)")
+            _obs.counter("svc.poisoned").inc()
+            _obs.counter("svc.failed").inc()
+            logger.warning("job %s poisoned: %s", job_id, job.error)
+        else:
+            self.store.mark_requeued(job_id, failure.summary)
+            job.not_before = time.time() + \
+                self.supervisor.requeue_backoff(job.crashes)
+            _obs.counter("svc.requeued").inc()
+            logger.warning("job %s crashed (%s); requeued "
+                           "(crash %d/%d, next attempt in %.1fs)",
+                           job_id, failure.summary, job.crashes,
+                           self.supervisor.policy.poison_threshold,
+                           max(0.0, job.not_before - time.time()))
 
     def _read_result(self, job_id: str) -> Dict[str, Any]:
         try:
@@ -416,11 +543,21 @@ class AnalysisService:
             return self._json(404, {"error": f"no such path {path!r}"})
         rest = segments[1:]
         if rest == ["healthz"] and method == "GET":
-            return self._json(200, {
-                "ok": True,
+            draining = self._draining
+            payload = {
+                "ok": not draining,
+                "draining": draining,
                 "queued": sum(1 for j in self.store.jobs.values()
                               if j.state == "queued"),
-                "running": len(self._procs)})
+                "running": len(self._procs),
+                "inflight_rss_mb": round(
+                    self.supervisor.inflight_rss_mb(self._procs), 1)}
+            if draining:
+                # load balancers read 503 as "stop routing here"
+                return self._json(503, payload, {
+                    "Retry-After":
+                        f"{self.overload.retry_after_s:g}"})
+            return self._json(200, payload)
         if rest == ["metrics"] and method == "GET":
             return self._json(200, _obs.snapshot())
         if rest == ["jobs"] and method == "POST":
@@ -463,6 +600,21 @@ class AnalysisService:
             return self._json(400, {"error": "body must be an object"})
         tenant = (data.pop("tenant", None)
                   or headers.get("x-repro-tenant") or "default")
+        if self._draining:
+            return self._json(
+                503, {"error": "service is draining; not accepting "
+                               "new jobs"},
+                {"Retry-After": f"{self.overload.retry_after_s:g}"})
+        # server-wide overload first: a saturated server sheds (503)
+        # before any per-tenant arithmetic (429) applies
+        shed = self.overload.check(
+            sum(1 for j in self.store.jobs.values()
+                if j.state == "queued"),
+            self.supervisor.inflight_rss_mb(self._procs))
+        if not shed.admitted:
+            return self._json(
+                503, {"error": shed.reason},
+                {"Retry-After": f"{shed.retry_after:g}"})
         decision = self.admission.admit(
             tenant, self.store.queued_count(tenant))
         if not decision.admitted:

@@ -21,7 +21,13 @@ The server launches :func:`job_process_main` in its own
 Progress is visible throughout via atomic rewrites of ``status.json``
 (``phase`` walks build → analyze → predict → artifacts; ``trace_path``
 appears once a spilled recording resolves, for ``repro trace gc``
-live-reference protection).
+live-reference protection).  A daemon heartbeat thread
+(:class:`StatusReporter`) re-stamps the same file every ``heartbeat_s``
+with a fresh timestamp and the worker's current RSS — the liveness and
+memory signal the scheduler-side supervisor
+(:mod:`repro.service.supervise`) enforces ceilings against.  The worker
+also records its (pid, start-ticks) identity in ``worker.json`` so a
+replacement server can reap it if this server dies without cleanup.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ import logging
 import os
 import pickle
 import sys
+import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -47,6 +54,61 @@ def _write_status(job_dir: str, **fields: Any) -> None:
     fields.setdefault("ts", time.time())
     atomic_write_text(os.path.join(job_dir, "status.json"),
                       json.dumps(fields, sort_keys=True) + "\n")
+
+
+class StatusReporter:
+    """Heartbeating owner of a job's ``status.json``.
+
+    Phase transitions call :meth:`update` (immediate atomic rewrite); a
+    daemon thread re-writes the same fields every ``heartbeat_s`` with a
+    fresh ``ts`` and the worker's current RSS, so a worker stalled
+    inside one phase still proves liveness — and a leaking one reports
+    the growth that gets it killed.  ``heartbeat_s <= 0`` disables the
+    thread; updates still write through.
+    """
+
+    def __init__(self, job_dir: str, heartbeat_s: float = 0.0) -> None:
+        self.job_dir = job_dir
+        self.heartbeat_s = heartbeat_s
+        self._fields: Dict[str, Any] = {"pid": os.getpid()}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def update(self, **fields: Any) -> None:
+        with self._lock:
+            self._fields.update(fields)
+            snapshot = dict(self._fields)
+        self._write(snapshot)
+
+    def _write(self, snapshot: Dict[str, Any]) -> None:
+        from repro.service.supervise import rss_mb
+        snapshot["rss_mb"] = round(rss_mb(), 1)
+        snapshot.pop("ts", None)  # _write_status stamps fresh
+        try:
+            _write_status(self.job_dir, **snapshot)
+        except OSError:  # pragma: no cover - job dir vanished under us
+            pass
+
+    def start(self) -> None:
+        if self.heartbeat_s <= 0 or self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._beat,
+                                        name="status-heartbeat",
+                                        daemon=True)
+        self._thread.start()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self.heartbeat_s):
+            with self._lock:
+                snapshot = dict(self._fields)
+            self._write(snapshot)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
 
 
 def _artifact_bytes(session, kind: str) -> bytes:
@@ -65,7 +127,8 @@ def _artifact_bytes(session, kind: str) -> bytes:
 
 
 def run_job(job_dir: str, cache_dir: str,
-            trace_dir: Optional[str] = None) -> Dict[str, Any]:
+            trace_dir: Optional[str] = None,
+            heartbeat_s: float = 0.0) -> Dict[str, Any]:
     """Execute the job described by ``<job_dir>/spec.json``.
 
     Returns the result dict (also written to ``result.json``).  Raises
@@ -76,6 +139,8 @@ def run_job(job_dir: str, cache_dir: str,
     from repro.apps.registry import build_workload, workload_params
     from repro.obs import metrics as _obs
     from repro.service.jobs import ARTIFACT_KINDS, JobSpec
+    from repro.service.supervise import write_worker_identity
+    from repro.testing import faults as _faults
     from repro.tools.atomicio import atomic_write_text
     from repro.tools.cache import AnalysisCache
     from repro.tools.session import AnalysisSession
@@ -84,7 +149,14 @@ def run_job(job_dir: str, cache_dir: str,
         spec = JobSpec.from_dict(json.load(f))
 
     t0 = time.time()
-    _write_status(job_dir, phase="build", pid=os.getpid())
+    write_worker_identity(job_dir)
+    reporter = StatusReporter(job_dir, heartbeat_s=heartbeat_s)
+    reporter.update(phase="build")
+    reporter.start()
+    # chaos hook: lets the fault harness stall/leak/kill this worker at
+    # a deterministic point (after identity + first heartbeat exist)
+    _faults.fire("service.worker", workload=spec.workload,
+                 job=os.path.basename(job_dir))
     result: Dict[str, Any] = {"status": "failed", "totals": {},
                               "artifacts": [], "error": ""}
     try:
@@ -107,17 +179,17 @@ def run_job(job_dir: str, cache_dir: str,
                                "params": params}
                               if spec.closed_form else None),
         )
-        _write_status(job_dir, phase="analyze", pid=os.getpid())
+        reporter.update(phase="analyze")
         session.run()
         if session.trace_path:
-            _write_status(job_dir, phase="predict", pid=os.getpid(),
-                          trace_path=session.trace_path)
+            reporter.update(phase="predict",
+                            trace_path=session.trace_path)
         else:
-            _write_status(job_dir, phase="predict", pid=os.getpid())
+            reporter.update(phase="predict")
         totals = session.totals()
 
-        _write_status(job_dir, phase="artifacts", pid=os.getpid(),
-                      trace_path=session.trace_path)
+        reporter.update(phase="artifacts",
+                        trace_path=session.trace_path)
         artifacts: List[Dict[str, Any]] = []
         deduped = 0
         for kind in spec.artifacts:
@@ -146,7 +218,9 @@ def run_job(job_dir: str, cache_dir: str,
             "error": "",
         }
     except SystemExit:
-        # SIGTERM (cancellation) unwinding through install_term_handler
+        # SIGTERM (cancellation or a supervisor kill) unwinding through
+        # install_term_handler
+        reporter.stop()
         _write_status(job_dir, phase="cancelled", pid=os.getpid())
         raise
     except Exception as exc:  # job failure, not a server failure
@@ -157,6 +231,8 @@ def run_job(job_dir: str, cache_dir: str,
         result["wall_s"] = round(time.time() - t0, 6)
         if _obs.is_enabled():
             result["metrics"] = _obs.snapshot()
+    finally:
+        reporter.stop()
     atomic_write_text(os.path.join(job_dir, "result.json"),
                       json.dumps(result, sort_keys=True) + "\n")
     return result
@@ -167,6 +243,7 @@ def job_process_main(job_dir: str, cache_dir: str,
                      obs_enabled: bool = False,
                      log_level: Optional[int] = None,
                      fault_specs: Sequence = (),
+                     heartbeat_s: float = 0.5,
                      ) -> None:
     """``multiprocessing.Process`` target for one job.
 
@@ -189,5 +266,6 @@ def job_process_main(job_dir: str, cache_dir: str,
         logging.getLogger("repro").setLevel(log_level)
     if fault_specs:
         _faults.set_specs(fault_specs)
-    result = run_job(job_dir, cache_dir, trace_dir)
+    result = run_job(job_dir, cache_dir, trace_dir,
+                     heartbeat_s=heartbeat_s)
     sys.exit(EXIT_OK if result.get("status") == "done" else EXIT_FAILED)

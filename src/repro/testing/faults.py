@@ -73,8 +73,11 @@ class FaultSpec:
         ``"crash"`` (``os._exit(70)`` — the worker dies without
         unwinding, like a segfault or OOM kill), ``"raise"`` (raise
         ``RAISABLE[exc]``), ``"stall"`` (sleep ``delay`` seconds —
-        trips deadlines), or ``"corrupt"`` (overwrite the file named by
-        the firing context's ``path`` with garbage bytes).
+        trips deadlines), ``"corrupt"`` (overwrite the file named by
+        the firing context's ``path`` with garbage bytes), or
+        ``"leak"`` (allocate ``mb`` MiB that stays referenced for the
+        life of the process — a deterministic memory runaway for the
+        service supervisor's RSS ceiling).
     ``match``
         Sorted ``(key, value)`` pairs; every pair must equal the firing
         context for the spec to trigger.  Empty matches every firing.
@@ -94,9 +97,11 @@ class FaultSpec:
     exc: str = "OSError"
     message: str = "injected fault"
     delay: float = 0.0
+    mb: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.action not in ("crash", "raise", "stall", "corrupt"):
+        if self.action not in ("crash", "raise", "stall", "corrupt",
+                               "leak"):
             raise ValueError(f"unknown fault action {self.action!r}")
         if self.action == "raise" and self.exc not in RAISABLE:
             raise ValueError(f"exc must be one of {sorted(RAISABLE)}, "
@@ -119,6 +124,9 @@ class FaultSpec:
 _specs: List[FaultSpec] = []
 #: Process-local firing counts for markerless specs.
 _local_counts: Dict[str, int] = {}
+#: Allocations pinned by ``action="leak"`` firings (released only by
+#: process exit or ``clear()``).
+_leaks: List[bytearray] = []
 
 
 def install(spec: FaultSpec) -> FaultSpec:
@@ -142,6 +150,7 @@ def clear() -> None:
     """Deactivate everything (tests call this in teardown)."""
     _specs.clear()
     _local_counts.clear()
+    _leaks.clear()
 
 
 def active() -> bool:
@@ -194,6 +203,10 @@ def fire(point: str, **ctx: Any) -> None:
             raise RAISABLE[spec.exc](spec.message)
         elif spec.action == "stall":
             time.sleep(spec.delay)
+        elif spec.action == "leak":
+            # bytearray zero-fills, so the pages are committed and show
+            # up in RSS immediately
+            _leaks.append(bytearray(int(spec.mb * 1024 * 1024)))
         elif spec.action == "corrupt":
             path = ctx.get("path")
             if path and os.path.exists(path):

@@ -41,7 +41,9 @@ import tempfile
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import (
+    Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple,
+)
 
 try:  # POSIX advisory locks for the shared writer path
     import fcntl
@@ -551,6 +553,71 @@ class AnalysisCache:
                         "y" if len(result.evicted) == 1 else "ies",
                         result.freed_bytes, result.total_bytes_before,
                         result.total_bytes_after)
+        return result
+
+    def gc_blobs(self, pinned: Set[str],
+                 dry_run: bool = False) -> CacheGCResult:
+        """Delete blobs whose digest is not in ``pinned``.
+
+        Blobs are content-addressed artifacts published by service jobs;
+        unlike cache entries they are *not* recomputable on a miss, so
+        they are never evicted by :meth:`gc_entries` and only this pass
+        — driven by ``repro cache gc --state-dir``, whose pin set is
+        every digest still referenced by a job record (see
+        :meth:`repro.service.jobs.JobStore.pinned_blob_digests`) —
+        removes them.  Note sweep checkpoints can also journal
+        ``cache:`` payload references; run blob GC only against state
+        dirs whose checkpoints are complete or discarded.
+
+        Runs under the shared-mode writer flock so a concurrent
+        ``put_blob`` of a just-unpinned digest is ordered, not torn.
+        ``dry_run`` reports without deleting or locking.
+        """
+        blobs_dir = os.path.join(self.root, "blobs")
+        found: List[Tuple[str, str, int]] = []
+        if os.path.isdir(blobs_dir):
+            for sub in sorted(os.listdir(blobs_dir)):
+                subpath = os.path.join(blobs_dir, sub)
+                if not os.path.isdir(subpath):
+                    continue
+                for fname in sorted(os.listdir(subpath)):
+                    if (not fname.endswith(".bin")
+                            or fname.startswith(".tmp-")):
+                        continue
+                    path = os.path.join(subpath, fname)
+                    try:
+                        size = os.path.getsize(path)
+                    except OSError:  # pragma: no cover - raced
+                        continue
+                    found.append((fname[:-len(".bin")], path, size))
+        total = sum(size for _d, _p, size in found)
+        result = CacheGCResult(evicted=[], kept=[], freed_bytes=0,
+                               total_bytes_before=total,
+                               total_bytes_after=total)
+        lock = self._writer_lock() if not dry_run else None
+        try:
+            if lock is not None:
+                lock.__enter__()
+            for digest, path, size in found:
+                if digest in pinned:
+                    result.kept.append(digest)
+                    continue
+                if not dry_run:
+                    try:
+                        os.unlink(path)
+                    except FileNotFoundError:  # pragma: no cover
+                        continue
+                result.evicted.append(digest)
+                result.freed_bytes += size
+        finally:
+            if lock is not None:
+                lock.__exit__(None, None, None)
+        result.total_bytes_after = total - result.freed_bytes
+        if result.evicted and not dry_run:
+            self._obs_evictions.inc(len(result.evicted))
+            logger.info("blob gc %s: removed %d unpinned blob(s), "
+                        "freed %d bytes", self.root,
+                        len(result.evicted), result.freed_bytes)
         return result
 
     def __contains__(self, key: str) -> bool:

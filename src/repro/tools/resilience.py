@@ -177,6 +177,26 @@ class WorkerFailure:
                    traceback=_traceback.format_exc(), retries=retries,
                    duration=duration)
 
+    @classmethod
+    def from_exit(cls, exitcode: Optional[int],
+                  reason: str = "") -> "WorkerFailure":
+        """Failure record for a worker that died without reporting.
+
+        A process that exits without writing a result — killed by a
+        signal, ``os._exit`` from a crash, or the supervisor's
+        SIGTERM/SIGKILL — left no exception to classify, so the death
+        itself is the evidence: poison-kind, because whatever did this
+        will plausibly do it again, and the requeue/poison-threshold
+        machinery is what bounds the damage.
+        """
+        if exitcode is not None and exitcode < 0:
+            detail = f"killed by signal {-exitcode}"
+        else:
+            detail = f"exited with code {exitcode}"
+        message = f"{reason} ({detail})" if reason else detail
+        return cls(kind=FailureKind.POISON.value,
+                   exc_type="WorkerCrash", message=message)
+
     @property
     def summary(self) -> str:
         """One line: ``ExcType: message``."""

@@ -10,6 +10,7 @@ automatically once dead lines outnumber live ones.
 
 import json
 import os
+import threading
 
 from repro.service.jobs import JobSpec, JobStore
 
@@ -132,3 +133,138 @@ class TestCompaction:
         lines = _journal_lines(str(tmp_path))
         assert len(lines) == 1 + 10
         assert [json.loads(l)["event"] for l in lines[1:]] == ["submit"] * 10
+
+
+class TestRequeuePoisonFolding:
+    def test_crash_counter_survives_compaction(self, tmp_path):
+        """Requeue lines carry the cumulative crash count, so folding
+        the start/requeue churn away must not reset the poison clock."""
+        store = JobStore(str(tmp_path))
+        job = store.submit("t", _spec())
+        for _ in range(2):
+            store.mark_started(job.id)
+            store.mark_requeued(job.id, "killed by signal 9")
+        assert store.compact() > 0
+
+        fresh = JobStore(str(tmp_path))
+        requeued = fresh.recover()
+        assert [j.id for j in requeued] == [job.id]
+        assert fresh.jobs[job.id].state == "queued"
+        assert fresh.jobs[job.id].crashes == 2
+        assert fresh.jobs[job.id].error == "killed by signal 9"
+
+    def test_requeue_last_event_order_is_preserved(self, tmp_path):
+        """A job whose last event is ``requeue`` must fold so that the
+        replay still ends on the requeue — folding it to end on
+        ``start`` would recover the job as an interrupted run and bump
+        ``resumed`` for a crash that was already accounted."""
+        store = JobStore(str(tmp_path))
+        job = store.submit("t", _spec())
+        store.mark_started(job.id)
+        store.mark_requeued(job.id, "exited with code 70")
+        store.compact()
+        events = [json.loads(line) for line in
+                  _journal_lines(str(tmp_path))[1:]]
+        kinds = [ev["event"] for ev in events if ev.get("job") == job.id]
+        assert kinds[-1] == "requeue"
+
+        fresh = JobStore(str(tmp_path))
+        fresh.recover()
+        assert fresh.jobs[job.id].state == "queued"
+        assert fresh.jobs[job.id].crashes == 1
+
+    def test_poisoned_job_folds_to_submit_plus_poison(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = store.submit("t", _spec())
+        for _ in range(2):
+            store.mark_started(job.id)
+            store.mark_requeued(job.id, "killed by signal 11")
+        store.mark_started(job.id)
+        store.mark_poisoned(job.id, "quarantined after 3 crashes")
+        store.compact()
+        lines = _journal_lines(str(tmp_path))
+        assert len(lines) == 1 + 2  # header + submit + poison
+        assert [json.loads(l)["event"] for l in lines[1:]] == \
+            ["submit", "poison"]
+
+        fresh = JobStore(str(tmp_path))
+        assert fresh.recover() == []  # quarantined: never re-queued
+        assert fresh.jobs[job.id].state == "failed_poison"
+        assert fresh.jobs[job.id].error == "quarantined after 3 crashes"
+        assert fresh.jobs[job.id].finished > 0
+
+
+class TestConcurrency:
+    """Regression tests: compaction's read-fold-replace and recover's
+    replay both hold the journal lock, so neither can run against a
+    half-swapped file or drop a concurrent append under os.replace."""
+
+    def test_compact_does_not_lose_concurrent_appends(self, tmp_path):
+        writer = JobStore(str(tmp_path))
+        compactor = JobStore(str(tmp_path))
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    compactor.compact()
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        ids = []
+        try:
+            for i in range(30):
+                job = writer.submit("t", _spec())
+                ids.append(job.id)
+                if i % 2:  # terminal churn gives compaction dead lines
+                    writer.mark_started(job.id)
+                    writer.mark_done(job.id, {}, [])
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors
+
+        fresh = JobStore(str(tmp_path))
+        fresh.recover()
+        assert set(fresh.jobs) == set(ids)
+
+    def test_recover_replays_consistently_during_compaction(self,
+                                                            tmp_path):
+        seeder = JobStore(str(tmp_path))
+        ids = []
+        for _ in range(10):
+            job = seeder.submit("t", _spec())
+            seeder.mark_started(job.id)
+            seeder.mark_done(job.id, {}, [])
+            ids.append(job.id)
+        stop = threading.Event()
+        errors = []
+
+        def grow_and_shrink():
+            store = JobStore(str(tmp_path))
+            try:
+                while not stop.is_set():
+                    job = store.submit("t", _spec())
+                    store.mark_started(job.id)
+                    store.mark_done(job.id, {}, [])
+                    store.compact()
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        thread = threading.Thread(target=grow_and_shrink)
+        thread.start()
+        try:
+            for _ in range(20):
+                fresh = JobStore(str(tmp_path))
+                fresh.recover()
+                # the seeded jobs are always there, always terminal —
+                # a torn replay would miss some or see them mid-fold
+                assert set(ids) <= set(fresh.jobs)
+                assert all(fresh.jobs[i].state == "done" for i in ids)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors

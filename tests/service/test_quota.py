@@ -1,8 +1,10 @@
-"""Admission-control unit tests."""
+"""Admission-control and overload-shedding unit tests."""
 
 import pytest
 
-from repro.service.quota import AdmissionController, TenantQuota
+from repro.service.quota import (
+    AdmissionController, OverloadPolicy, TenantQuota,
+)
 
 
 class TestTenantQuota:
@@ -53,3 +55,44 @@ class TestAdmissionController:
         ctl = AdmissionController(default=TenantQuota(max_concurrent=2))
         assert ctl.may_start("t", running=1)
         assert not ctl.may_start("t", running=2)
+
+
+class TestOverloadPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverloadPolicy(queue_max=-1)
+        with pytest.raises(ValueError):
+            OverloadPolicy(max_inflight_rss_mb=-0.5)
+
+    def test_disabled_watermarks_never_shed(self):
+        policy = OverloadPolicy()  # both watermarks 0 = unbounded
+        assert policy.check(10_000, 1e6).admitted
+
+    def test_queue_watermark_sheds_at_limit(self):
+        policy = OverloadPolicy(queue_max=4, retry_after_s=9.0)
+        assert policy.check(3, 0.0).admitted
+        decision = policy.check(4, 0.0)
+        assert not decision.admitted
+        assert decision.retry_after == 9.0
+        assert "queue is full" in decision.reason
+
+    def test_rss_watermark_sheds_at_limit(self):
+        policy = OverloadPolicy(max_inflight_rss_mb=512.0)
+        assert policy.check(0, 511.9).admitted
+        decision = policy.check(0, 512.0)
+        assert not decision.admitted
+        assert "MiB" in decision.reason
+
+    def test_shed_counter_increments(self, obs_on):
+        from repro.obs import metrics
+        policy = OverloadPolicy(queue_max=1)
+        policy.check(0, 0.0)
+        policy.check(1, 0.0)
+        policy.check(2, 0.0)
+        assert metrics.snapshot()["counters"]["svc.shed"] == 2
+
+    def test_queue_and_rss_are_independent_triggers(self):
+        policy = OverloadPolicy(queue_max=4, max_inflight_rss_mb=512.0)
+        assert not policy.check(4, 0.0).admitted
+        assert not policy.check(0, 512.0).admitted
+        assert policy.check(3, 511.0).admitted
